@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestExploreBasic(t *testing.T) {
+	code, out, errOut := runCLI(t, "-n", "24", "-d", "2", "-samples", "3")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "expanders (normalized lambda2 >= 0.1): 3/3") {
+		t.Fatalf("expected all samples to be expanders:\n%s", out)
+	}
+}
+
+func TestExploreWithChurn(t *testing.T) {
+	code, out, errOut := runCLI(t, "-n", "16", "-d", "3", "-samples", "2", "-churn", "50")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "mean normalized lambda2") {
+		t.Fatalf("missing summary:\n%s", out)
+	}
+}
+
+func TestExploreBadParams(t *testing.T) {
+	if code, _, _ := runCLI(t, "-n", "2"); code != 2 {
+		t.Fatal("n < 3 should fail")
+	}
+	if code, _, _ := runCLI(t, "-bogus"); code != 2 {
+		t.Fatal("bad flag should return 2")
+	}
+}

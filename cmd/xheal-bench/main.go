@@ -1,0 +1,78 @@
+// Command xheal-bench regenerates the reproduction tables recorded in
+// EXPERIMENTS.md: one experiment per theorem/lemma/corollary of the paper
+// plus the motivating star-attack example and the design ablations (see
+// DESIGN.md §3 for the index).
+//
+// Usage:
+//
+//	xheal-bench -list          # show the experiment index
+//	xheal-bench -all           # run everything (E1..E12)
+//	xheal-bench -run E3,E9     # run a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/xheal/xheal/internal/harness"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xheal-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list = fs.Bool("list", false, "list experiments and exit")
+		all  = fs.Bool("all", false, "run every experiment")
+		only = fs.String("run", "", "comma-separated experiment IDs (e.g. E3,E9)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	experiments := harness.All()
+	if *list {
+		for _, e := range experiments {
+			fmt.Fprintf(stdout, "%-4s %s\n", e.ID, e.Name)
+		}
+		return 0
+	}
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			selected[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	} else if !*all {
+		fs.Usage()
+		fmt.Fprintln(stderr, "\nspecify -all, -run <ids>, or -list")
+		return 2
+	}
+
+	failures := 0
+	for _, e := range experiments {
+		if len(selected) > 0 && !selected[e.ID] {
+			continue
+		}
+		start := time.Now()
+		table, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", e.ID, err)
+			failures++
+			continue
+		}
+		table.Render(stdout)
+		fmt.Fprintf(stdout, "(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestList(t *testing.T) {
+	code, out, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, id := range []string{"E1", "E6", "E12"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("list missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestRunSubset(t *testing.T) {
+	code, out, errOut := runCLI(t, "-run", "e3, E9")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "E3 —") || !strings.Contains(out, "E9 —") {
+		t.Fatalf("subset output missing tables:\n%s", out)
+	}
+	if strings.Contains(out, "E1 —") {
+		t.Fatal("unselected experiment ran")
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Fatalf("experiment reported FAIL:\n%s", out)
+	}
+}
+
+func TestNoSelectionShowsUsage(t *testing.T) {
+	code, _, errOut := runCLI(t)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "specify -all") {
+		t.Fatalf("missing usage hint:\n%s", errOut)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if code, _, _ := runCLI(t, "-bogus"); code != 2 {
+		t.Fatal("bad flag should return 2")
+	}
+}

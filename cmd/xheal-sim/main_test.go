@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunStarMaxDegree(t *testing.T) {
+	code, out, errOut := runCLI(t, "-workload", "star", "-n", "12",
+		"-adversary", "maxdeg", "-steps", "4", "-v")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "invariants: ok") {
+		t.Fatalf("missing invariants line:\n%s", out)
+	}
+	if !strings.Contains(out, "step   1: delete") {
+		t.Fatalf("missing event trace:\n%s", out)
+	}
+}
+
+func TestRunBaselineHealer(t *testing.T) {
+	code, out, errOut := runCLI(t, "-workload", "star", "-n", "10",
+		"-healer", "forgiving-tree", "-adversary", "sequential", "-steps", "3")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "after 3 events") {
+		t.Fatalf("missing summary:\n%s", out)
+	}
+}
+
+func TestRunDistributed(t *testing.T) {
+	code, out, errOut := runCLI(t, "-workload", "regular", "-n", "24",
+		"-adversary", "churn", "-steps", "10", "-distributed", "-v")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "local views: consistent with healed graph") {
+		t.Fatalf("missing validation line:\n%s", out)
+	}
+	if !strings.Contains(out, "protocol:") {
+		t.Fatalf("missing protocol cost line:\n%s", out)
+	}
+}
+
+func TestRecordReplayAndDot(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "run.json")
+	dotPath := filepath.Join(dir, "out.dot")
+
+	code, out, errOut := runCLI(t, "-workload", "star", "-n", "10",
+		"-adversary", "maxdeg", "-steps", "3",
+		"-record", tracePath, "-dot", dotPath)
+	if code != 0 {
+		t.Fatalf("record run exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "trace recorded") || !strings.Contains(out, "healed graph written") {
+		t.Fatalf("missing record/dot confirmations:\n%s", out)
+	}
+
+	code, out, errOut = runCLI(t, "-replay", tracePath, "-healer", "cycle")
+	if code != 0 {
+		t.Fatalf("replay exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "replaying") {
+		t.Fatalf("missing replay banner:\n%s", out)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if code, _, _ := runCLI(t, "-adversary", "nuke"); code == 0 {
+		t.Fatal("unknown adversary should fail")
+	}
+	if code, _, _ := runCLI(t, "-workload", "nope"); code == 0 {
+		t.Fatal("unknown workload should fail")
+	}
+	if code, _, _ := runCLI(t, "-healer", "nope", "-steps", "1"); code == 0 {
+		t.Fatal("unknown healer should fail")
+	}
+	if code, _, _ := runCLI(t, "-notaflag"); code != 2 {
+		t.Fatal("bad flag should return usage error")
+	}
+	if code, _, _ := runCLI(t, "-replay", "/does/not/exist.json"); code == 0 {
+		t.Fatal("missing replay file should fail")
+	}
+}

@@ -1,0 +1,78 @@
+// Route repair: the paper's conclusion asks whether damaged routes can be
+// efficiently replaced after deletions. This example pins end-to-end routes
+// across an overlay, lets the adversary delete nodes on those routes, and
+// shows the routes being spliced locally through the expander clouds Xheal
+// installs — most hops of each damaged route are reused.
+//
+// Run with: go run ./examples/route-repair
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/xheal/xheal"
+)
+
+func main() {
+	const n = 64
+	g, err := xheal.RandomRegularGraph(n, 2, 77) // 4-regular overlay
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := xheal.NewNetwork(g, xheal.WithKappa(4), xheal.WithSeed(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pin six long-haul routes between fixed endpoints.
+	table := xheal.NewRouteTable()
+	pairs := [][2]xheal.NodeID{{0, 32}, {1, 40}, {2, 50}, {3, 60}, {4, 33}, {5, 47}}
+	protected := map[xheal.NodeID]bool{}
+	for _, p := range pairs {
+		r, err := table.Pin(net.Graph(), p[0], p[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("pinned route %2d -> %2d (%d hops)\n", p[0], p[1], r.Len())
+		protected[p[0]] = true
+		protected[p[1]] = true
+	}
+
+	// The adversary deletes interior nodes — including route hops.
+	rng := rand.New(rand.NewSource(9))
+	deleted := 0
+	for deleted < 20 {
+		alive := net.Graph().Nodes()
+		victim := alive[rng.Intn(len(alive))]
+		if protected[victim] {
+			continue
+		}
+		if err := net.Delete(victim); err != nil {
+			log.Fatal(err)
+		}
+		table.OnDelete(net.Graph(), victim)
+		deleted++
+	}
+
+	stats := table.Stats()
+	fmt.Printf("\nafter %d deletions: %d routes alive, %d lost\n",
+		deleted, table.Routes(), stats.Lost)
+	fmt.Printf("route repairs: %d (full rebuilds: %d)\n", stats.Repairs, stats.Rebuilt)
+	if stats.HopsTotal > 0 {
+		fmt.Printf("repair locality: %.0f%% of hops reused from damaged routes\n",
+			100*float64(stats.HopsReused)/float64(stats.HopsTotal))
+	}
+	for _, p := range pairs {
+		r, err := table.Get(p[0], p[1])
+		if err != nil {
+			log.Fatalf("route %v lost: %v", p, err)
+		}
+		fmt.Printf("route %2d -> %2d now %d hops: %v\n", p[0], p[1], r.Len(), r.Hops)
+	}
+	if err := net.CheckInvariants(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nall routes survived 20 deletions through localized repair")
+}

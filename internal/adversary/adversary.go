@@ -1,0 +1,336 @@
+// Package adversary implements the attack strategies of the paper's model
+// (§2): an omniscient adversary that sees the current topology and, once per
+// timestep, deletes an arbitrary node or inserts a node with arbitrary
+// connections. Per the model, the adversary is oblivious to the healing
+// algorithm's private randomness — strategies receive only a read-only
+// topology view.
+package adversary
+
+import (
+	"math/rand"
+	"sort"
+
+	"github.com/xheal/xheal/internal/graph"
+)
+
+// EventKind distinguishes insertions from deletions.
+type EventKind int
+
+// Event kinds.
+const (
+	// Insert adds Node with black edges to Neighbors.
+	Insert EventKind = iota + 1
+	// Delete removes Node and its incident edges.
+	Delete
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case Insert:
+		return "insert"
+	case Delete:
+		return "delete"
+	}
+	return "unknown"
+}
+
+// Event is one adversarial action.
+type Event struct {
+	Kind      EventKind
+	Node      graph.NodeID
+	Neighbors []graph.NodeID // insertion attachments; nil for deletions
+}
+
+// Adversary produces the next attack given the current healed topology.
+// Returning ok=false ends the attack sequence.
+type Adversary interface {
+	Next(view *graph.Graph) (ev Event, ok bool)
+}
+
+// idAllocator hands out fresh node IDs above any initial ID, so inserted
+// nodes never collide with existing or deleted ones.
+type idAllocator struct{ next graph.NodeID }
+
+func newIDAllocator() *idAllocator { return &idAllocator{next: 1 << 20} }
+
+func (a *idAllocator) alloc() graph.NodeID {
+	id := a.next
+	a.next++
+	return id
+}
+
+// RandomChurn deletes a uniformly random node with probability DeleteBias,
+// otherwise inserts a node attached to 1..MaxAttach random nodes. It stops
+// after Steps events or when the graph would drop below MinNodes.
+type RandomChurn struct {
+	Steps      int
+	DeleteBias float64
+	MaxAttach  int
+	MinNodes   int
+
+	rng  *rand.Rand
+	ids  *idAllocator
+	done int
+}
+
+var _ Adversary = (*RandomChurn)(nil)
+
+// NewRandomChurn returns a churn adversary with the given intensity.
+func NewRandomChurn(steps int, deleteBias float64, maxAttach int, seed int64) *RandomChurn {
+	return &RandomChurn{
+		Steps:      steps,
+		DeleteBias: deleteBias,
+		MaxAttach:  maxAttach,
+		MinNodes:   4,
+		rng:        rand.New(rand.NewSource(seed)),
+		ids:        newIDAllocator(),
+	}
+}
+
+// Next implements Adversary.
+func (a *RandomChurn) Next(view *graph.Graph) (Event, bool) {
+	if a.done >= a.Steps {
+		return Event{}, false
+	}
+	a.done++
+	nodes := view.Nodes()
+	if len(nodes) > a.MinNodes && a.rng.Float64() < a.DeleteBias {
+		return Event{Kind: Delete, Node: nodes[a.rng.Intn(len(nodes))]}, true
+	}
+	k := 1 + a.rng.Intn(a.MaxAttach)
+	if k > len(nodes) {
+		k = len(nodes)
+	}
+	perm := a.rng.Perm(len(nodes))[:k]
+	nbrs := make([]graph.NodeID, 0, k)
+	for _, i := range perm {
+		nbrs = append(nbrs, nodes[i])
+	}
+	return Event{Kind: Insert, Node: a.ids.alloc(), Neighbors: nbrs}, true
+}
+
+// MaxDegree always deletes a node of maximum degree — the attack that
+// devastates tree-shaped repairs (the paper's star example generalized).
+type MaxDegree struct {
+	Steps    int
+	MinNodes int
+	done     int
+}
+
+var _ Adversary = (*MaxDegree)(nil)
+
+// NewMaxDegree returns a max-degree-targeting deleter.
+func NewMaxDegree(steps int) *MaxDegree {
+	return &MaxDegree{Steps: steps, MinNodes: 3}
+}
+
+// Next implements Adversary.
+func (a *MaxDegree) Next(view *graph.Graph) (Event, bool) {
+	if a.done >= a.Steps || view.NumNodes() <= a.MinNodes {
+		return Event{}, false
+	}
+	a.done++
+	var victim graph.NodeID
+	best := -1
+	for _, n := range view.Nodes() {
+		if d := view.Degree(n); d > best {
+			best = d
+			victim = n
+		}
+	}
+	return Event{Kind: Delete, Node: victim}, true
+}
+
+// Sequential deletes nodes in ascending ID order (the original nodes first),
+// modeling a sweep that dismantles the initial topology.
+type Sequential struct {
+	Steps    int
+	MinNodes int
+	done     int
+}
+
+var _ Adversary = (*Sequential)(nil)
+
+// NewSequential returns a sequential deleter.
+func NewSequential(steps int) *Sequential {
+	return &Sequential{Steps: steps, MinNodes: 3}
+}
+
+// Next implements Adversary.
+func (a *Sequential) Next(view *graph.Graph) (Event, bool) {
+	if a.done >= a.Steps || view.NumNodes() <= a.MinNodes {
+		return Event{}, false
+	}
+	a.done++
+	nodes := view.Nodes()
+	return Event{Kind: Delete, Node: nodes[0]}, true
+}
+
+// PathDismantler targets the interior of a diameter path, the worst case for
+// the stretch guarantee (Theorem 2.2): each deletion forces detours.
+type PathDismantler struct {
+	Steps    int
+	MinNodes int
+	done     int
+}
+
+var _ Adversary = (*PathDismantler)(nil)
+
+// NewPathDismantler returns a stretch-targeting deleter.
+func NewPathDismantler(steps int) *PathDismantler {
+	return &PathDismantler{Steps: steps, MinNodes: 4}
+}
+
+// Next implements Adversary.
+func (a *PathDismantler) Next(view *graph.Graph) (Event, bool) {
+	if a.done >= a.Steps || view.NumNodes() <= a.MinNodes {
+		return Event{}, false
+	}
+	a.done++
+	// Double-BFS heuristic for a near-diameter path, then hit its middle.
+	nodes := view.Nodes()
+	far := farthestFrom(view, nodes[0])
+	path := view.ShortestPath(far, farthestFrom(view, far))
+	if len(path) < 3 {
+		// No interior: fall back to any non-endpoint node.
+		return Event{Kind: Delete, Node: nodes[len(nodes)/2]}, true
+	}
+	return Event{Kind: Delete, Node: path[len(path)/2]}, true
+}
+
+func farthestFrom(g *graph.Graph, src graph.NodeID) graph.NodeID {
+	dist := g.BFSFrom(src)
+	far := src
+	best := -1
+	// Deterministic scan order for reproducibility.
+	keys := make([]graph.NodeID, 0, len(dist))
+	for n := range dist {
+		keys = append(keys, n)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, n := range keys {
+		if dist[n] > best {
+			best = dist[n]
+			far = n
+		}
+	}
+	return far
+}
+
+// InsertBurst only inserts, attaching preferentially to high-degree nodes
+// (growing hubs) — the workload for degree/stretch bookkeeping under pure
+// growth (insertions cost the healer nothing, per the paper).
+type InsertBurst struct {
+	Steps  int
+	Attach int
+
+	rng  *rand.Rand
+	ids  *idAllocator
+	done int
+}
+
+var _ Adversary = (*InsertBurst)(nil)
+
+// NewInsertBurst returns a pure-insertion adversary.
+func NewInsertBurst(steps, attach int, seed int64) *InsertBurst {
+	return &InsertBurst{
+		Steps:  steps,
+		Attach: attach,
+		rng:    rand.New(rand.NewSource(seed)),
+		ids:    newIDAllocator(),
+	}
+}
+
+// Next implements Adversary.
+func (a *InsertBurst) Next(view *graph.Graph) (Event, bool) {
+	if a.done >= a.Steps {
+		return Event{}, false
+	}
+	a.done++
+	nodes := view.Nodes()
+	// Degree-proportional sampling without replacement.
+	total := 0
+	for _, n := range nodes {
+		total += view.Degree(n) + 1
+	}
+	chosen := make(map[graph.NodeID]struct{})
+	want := a.Attach
+	if want > len(nodes) {
+		want = len(nodes)
+	}
+	for len(chosen) < want {
+		r := a.rng.Intn(total)
+		for _, n := range nodes {
+			r -= view.Degree(n) + 1
+			if r < 0 {
+				chosen[n] = struct{}{}
+				break
+			}
+		}
+	}
+	nbrs := make([]graph.NodeID, 0, len(chosen))
+	for n := range chosen {
+		nbrs = append(nbrs, n)
+	}
+	sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+	return Event{Kind: Insert, Node: a.ids.alloc(), Neighbors: nbrs}, true
+}
+
+// Scripted replays a fixed list of events; used by tests and by the
+// distributed-vs-sequential equivalence checks.
+type Scripted struct {
+	Events []Event
+	pos    int
+}
+
+var _ Adversary = (*Scripted)(nil)
+
+// Next implements Adversary.
+func (a *Scripted) Next(_ *graph.Graph) (Event, bool) {
+	if a.pos >= len(a.Events) {
+		return Event{}, false
+	}
+	ev := a.Events[a.pos]
+	a.pos++
+	return ev, true
+}
+
+// CutVertex deletes articulation points first — the single most damaging
+// deletion available to the adversary (without healing, each one
+// disconnects the network) — falling back to the maximum-degree node when
+// the healed graph is biconnected. A healer that survives this attack
+// demonstrates the connectivity guarantee meaningfully.
+type CutVertex struct {
+	Steps    int
+	MinNodes int
+	done     int
+}
+
+var _ Adversary = (*CutVertex)(nil)
+
+// NewCutVertex returns an articulation-point-targeting deleter.
+func NewCutVertex(steps int) *CutVertex {
+	return &CutVertex{Steps: steps, MinNodes: 3}
+}
+
+// Next implements Adversary.
+func (a *CutVertex) Next(view *graph.Graph) (Event, bool) {
+	if a.done >= a.Steps || view.NumNodes() <= a.MinNodes {
+		return Event{}, false
+	}
+	a.done++
+	if cuts := view.ArticulationPoints(); len(cuts) > 0 {
+		// Deterministic: the smallest cut vertex.
+		return Event{Kind: Delete, Node: cuts[0]}, true
+	}
+	var victim graph.NodeID
+	best := -1
+	for _, n := range view.Nodes() {
+		if d := view.Degree(n); d > best {
+			best = d
+			victim = n
+		}
+	}
+	return Event{Kind: Delete, Node: victim}, true
+}

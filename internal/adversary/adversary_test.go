@@ -1,0 +1,206 @@
+package adversary
+
+import (
+	"testing"
+
+	"github.com/xheal/xheal/internal/graph"
+)
+
+func testGraph(n int) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.EnsureEdge(graph.NodeID(i), graph.NodeID((i+1)%n))
+	}
+	return g
+}
+
+func TestRandomChurnRespectsBounds(t *testing.T) {
+	g := testGraph(10)
+	adv := NewRandomChurn(50, 0.5, 3, 1)
+	steps := 0
+	for {
+		ev, ok := adv.Next(g)
+		if !ok {
+			break
+		}
+		steps++
+		switch ev.Kind {
+		case Delete:
+			if !g.HasNode(ev.Node) {
+				t.Fatalf("delete target %d not in view", ev.Node)
+			}
+		case Insert:
+			if len(ev.Neighbors) == 0 || len(ev.Neighbors) > 3 {
+				t.Fatalf("insert attaches %d nodes, want 1..3", len(ev.Neighbors))
+			}
+			for _, w := range ev.Neighbors {
+				if !g.HasNode(w) {
+					t.Fatalf("insert neighbor %d not in view", w)
+				}
+			}
+			if g.HasNode(ev.Node) {
+				t.Fatalf("insert reuses id %d", ev.Node)
+			}
+		default:
+			t.Fatalf("unknown kind %v", ev.Kind)
+		}
+		// Note: the view is static here; we only validate event well-formedness.
+	}
+	if steps != 50 {
+		t.Fatalf("steps = %d, want 50", steps)
+	}
+}
+
+func TestRandomChurnStopsDeletingAtMinNodes(t *testing.T) {
+	g := testGraph(4) // == MinNodes default
+	adv := NewRandomChurn(20, 1.0, 2, 2)
+	for {
+		ev, ok := adv.Next(g)
+		if !ok {
+			break
+		}
+		if ev.Kind == Delete {
+			t.Fatal("deleted below MinNodes")
+		}
+	}
+}
+
+func TestMaxDegreeTargetsHub(t *testing.T) {
+	g := graph.New()
+	g.EnsureEdge(0, 1)
+	g.EnsureEdge(0, 2)
+	g.EnsureEdge(0, 3)
+	g.EnsureEdge(3, 4)
+	adv := NewMaxDegree(1)
+	ev, ok := adv.Next(g)
+	if !ok || ev.Kind != Delete || ev.Node != 0 {
+		t.Fatalf("event = %+v ok=%v, want delete node 0", ev, ok)
+	}
+}
+
+func TestMaxDegreeStopsAtMinNodes(t *testing.T) {
+	g := testGraph(3)
+	adv := NewMaxDegree(5)
+	if _, ok := adv.Next(g); ok {
+		t.Fatal("should not attack a 3-node graph")
+	}
+}
+
+func TestSequentialOrder(t *testing.T) {
+	g := testGraph(6)
+	adv := NewSequential(2)
+	ev1, ok := adv.Next(g)
+	if !ok || ev1.Node != 0 {
+		t.Fatalf("first delete = %+v, want node 0", ev1)
+	}
+	if removed, err := g.RemoveNode(0); err != nil || len(removed) == 0 {
+		t.Fatalf("RemoveNode: %v", err)
+	}
+	ev2, ok := adv.Next(g)
+	if !ok || ev2.Node != 1 {
+		t.Fatalf("second delete = %+v, want node 1", ev2)
+	}
+}
+
+func TestPathDismantlerHitsInterior(t *testing.T) {
+	// Path 0-1-2-3-4: the dismantler must delete an interior node.
+	g := graph.New()
+	for i := 0; i+1 < 5; i++ {
+		g.EnsureEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	adv := NewPathDismantler(1)
+	ev, ok := adv.Next(g)
+	if !ok || ev.Kind != Delete {
+		t.Fatalf("event = %+v ok=%v", ev, ok)
+	}
+	if ev.Node == 0 || ev.Node == 4 {
+		t.Fatalf("dismantler deleted endpoint %d", ev.Node)
+	}
+}
+
+func TestInsertBurstGrowsOnly(t *testing.T) {
+	g := testGraph(5)
+	adv := NewInsertBurst(10, 2, 3)
+	count := 0
+	for {
+		ev, ok := adv.Next(g)
+		if !ok {
+			break
+		}
+		count++
+		if ev.Kind != Insert {
+			t.Fatalf("burst produced %v", ev.Kind)
+		}
+		if len(ev.Neighbors) != 2 {
+			t.Fatalf("attach = %d, want 2", len(ev.Neighbors))
+		}
+	}
+	if count != 10 {
+		t.Fatalf("events = %d, want 10", count)
+	}
+}
+
+func TestScriptedReplay(t *testing.T) {
+	events := []Event{
+		{Kind: Delete, Node: 3},
+		{Kind: Insert, Node: 100, Neighbors: []graph.NodeID{1}},
+	}
+	adv := &Scripted{Events: events}
+	g := testGraph(5)
+	for i, want := range events {
+		ev, ok := adv.Next(g)
+		if !ok {
+			t.Fatalf("event %d missing", i)
+		}
+		if ev.Kind != want.Kind || ev.Node != want.Node {
+			t.Fatalf("event %d = %+v, want %+v", i, ev, want)
+		}
+	}
+	if _, ok := adv.Next(g); ok {
+		t.Fatal("script should be exhausted")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if Insert.String() != "insert" || Delete.String() != "delete" {
+		t.Fatal("EventKind strings wrong")
+	}
+	if EventKind(0).String() != "unknown" {
+		t.Fatal("zero EventKind should be unknown")
+	}
+}
+
+func TestCutVertexTargetsArticulationPoint(t *testing.T) {
+	// Path 0-1-2-3-4: node 1 is the smallest articulation point.
+	g := graph.New()
+	for i := 0; i+1 < 5; i++ {
+		g.EnsureEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	adv := NewCutVertex(1)
+	ev, ok := adv.Next(g)
+	if !ok || ev.Kind != Delete || ev.Node != 1 {
+		t.Fatalf("event = %+v ok=%v, want delete node 1", ev, ok)
+	}
+}
+
+func TestCutVertexFallsBackToMaxDegree(t *testing.T) {
+	// A cycle has no articulation points; the fallback targets max degree.
+	g := testGraph(6)
+	g.EnsureEdge(0, 2) // node 0 and 2 now degree 3
+	adv := NewCutVertex(1)
+	ev, ok := adv.Next(g)
+	if !ok || ev.Kind != Delete {
+		t.Fatalf("event = %+v ok=%v", ev, ok)
+	}
+	if g.Degree(ev.Node) != g.MaxDegree() {
+		t.Fatalf("fallback chose degree-%d node, max is %d", g.Degree(ev.Node), g.MaxDegree())
+	}
+}
+
+func TestCutVertexStops(t *testing.T) {
+	g := testGraph(3)
+	adv := NewCutVertex(5)
+	if _, ok := adv.Next(g); ok {
+		t.Fatal("should not attack a 3-node graph")
+	}
+}

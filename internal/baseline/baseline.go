@@ -1,0 +1,229 @@
+// Package baseline implements the repair algorithms Xheal is compared
+// against: style-faithful reimplementations of the tree repairs of Forgiving
+// Tree (Hayes et al., PODC 2008) and Forgiving Graph (Hayes/Saia/Trehan,
+// PODC 2009) — the related work the paper improves on — plus naive healers
+// (cycle, star, clique, none) that bracket the degree/expansion trade-off
+// space the paper's introduction discusses.
+//
+// All healers implement the same Healer interface so the harness can drive
+// identical adversarial event streams through each and compare the healed
+// topologies.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/xheal/xheal/internal/core"
+	"github.com/xheal/xheal/internal/graph"
+)
+
+// ErrUnknownHealer is returned by New for unrecognized names.
+var ErrUnknownHealer = errors.New("baseline: unknown healer")
+
+// Healer is a self-healing algorithm driven by adversarial events. Each
+// healer owns its copy of the evolving network.
+type Healer interface {
+	// Name identifies the algorithm in tables and logs.
+	Name() string
+	// Graph returns the healer's current network. Live view; read-only.
+	Graph() *graph.Graph
+	// Insert applies an adversarial insertion (no healing required by any
+	// algorithm in this suite).
+	Insert(u graph.NodeID, nbrs []graph.NodeID) error
+	// Delete applies an adversarial deletion and heals.
+	Delete(v graph.NodeID) error
+}
+
+// Healer names accepted by New.
+const (
+	NameXheal          = "xheal"
+	NameForgivingTree  = "forgiving-tree"
+	NameForgivingGraph = "forgiving-graph"
+	NameCycle          = "cycle"
+	NameStar           = "star"
+	NameClique         = "clique"
+	NameNone           = "none"
+)
+
+// Names returns all healer names, Xheal first.
+func Names() []string {
+	return []string{
+		NameXheal, NameForgivingTree, NameForgivingGraph,
+		NameCycle, NameStar, NameClique, NameNone,
+	}
+}
+
+// New constructs the named healer over a copy of g0. kappa and seed are used
+// by Xheal and ignored by the baselines.
+func New(name string, g0 *graph.Graph, kappa int, seed int64) (Healer, error) {
+	switch name {
+	case NameXheal:
+		return NewXheal(g0, kappa, seed)
+	case NameForgivingTree:
+		return newRepairHealer(name, g0, treeRepair), nil
+	case NameForgivingGraph:
+		return newRepairHealer(name, g0, balancedTreeRepair), nil
+	case NameCycle:
+		return newRepairHealer(name, g0, cycleRepair), nil
+	case NameStar:
+		return newRepairHealer(name, g0, starRepair), nil
+	case NameClique:
+		return newRepairHealer(name, g0, cliqueRepair), nil
+	case NameNone:
+		return newRepairHealer(name, g0, func(*graph.Graph, []graph.NodeID) {}), nil
+	}
+	return nil, fmt.Errorf("%q: %w", name, ErrUnknownHealer)
+}
+
+// Xheal adapts core.State to the Healer interface.
+type Xheal struct {
+	state *core.State
+}
+
+var _ Healer = (*Xheal)(nil)
+
+// NewXheal returns the Xheal healer over a copy of g0.
+func NewXheal(g0 *graph.Graph, kappa int, seed int64) (*Xheal, error) {
+	s, err := core.NewState(core.Config{Kappa: kappa, Seed: seed}, g0)
+	if err != nil {
+		return nil, err
+	}
+	return &Xheal{state: s}, nil
+}
+
+// Name implements Healer.
+func (x *Xheal) Name() string { return NameXheal }
+
+// Graph implements Healer.
+func (x *Xheal) Graph() *graph.Graph { return x.state.Graph() }
+
+// Insert implements Healer.
+func (x *Xheal) Insert(u graph.NodeID, nbrs []graph.NodeID) error {
+	return x.state.InsertNode(u, nbrs)
+}
+
+// Delete implements Healer.
+func (x *Xheal) Delete(v graph.NodeID) error { return x.state.DeleteNode(v) }
+
+// State exposes the underlying core state for metric collection.
+func (x *Xheal) State() *core.State { return x.state }
+
+// repairFn rewires the former neighbors of a deleted node.
+type repairFn func(g *graph.Graph, nbrs []graph.NodeID)
+
+// repairHealer is a baseline healer defined by a repair function.
+type repairHealer struct {
+	name   string
+	g      *graph.Graph
+	repair repairFn
+}
+
+var _ Healer = (*repairHealer)(nil)
+
+func newRepairHealer(name string, g0 *graph.Graph, fn repairFn) *repairHealer {
+	return &repairHealer{name: name, g: g0.Clone(), repair: fn}
+}
+
+func (h *repairHealer) Name() string { return h.name }
+
+func (h *repairHealer) Graph() *graph.Graph { return h.g }
+
+func (h *repairHealer) Insert(u graph.NodeID, nbrs []graph.NodeID) error {
+	if h.g.HasNode(u) {
+		return fmt.Errorf("baseline %s: insert %d: %w", h.name, u, graph.ErrNodeExists)
+	}
+	if err := h.g.AddNode(u); err != nil {
+		return err
+	}
+	for _, w := range nbrs {
+		if err := h.g.AddEdge(u, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (h *repairHealer) Delete(v graph.NodeID) error {
+	nbrs, err := h.g.RemoveNode(v)
+	if err != nil {
+		return err
+	}
+	h.repair(h.g, nbrs)
+	return nil
+}
+
+// treeRepair is the Forgiving-Tree-style repair: the deleted node is
+// replaced by a balanced binary tree over its former neighbors (the PODC'08
+// reconstruction-tree shape, collapsed onto real nodes). Tree repairs keep
+// degrees low but destroy expansion: deleting a star center leaves a tree
+// with h = O(1/n) — exactly the weakness the Xheal paper identifies.
+func treeRepair(g *graph.Graph, nbrs []graph.NodeID) {
+	if len(nbrs) < 2 {
+		return
+	}
+	sorted := append([]graph.NodeID(nil), nbrs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i := 1; i < len(sorted); i++ {
+		g.EnsureEdge(sorted[(i-1)/2], sorted[i])
+	}
+}
+
+// balancedTreeRepair is the Forgiving-Graph-style repair: also a binary
+// tree, but positions are assigned by current degree (lowest-degree nodes
+// highest in the tree), the PODC'09 heuristic that keeps the multiplicative
+// degree increase at most 3.
+func balancedTreeRepair(g *graph.Graph, nbrs []graph.NodeID) {
+	if len(nbrs) < 2 {
+		return
+	}
+	sorted := append([]graph.NodeID(nil), nbrs...)
+	sort.Slice(sorted, func(i, j int) bool {
+		di, dj := g.Degree(sorted[i]), g.Degree(sorted[j])
+		if di != dj {
+			return di < dj
+		}
+		return sorted[i] < sorted[j]
+	})
+	for i := 1; i < len(sorted); i++ {
+		g.EnsureEdge(sorted[(i-1)/2], sorted[i])
+	}
+}
+
+// cycleRepair joins the former neighbors in a cycle: minimum degree increase
+// (+2), maximum diameter damage.
+func cycleRepair(g *graph.Graph, nbrs []graph.NodeID) {
+	if len(nbrs) < 2 {
+		return
+	}
+	sorted := append([]graph.NodeID(nil), nbrs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i := 0; i < len(sorted); i++ {
+		g.EnsureEdge(sorted[i], sorted[(i+1)%len(sorted)])
+	}
+}
+
+// starRepair attaches every former neighbor to the smallest-ID one:
+// minimum distance damage, worst-case degree increase.
+func starRepair(g *graph.Graph, nbrs []graph.NodeID) {
+	if len(nbrs) < 2 {
+		return
+	}
+	sorted := append([]graph.NodeID(nil), nbrs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	hub := sorted[0]
+	for _, w := range sorted[1:] {
+		g.EnsureEdge(hub, w)
+	}
+}
+
+// cliqueRepair joins all pairs of former neighbors: the expansion-optimal,
+// degree-profligate extreme.
+func cliqueRepair(g *graph.Graph, nbrs []graph.NodeID) {
+	for i := 0; i < len(nbrs); i++ {
+		for j := i + 1; j < len(nbrs); j++ {
+			g.EnsureEdge(nbrs[i], nbrs[j])
+		}
+	}
+}

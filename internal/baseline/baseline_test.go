@@ -1,0 +1,230 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/xheal/xheal/internal/cuts"
+	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/workload"
+)
+
+func mustStar(t *testing.T, leaves int) *graph.Graph {
+	t.Helper()
+	g, err := workload.Star(leaves)
+	if err != nil {
+		t.Fatalf("Star: %v", err)
+	}
+	return g
+}
+
+func TestNewAllNames(t *testing.T) {
+	g := mustStar(t, 6)
+	for _, name := range Names() {
+		h, err := New(name, g, 4, 1)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if h.Name() != name {
+			t.Fatalf("Name = %q, want %q", h.Name(), name)
+		}
+		if h.Graph().NumNodes() != g.NumNodes() {
+			t.Fatalf("%q: graph not initialized", name)
+		}
+	}
+	if _, err := New("bogus", g, 4, 1); !errors.Is(err, ErrUnknownHealer) {
+		t.Fatalf("unknown healer error = %v", err)
+	}
+}
+
+func TestHealersOwnTheirGraphs(t *testing.T) {
+	g := mustStar(t, 5)
+	h, err := New(NameCycle, g, 4, 1)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := h.Delete(0); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if !g.HasNode(0) {
+		t.Fatal("healer mutated the caller's graph")
+	}
+}
+
+func TestTreeRepairShape(t *testing.T) {
+	g := mustStar(t, 7)
+	h, err := New(NameForgivingTree, g, 4, 1)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := h.Delete(0); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	healed := h.Graph()
+	if !healed.IsConnected() {
+		t.Fatal("tree repair disconnected the leaves")
+	}
+	// A tree over 7 nodes has exactly 6 edges.
+	if healed.NumEdges() != 6 {
+		t.Fatalf("edges = %d, want 6 (tree)", healed.NumEdges())
+	}
+	if healed.MaxDegree() > 3 {
+		t.Fatalf("binary tree max degree = %d, want <= 3", healed.MaxDegree())
+	}
+}
+
+func TestForgivingGraphPrefersLowDegree(t *testing.T) {
+	// Node 1 is pre-loaded with extra edges; the FG repair should place it
+	// low in the tree (fewer new edges) than a low-degree node.
+	g := mustStar(t, 5)
+	g.EnsureEdge(1, 2)
+	g.EnsureEdge(1, 3)
+	g.EnsureEdge(1, 4)
+	h, err := New(NameForgivingGraph, g, 4, 1)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := h.Delete(0); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if !h.Graph().IsConnected() {
+		t.Fatal("FG repair disconnected")
+	}
+}
+
+func TestCycleRepairDegrees(t *testing.T) {
+	g := mustStar(t, 6)
+	h, err := New(NameCycle, g, 4, 1)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := h.Delete(0); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	healed := h.Graph()
+	for _, n := range healed.Nodes() {
+		if healed.Degree(n) != 2 {
+			t.Fatalf("cycle repair degree of %d = %d, want 2", n, healed.Degree(n))
+		}
+	}
+}
+
+func TestStarRepairHub(t *testing.T) {
+	g := mustStar(t, 6)
+	h, err := New(NameStar, g, 4, 1)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := h.Delete(0); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	healed := h.Graph()
+	if healed.Degree(1) != 5 {
+		t.Fatalf("hub degree = %d, want 5", healed.Degree(1))
+	}
+	d, err := healed.Diameter()
+	if err != nil {
+		t.Fatalf("Diameter: %v", err)
+	}
+	if d != 2 {
+		t.Fatalf("star repair diameter = %d, want 2", d)
+	}
+}
+
+func TestCliqueRepairExpansion(t *testing.T) {
+	g := mustStar(t, 8)
+	h, err := New(NameClique, g, 4, 1)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := h.Delete(0); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	healed := h.Graph()
+	if healed.NumEdges() != 8*7/2 {
+		t.Fatalf("edges = %d, want %d", healed.NumEdges(), 8*7/2)
+	}
+}
+
+func TestNoneHealerDisconnects(t *testing.T) {
+	g := mustStar(t, 5)
+	h, err := New(NameNone, g, 4, 1)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := h.Delete(0); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if h.Graph().IsConnected() {
+		t.Fatal("none healer should not repair the star")
+	}
+}
+
+// The paper's headline comparison: after deleting a star center, tree
+// repairs give expansion O(1/n) while Xheal keeps it constant.
+func TestStarAttackXhealVsTree(t *testing.T) {
+	leaves := 16
+	g := mustStar(t, leaves)
+
+	tree, err := New(NameForgivingTree, g, 4, 1)
+	if err != nil {
+		t.Fatalf("New tree: %v", err)
+	}
+	xh, err := New(NameXheal, g, 4, 1)
+	if err != nil {
+		t.Fatalf("New xheal: %v", err)
+	}
+	for _, h := range []Healer{tree, xh} {
+		if err := h.Delete(0); err != nil {
+			t.Fatalf("%s delete: %v", h.Name(), err)
+		}
+	}
+	hTree, err := cuts.EdgeExpansion(tree.Graph())
+	if err != nil {
+		t.Fatalf("tree expansion: %v", err)
+	}
+	hX, err := cuts.EdgeExpansion(xh.Graph())
+	if err != nil {
+		t.Fatalf("xheal expansion: %v", err)
+	}
+	if hX <= 2*hTree {
+		t.Fatalf("xheal h=%v not clearly better than tree h=%v", hX, hTree)
+	}
+	if hX < 0.5 {
+		t.Fatalf("xheal h=%v, want constant >= 0.5", hX)
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	g := mustStar(t, 4)
+	h, err := New(NameCycle, g, 4, 1)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := h.Insert(0, nil); err == nil {
+		t.Fatal("inserting an existing node should fail")
+	}
+	if err := h.Insert(100, []graph.NodeID{1, 2}); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if !h.Graph().HasEdge(100, 1) {
+		t.Fatal("insert edge missing")
+	}
+}
+
+func TestXhealStateAccess(t *testing.T) {
+	g := mustStar(t, 4)
+	xh, err := NewXheal(g, 4, 1)
+	if err != nil {
+		t.Fatalf("NewXheal: %v", err)
+	}
+	if xh.State() == nil {
+		t.Fatal("State() returned nil")
+	}
+	if err := xh.Delete(0); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := xh.State().CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}

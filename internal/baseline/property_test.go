@@ -1,0 +1,133 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/workload"
+)
+
+// TestPropertyAllRepairingHealersKeepConnectivity: every healer except
+// "none" must keep the network connected under pure-deletion attacks on a
+// connected start (each repair reconnects the deleted node's neighbors).
+func TestPropertyAllRepairingHealersKeepConnectivity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var g0 *graph.Graph
+		var err error
+		switch rng.Intn(3) {
+		case 0:
+			g0, err = workload.Star(5 + rng.Intn(10))
+		case 1:
+			g0, err = workload.Cycle(5 + rng.Intn(10))
+		default:
+			g0, err = workload.Complete(5 + rng.Intn(6))
+		}
+		if err != nil {
+			return false
+		}
+		for _, name := range Names() {
+			if name == NameNone {
+				continue
+			}
+			h, err := New(name, g0, 4, seed)
+			if err != nil {
+				return false
+			}
+			local := rand.New(rand.NewSource(seed ^ 0xbeef))
+			for step := 0; step < 6; step++ {
+				nodes := h.Graph().Nodes()
+				if len(nodes) <= 3 {
+					break
+				}
+				if h.Delete(nodes[local.Intn(len(nodes))]) != nil {
+					return false
+				}
+				if !h.Graph().IsConnected() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyTreeRepairDegreeBound: the Forgiving-Tree-style repair adds at
+// most 3 tree edges per node per repair (binary tree positions), so a
+// single repair increases any degree by at most 3.
+func TestPropertyTreeRepairDegreeBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		leaves := 4 + rng.Intn(14)
+		g0, err := workload.Star(leaves)
+		if err != nil {
+			return false
+		}
+		h, err := New(NameForgivingTree, g0, 4, seed)
+		if err != nil {
+			return false
+		}
+		before := make(map[graph.NodeID]int, leaves)
+		for _, n := range h.Graph().Nodes() {
+			before[n] = h.Graph().Degree(n)
+		}
+		if h.Delete(0) != nil {
+			return false
+		}
+		for _, n := range h.Graph().Nodes() {
+			if h.Graph().Degree(n) > before[n]+3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyCycleRepairDegreeBound: the cycle repair adds at most 2 edges
+// per neighbor per repair.
+func TestPropertyCycleRepairDegreeBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		leaves := 4 + rng.Intn(14)
+		g0, err := workload.Star(leaves)
+		if err != nil {
+			return false
+		}
+		h, err := New(NameCycle, g0, 4, seed)
+		if err != nil {
+			return false
+		}
+		if h.Delete(0) != nil {
+			return false
+		}
+		return h.Graph().MaxDegree() <= 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHealersRejectBadDeletes covers the error path uniformly.
+func TestHealersRejectBadDeletes(t *testing.T) {
+	g0, err := workload.Star(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Names() {
+		h, err := New(name, g0, 4, 1)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if err := h.Delete(999); err == nil {
+			t.Fatalf("%s: deleting a missing node should fail", name)
+		}
+	}
+}

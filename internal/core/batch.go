@@ -1,0 +1,93 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/xheal/xheal/internal/graph"
+)
+
+// The paper's model admits one attack per timestep but notes "Our algorithm
+// can be extended to handle multiple insertions/deletions." This file is
+// that extension: a Batch applies a set of insertions and deletions as one
+// timestep. Following the proof of Lemma 2 (insertions commute with healing
+// and can be reordered before deletions without changing either G or G′),
+// insertions are applied first; deletions are then healed one at a time,
+// which is equivalent to the adversary presenting them back-to-back.
+
+// BatchInsertion is one node joining within a batch.
+type BatchInsertion struct {
+	Node      graph.NodeID
+	Neighbors []graph.NodeID
+}
+
+// Batch is one multi-event timestep.
+type Batch struct {
+	Insertions []BatchInsertion
+	Deletions  []graph.NodeID
+}
+
+// ErrBatchConflict is returned when a batch is internally inconsistent
+// (duplicate targets, deleting a node inserted in the same batch, or an
+// insertion attaching to a node deleted in the same batch).
+var ErrBatchConflict = errors.New("core: conflicting batch")
+
+// Validate checks the batch's internal consistency against the state.
+func (s *State) validateBatch(b Batch) error {
+	inserted := make(map[graph.NodeID]struct{}, len(b.Insertions))
+	for _, ins := range b.Insertions {
+		if _, dup := inserted[ins.Node]; dup {
+			return fmt.Errorf("node %d inserted twice: %w", ins.Node, ErrBatchConflict)
+		}
+		inserted[ins.Node] = struct{}{}
+	}
+	deleted := make(map[graph.NodeID]struct{}, len(b.Deletions))
+	for _, d := range b.Deletions {
+		if _, dup := deleted[d]; dup {
+			return fmt.Errorf("node %d deleted twice: %w", d, ErrBatchConflict)
+		}
+		deleted[d] = struct{}{}
+		if _, ok := inserted[d]; ok {
+			return fmt.Errorf("node %d inserted and deleted in one batch: %w", d, ErrBatchConflict)
+		}
+		if !s.g.HasNode(d) {
+			return fmt.Errorf("delete %d: %w", d, ErrNodeMissing)
+		}
+	}
+	for _, ins := range b.Insertions {
+		for _, w := range ins.Neighbors {
+			if _, gone := deleted[w]; gone {
+				return fmt.Errorf("insertion %d attaches to node %d deleted in the same batch: %w",
+					ins.Node, w, ErrBatchConflict)
+			}
+			_, alsoNew := inserted[w]
+			if !s.g.HasNode(w) && !alsoNew {
+				return fmt.Errorf("insertion %d attaches to unknown node %d: %w",
+					ins.Node, w, ErrBadNeighbor)
+			}
+		}
+	}
+	return nil
+}
+
+// ApplyBatch applies a multi-event timestep: all insertions (in order; an
+// insertion may attach to nodes inserted earlier in the same batch), then
+// all deletions, healing after each. The batch is validated up front and
+// rejected wholesale on conflict, so a failed ApplyBatch leaves the state
+// unchanged.
+func (s *State) ApplyBatch(b Batch) error {
+	if err := s.validateBatch(b); err != nil {
+		return err
+	}
+	for _, ins := range b.Insertions {
+		if err := s.InsertNode(ins.Node, ins.Neighbors); err != nil {
+			return fmt.Errorf("batch insertion %d: %w", ins.Node, err)
+		}
+	}
+	for _, d := range b.Deletions {
+		if err := s.DeleteNode(d); err != nil {
+			return fmt.Errorf("batch deletion %d: %w", d, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/xheal/xheal/internal/graph"
+)
+
+// These tests pin the claim-layer semantics documented in DESIGN.md §2
+// item 2: every physical edge is black xor cloud-colored, a cloud claim
+// absorbs the black claim (the paper's re-coloring), two clouds may share
+// one physical edge, and an edge disappears only when its last claim is
+// released.
+
+// findCloudEdge returns some edge claimed by the given cloud.
+func findCloudEdge(t *testing.T, s *State, id ColorID) graph.Edge {
+	t.Helper()
+	for _, e := range s.Graph().Edges() {
+		colors, ok := s.EdgeColors(e.U, e.V)
+		if !ok {
+			continue
+		}
+		for _, c := range colors {
+			if c == id {
+				return e
+			}
+		}
+	}
+	t.Fatalf("no edge claimed by cloud %d", id)
+	return graph.Edge{}
+}
+
+func TestClaimAbsorbsBlackThenReleases(t *testing.T) {
+	// Star with a chord between two leaves: the Case 1 clique recolors the
+	// chord. Subsequent deletions shrink the cloud; when the cloud stops
+	// claiming the chord, the edge must vanish even though it was originally
+	// adversarial (paper re-coloring semantics).
+	g := star(4)
+	g.EnsureEdge(1, 2)
+	s := mustState(t, Config{Kappa: 6, Seed: 1}, g)
+	mustDelete(t, s, 0)
+
+	colors, ok := s.EdgeColors(1, 2)
+	if !ok || len(colors) != 1 {
+		t.Fatalf("chord colors = %v ok=%v, want exactly one cloud", colors, ok)
+	}
+	// Delete leaves until only 1 and 2 remain: a 2-clique cloud keeps them
+	// wired. The chord must still exist (claimed by the shrinking cloud).
+	mustDelete(t, s, 3)
+	mustDelete(t, s, 4)
+	if !s.Graph().HasEdge(1, 2) {
+		t.Fatal("cloud edge between last two members vanished")
+	}
+}
+
+func TestTwoCloudsCanShareOneEdge(t *testing.T) {
+	// Build two overlapping primary clouds: delete two star centers that
+	// share leaves. With small kappa both clouds are cliques over mostly the
+	// same nodes, so some edge ends up claimed by both.
+	g := graph.New()
+	// Centers 100 and 200 share leaves 1, 2, 3.
+	for _, leaf := range []graph.NodeID{1, 2, 3} {
+		g.EnsureEdge(100, leaf)
+		g.EnsureEdge(200, leaf)
+	}
+	s := mustState(t, Config{Kappa: 6, Seed: 3}, g)
+	mustDelete(t, s, 100) // clique over {1,2,3}
+	mustDelete(t, s, 200) // second cloud over {1,2,3} — same pairs, new color
+
+	shared := 0
+	for _, e := range s.Graph().Edges() {
+		colors, _ := s.EdgeColors(e.U, e.V)
+		if len(colors) >= 2 {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("expected at least one edge claimed by two clouds")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}
+
+func TestEdgeSurvivesWhileAnyClaimRemains(t *testing.T) {
+	// Same overlap construction; then force one cloud to restructure away.
+	g := graph.New()
+	for _, leaf := range []graph.NodeID{1, 2, 3} {
+		g.EnsureEdge(100, leaf)
+		g.EnsureEdge(200, leaf)
+	}
+	s := mustState(t, Config{Kappa: 6, Seed: 3}, g)
+	mustDelete(t, s, 100)
+	mustDelete(t, s, 200)
+
+	// Find a doubly-claimed edge, then delete a node of one cloud: the
+	// surviving claims must keep the physical edges consistent throughout
+	// (CheckInvariants inside mustDelete enforces the exact correspondence).
+	var shared graph.Edge
+	found := false
+	for _, e := range s.Graph().Edges() {
+		colors, _ := s.EdgeColors(e.U, e.V)
+		if len(colors) >= 2 {
+			shared = e
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no doubly-claimed edge in this configuration")
+	}
+	// Deleting the third leaf restructures both cliques down to the single
+	// edge {shared.U, shared.V} — still claimed by both clouds.
+	var third graph.NodeID
+	for _, n := range s.AliveNodes() {
+		if n != shared.U && n != shared.V {
+			third = n
+		}
+	}
+	mustDelete(t, s, third)
+	if !s.Graph().HasEdge(shared.U, shared.V) {
+		t.Fatal("doubly-claimed edge vanished while claims remained")
+	}
+}
+
+func TestEdgeColorsIntrospection(t *testing.T) {
+	s := mustState(t, Config{Kappa: 4, Seed: 2}, star(6))
+	if _, ok := s.EdgeColors(1, 2); ok {
+		t.Fatal("non-edge should report !ok")
+	}
+	colors, ok := s.EdgeColors(0, 1)
+	if !ok || len(colors) != 0 {
+		t.Fatalf("initial edge colors = %v ok=%v, want black", colors, ok)
+	}
+	mustDelete(t, s, 0)
+	cloudEdge := findCloudEdge(t, s, s.Clouds()[0])
+	colors, ok = s.EdgeColors(cloudEdge.U, cloudEdge.V)
+	if !ok || len(colors) != 1 || colors[0] != s.Clouds()[0] {
+		t.Fatalf("cloud edge colors = %v", colors)
+	}
+}
+
+func TestCloudAccessors(t *testing.T) {
+	s := mustState(t, Config{Kappa: 4, Seed: 2}, star(8))
+	mustDelete(t, s, 0)
+	ids := s.Clouds()
+	if len(ids) != 1 {
+		t.Fatalf("clouds = %v", ids)
+	}
+	members, kind, ok := s.CloudMembers(ids[0])
+	if !ok || kind != Primary || len(members) != 8 {
+		t.Fatalf("CloudMembers = %v %v %v", members, kind, ok)
+	}
+	if _, _, ok := s.CloudMembers(999); ok {
+		t.Fatal("missing cloud should report !ok")
+	}
+	for _, m := range members {
+		prims := s.PrimariesOf(m)
+		if len(prims) != 1 || prims[0] != ids[0] {
+			t.Fatalf("PrimariesOf(%d) = %v", m, prims)
+		}
+		if _, busy := s.SecondaryOf(m); busy {
+			t.Fatalf("node %d should be free", m)
+		}
+	}
+}
+
+func TestAlwaysCombineConfig(t *testing.T) {
+	s := mustState(t, Config{Kappa: 4, Seed: 5, AlwaysCombine: true}, star(12))
+	mustDelete(t, s, 0)
+	mustDelete(t, s, 1) // case 2.1: would make a secondary; must combine instead
+	st := s.Stats()
+	if st.SecondaryClouds != 0 {
+		t.Fatalf("AlwaysCombine made %d secondary clouds", st.SecondaryClouds)
+	}
+	if !s.Graph().IsConnected() {
+		t.Fatal("disconnected under AlwaysCombine")
+	}
+	// Heavier churn stays consistent.
+	for _, v := range []graph.NodeID{2, 3, 4} {
+		mustDelete(t, s, v)
+	}
+}
+
+func TestDisableSharingConfig(t *testing.T) {
+	s := mustState(t, Config{Kappa: 2, Seed: 7, DisableSharing: true}, star(12))
+	for _, v := range []graph.NodeID{0, 1, 2, 3, 4} {
+		mustDelete(t, s, v)
+		if !s.Graph().IsConnected() {
+			t.Fatalf("disconnected after deleting %d", v)
+		}
+	}
+	if s.Stats().Shares != 0 {
+		t.Fatalf("sharing occurred despite DisableSharing: %d", s.Stats().Shares)
+	}
+}
+
+func TestColorsAreUniquePerCloud(t *testing.T) {
+	s := mustState(t, Config{Kappa: 2, Seed: 9}, star(16))
+	seen := map[ColorID]bool{}
+	for _, v := range []graph.NodeID{0, 1, 2, 3, 4, 5} {
+		mustDelete(t, s, v)
+		for _, id := range s.Clouds() {
+			seen[id] = true
+		}
+	}
+	// Colors never collide: the registry plus history must all be distinct
+	// (monotone allocator); just assert current clouds have distinct ids and
+	// stats counted at least as many creations as distinct colors seen.
+	st := s.Stats()
+	if st.PrimaryClouds+st.SecondaryClouds < len(seen) {
+		t.Fatalf("cloud creations %d < distinct colors %d",
+			st.PrimaryClouds+st.SecondaryClouds, len(seen))
+	}
+}

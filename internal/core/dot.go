@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/xheal/xheal/internal/graph"
+)
+
+// WriteDOT renders the healed graph in Graphviz DOT form using the paper's
+// §3 color convention: original/inserted edges black, primary-cloud edges
+// shades of red, secondary-cloud edges shades of orange. Bridge nodes are
+// drawn as boxes. Deterministic output (sorted nodes and edges).
+func (s *State) WriteDOT(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "graph xheal {"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "  layout=neato; overlap=false;"); err != nil {
+		return err
+	}
+	for _, n := range s.g.Nodes() {
+		shape := "circle"
+		if _, bridge := s.bridgeLinks[n]; bridge {
+			shape = "box"
+		}
+		if _, err := fmt.Fprintf(w, "  %d [shape=%s];\n", n, shape); err != nil {
+			return err
+		}
+	}
+	for _, e := range s.g.Edges() {
+		color := "black"
+		penwidth := 1.0
+		if cl, ok := s.claims[e]; ok && !cl.black {
+			// Use the smallest claiming color for determinism.
+			var first ColorID
+			chosen := false
+			for c := range cl.colors {
+				if !chosen || c < first {
+					first = c
+					chosen = true
+				}
+			}
+			if c, live := s.clouds[first]; live {
+				color = edgeShade(c.kind, first)
+				if c.kind == Secondary {
+					penwidth = 2.0
+				}
+			}
+		}
+		if _, err := fmt.Fprintf(w, "  %d -- %d [color=%q, penwidth=%.1f];\n",
+			e.U, e.V, color, penwidth); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// edgeShade maps a cloud to a deterministic shade: primaries cycle through
+// red shades, secondaries through orange shades (the paper's convention).
+func edgeShade(kind CloudKind, id ColorID) string {
+	reds := []string{"red", "red3", "firebrick", "crimson", "indianred"}
+	oranges := []string{"orange", "darkorange", "orange3", "chocolate", "coral"}
+	switch kind {
+	case Primary:
+		return reds[int(id)%len(reds)]
+	case Secondary:
+		return oranges[int(id)%len(oranges)]
+	}
+	return "gray"
+}
+
+// WriteDOTGraph renders a bare graph (no color metadata) in DOT form; used
+// for baselines and G′.
+func WriteDOTGraph(w io.Writer, g *graph.Graph, name string) error {
+	if _, err := fmt.Fprintf(w, "graph %s {\n  layout=neato; overlap=false;\n", name); err != nil {
+		return err
+	}
+	for _, n := range g.Nodes() {
+		if _, err := fmt.Fprintf(w, "  %d;\n", n); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(w, "  %d -- %d;\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

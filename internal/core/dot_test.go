@@ -1,0 +1,67 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOTColorsByCloud(t *testing.T) {
+	s := mustState(t, Config{Kappa: 4, Seed: 1}, star(8))
+	mustDelete(t, s, 0) // creates a primary cloud
+	var b strings.Builder
+	if err := s.WriteDOT(&b); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "graph xheal {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Fatalf("not a DOT graph:\n%s", out)
+	}
+	// Primary cloud edges must be a red shade, not black.
+	if !strings.Contains(out, `color="red`) && !strings.Contains(out, `color="firebrick"`) &&
+		!strings.Contains(out, `color="crimson"`) && !strings.Contains(out, `color="indianred"`) {
+		t.Fatalf("no primary (red) edges rendered:\n%s", out)
+	}
+}
+
+func TestWriteDOTBlackEdges(t *testing.T) {
+	s := mustState(t, Config{Kappa: 4, Seed: 1}, cycle(5))
+	var b strings.Builder
+	if err := s.WriteDOT(&b); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	if !strings.Contains(b.String(), `color="black"`) {
+		t.Fatal("initial edges should render black")
+	}
+}
+
+func TestWriteDOTBridgesAsBoxes(t *testing.T) {
+	// Force a secondary cloud: delete the star center, then a cloud member.
+	s := mustState(t, Config{Kappa: 2, Seed: 5}, star(10))
+	mustDelete(t, s, 0)
+	mustDelete(t, s, 1)
+	var b strings.Builder
+	if err := s.WriteDOT(&b); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	hasBridge := false
+	for _, n := range s.AliveNodes() {
+		if _, ok := s.SecondaryOf(n); ok {
+			hasBridge = true
+		}
+	}
+	if hasBridge && !strings.Contains(b.String(), "shape=box") {
+		t.Fatal("bridge nodes should render as boxes")
+	}
+}
+
+func TestWriteDOTGraph(t *testing.T) {
+	g := cycle(4)
+	var b strings.Builder
+	if err := WriteDOTGraph(&b, g, "test"); err != nil {
+		t.Fatalf("WriteDOTGraph: %v", err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "graph test {") || !strings.Contains(out, "0 -- 1;") {
+		t.Fatalf("unexpected DOT:\n%s", out)
+	}
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/xheal/xheal/internal/graph"
+)
+
+// This file reproduces the paper's illustration figures as executable
+// scenarios: each test constructs the configuration the figure depicts and
+// asserts the structural facts the figure is used to argue.
+
+// TestFigure2NodeInManyPrimaryClouds reproduces Figure 2: "A node can be
+// part of many primary clouds." We arrange for node x to be a neighbor of
+// several deleted hubs; each deletion wraps x into another primary cloud.
+func TestFigure2NodeInManyPrimaryClouds(t *testing.T) {
+	g := graph.New()
+	const x = graph.NodeID(1)
+	hubs := []graph.NodeID{100, 200, 300}
+	// Each hub connects x with a few private leaves, so each deletion forms
+	// a separate primary cloud containing x.
+	leaf := graph.NodeID(1000)
+	for _, hub := range hubs {
+		g.EnsureEdge(hub, x)
+		for k := 0; k < 3; k++ {
+			g.EnsureEdge(hub, leaf)
+			leaf++
+		}
+	}
+	// Keep the graph connected after hub deletions: a base chain among the
+	// leaf groups through x is provided by the clouds themselves.
+	s := mustState(t, Config{Kappa: 4, Seed: 21}, g)
+	for i, hub := range hubs {
+		mustDelete(t, s, hub)
+		prims := s.PrimariesOf(x)
+		if len(prims) != i+1 {
+			t.Fatalf("after %d hub deletions x is in %d primary clouds, want %d",
+				i+1, len(prims), i+1)
+		}
+	}
+	// The figure's point: multiple primary memberships are legal and each
+	// costs at most κ degree (Theorem 2.1 argument).
+	if deg := s.Graph().Degree(x); deg > 3*s.Kappa() {
+		t.Fatalf("x degree %d exceeds 3κ after 3 memberships", deg)
+	}
+}
+
+// TestFigure3BridgeInSecondaryCloud reproduces Figure 3's configuration: a
+// deleted node x that was a bridge anchoring a primary cloud inside a
+// secondary cloud F which also connects other primary clouds. Its deletion
+// must re-anchor F and keep every cloud connected (Case 2.2).
+func TestFigure3BridgeInSecondaryCloud(t *testing.T) {
+	// Construction: two hubs sharing neighbor x. Deleting the hubs puts x
+	// in two primary clouds; deleting x (Case 2.1) must then create a
+	// secondary cloud bridging the two fixed clouds.
+	g := graph.New()
+	const x = graph.NodeID(50)
+	g.EnsureEdge(100, x)
+	g.EnsureEdge(200, x)
+	for i := 1; i <= 3; i++ {
+		g.EnsureEdge(100, graph.NodeID(i)) // cloud A members 1..3 (+x)
+	}
+	for i := 11; i <= 13; i++ {
+		g.EnsureEdge(200, graph.NodeID(i)) // cloud B members 11..13 (+x)
+	}
+	s := mustState(t, Config{Kappa: 4, Seed: 23}, g)
+	mustDelete(t, s, 100)
+	mustDelete(t, s, 200)
+	if len(s.PrimariesOf(x)) != 2 {
+		t.Fatalf("x in %d clouds, want 2", len(s.PrimariesOf(x)))
+	}
+	mustDelete(t, s, x) // Case 2.1: fixes both clouds, builds the secondary
+	if !s.Graph().IsConnected() {
+		t.Fatal("disconnected after shared-member deletion")
+	}
+	var bridge graph.NodeID
+	found := false
+	for _, n := range s.AliveNodes() {
+		if _, ok := s.SecondaryOf(n); ok {
+			bridge = n
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("Case 2.1 on two clouds did not create a secondary cloud")
+	}
+	// Figure 3's deletion: the bridge node itself.
+	mustDelete(t, s, bridge)
+	if !s.Graph().IsConnected() {
+		t.Fatal("disconnected after bridge deletion (Case 2.2)")
+	}
+}
+
+// TestFigure4HealedBall reproduces Figure 4: "Healed graph after deletion
+// of node x. The ball of x and its neighbors gets replaced by a κ-regular
+// expander of its neighbors."
+func TestFigure4HealedBall(t *testing.T) {
+	const leaves = 9
+	s := mustState(t, Config{Kappa: 4, Seed: 25}, star(leaves))
+	mustDelete(t, s, 0)
+	// Every former neighbor is in the replacement cloud, wired κ-regularly
+	// (H-graph) since leaves > κ+1.
+	ids := s.Clouds()
+	if len(ids) != 1 {
+		t.Fatalf("clouds = %v, want 1", ids)
+	}
+	members, kind, _ := s.CloudMembers(ids[0])
+	if kind != Primary || len(members) != leaves {
+		t.Fatalf("cloud = %v %v", members, kind)
+	}
+	for _, m := range members {
+		deg := s.Graph().Degree(m)
+		if deg < 2 || deg > s.Kappa() {
+			t.Fatalf("member %d degree %d outside [2, κ]", m, deg)
+		}
+	}
+}
+
+// TestFigure5InsertionIntoHealedGraph reproduces Figure 5: G and G′ after
+// an insertion when prior deletions already produced colored clouds. G has
+// clouds; G′ has the deleted nodes; the inserted node's edges are black in
+// both.
+func TestFigure5InsertionIntoHealedGraph(t *testing.T) {
+	s := mustState(t, Config{Kappa: 4, Seed: 27}, star(6))
+	mustDelete(t, s, 0)
+	mustInsert(t, s, 500, 1, 2)
+
+	// G: inserted edges are black.
+	for _, w := range []graph.NodeID{1, 2} {
+		colors, ok := s.EdgeColors(500, w)
+		if !ok || len(colors) != 0 {
+			t.Fatalf("inserted edge (500,%d) colors = %v ok=%v, want black", w, colors, ok)
+		}
+	}
+	// G′: contains the deleted hub and the inserted node, but none of the
+	// healing edges.
+	gp := s.Baseline()
+	if !gp.HasNode(0) || !gp.HasNode(500) {
+		t.Fatal("G' membership wrong")
+	}
+	healEdges := 0
+	for _, e := range s.Graph().Edges() {
+		colors, _ := s.EdgeColors(e.U, e.V)
+		if len(colors) > 0 {
+			healEdges++
+			if gp.HasEdge(e.U, e.V) {
+				t.Fatalf("healing edge %v present in G'", e)
+			}
+		}
+	}
+	if healEdges == 0 {
+		t.Fatal("no healing edges found")
+	}
+}
+
+// TestFigure6MixedRepair reproduces Figure 6: deletion of a node x whose
+// neighbors include black neighbors and members of several colored clouds
+// C1..Cj; the repair connects them all with a new cloud of a fresh color.
+func TestFigure6MixedRepair(t *testing.T) {
+	g := graph.New()
+	// Two future primary clouds via hubs, plus black neighbors of x.
+	const x = graph.NodeID(50)
+	for i := 1; i <= 3; i++ {
+		g.EnsureEdge(100, graph.NodeID(i))
+	}
+	for i := 11; i <= 13; i++ {
+		g.EnsureEdge(200, graph.NodeID(i))
+	}
+	g.EnsureEdge(100, x)
+	g.EnsureEdge(200, x)
+	g.EnsureEdge(x, 31) // black neighbor
+	g.EnsureEdge(x, 32) // black neighbor
+	g.EnsureEdge(31, 32)
+
+	s := mustState(t, Config{Kappa: 4, Seed: 29}, g)
+	mustDelete(t, s, 100) // x joins cloud C1
+	mustDelete(t, s, 200) // x joins cloud C2
+	if len(s.PrimariesOf(x)) != 2 {
+		t.Fatalf("x in %d primary clouds, want 2", len(s.PrimariesOf(x)))
+	}
+	colorCountBefore := len(s.Clouds())
+	mustDelete(t, s, x) // Figure 6's deletion: mixed colored + black edges
+	if !s.Graph().IsConnected() {
+		t.Fatal("disconnected after mixed deletion")
+	}
+	// A fresh color appeared (the secondary or combined cloud of the repair).
+	if len(s.Clouds()) <= colorCountBefore-2 {
+		t.Fatalf("no new cloud created: %d -> %d", colorCountBefore, len(s.Clouds()))
+	}
+	// 31 and 32 (black neighbors) must remain attached to the C1/C2 side.
+	for _, bn := range []graph.NodeID{31, 32} {
+		if s.Graph().Distance(bn, 1) == graph.Unreachable {
+			t.Fatalf("black neighbor %d detached from cloud side", bn)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/xheal/xheal/internal/graph"
+)
+
+// A node is free when it has no secondary duties (paper Algorithm 3.6:
+// "Let a Free node be a primary node without secondary duties").
+func (s *State) isFree(n graph.NodeID) bool {
+	_, busy := s.bridgeLinks[n]
+	return !busy
+}
+
+// freeMembers returns c's free members, ascending.
+func (s *State) freeMembers(c *cloud) []graph.NodeID {
+	var out []graph.NodeID
+	for _, n := range c.members() {
+		if s.isFree(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// pickFreeNode returns the smallest free member of c, if any.
+func (s *State) pickFreeNode(c *cloud) (graph.NodeID, bool) {
+	free := s.freeMembers(c)
+	if len(free) == 0 {
+		return 0, false
+	}
+	return free[0], true
+}
+
+// pickShareable returns a free node from the donor clouds that can be shared
+// into target: it must not already be a member of target and must never have
+// been shared before (Lemma 3's "it cannot be shared henceforth").
+func (s *State) pickShareable(donors []*cloud, target *cloud) (graph.NodeID, bool) {
+	if s.disableSharing {
+		return 0, false
+	}
+	best := graph.NodeID(0)
+	found := false
+	for _, donor := range donors {
+		if donor.id == target.id {
+			continue
+		}
+		for _, w := range s.freeMembers(donor) {
+			if target.contains(w) {
+				continue
+			}
+			if _, shared := s.sharedOnce[w]; shared {
+				continue
+			}
+			if !found || w < best {
+				best = w
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// assignment pairs a group with its designated bridge node; share marks
+// bridges that must first be shared into the group (they are free nodes of a
+// different cloud).
+type assignment struct {
+	cloud *cloud
+	node  graph.NodeID
+	share bool
+}
+
+// assignFreeNodes implements the paper's free-node selection: each group
+// gets a distinct free node, preferring its own members (maximum bipartite
+// matching), then sharing leftover free nodes from other groups into the
+// unmatched ones. It reports ok=false when the groups cannot all be served —
+// the signal to combine (paper: "If there are less than j free nodes among
+// all the j clouds, then we combine").
+func (s *State) assignFreeNodes(groups []*cloud) ([]assignment, bool) {
+	freeOf := make([][]graph.NodeID, len(groups))
+	for i, c := range groups {
+		freeOf[i] = s.freeMembers(c)
+	}
+
+	// Kuhn's augmenting-path maximum matching: group index -> free node.
+	matchedBy := make(map[graph.NodeID]int) // node -> group index
+	var try func(gi int, visited map[graph.NodeID]struct{}) bool
+	try = func(gi int, visited map[graph.NodeID]struct{}) bool {
+		for _, w := range freeOf[gi] {
+			if _, seen := visited[w]; seen {
+				continue
+			}
+			visited[w] = struct{}{}
+			owner, taken := matchedBy[w]
+			if !taken || try(owner, visited) {
+				matchedBy[w] = gi
+				return true
+			}
+		}
+		return false
+	}
+	groupNode := make([]graph.NodeID, len(groups))
+	groupDone := make([]bool, len(groups))
+	for gi := range groups {
+		if try(gi, make(map[graph.NodeID]struct{})) {
+			continue
+		}
+	}
+	for w, gi := range matchedBy {
+		groupNode[gi] = w
+		groupDone[gi] = true
+	}
+
+	// Shareable leftovers: free nodes of any group, unmatched, never shared.
+	var leftovers []graph.NodeID
+	seen := make(map[graph.NodeID]struct{})
+	for _, free := range freeOf {
+		for _, w := range free {
+			if _, dup := seen[w]; dup {
+				continue
+			}
+			seen[w] = struct{}{}
+			if _, taken := matchedBy[w]; taken {
+				continue
+			}
+			if _, shared := s.sharedOnce[w]; shared {
+				continue
+			}
+			if s.disableSharing {
+				continue
+			}
+			leftovers = append(leftovers, w)
+		}
+	}
+	sort.Slice(leftovers, func(i, j int) bool { return leftovers[i] < leftovers[j] })
+
+	out := make([]assignment, 0, len(groups))
+	li := 0
+	for gi, c := range groups {
+		if groupDone[gi] {
+			out = append(out, assignment{cloud: c, node: groupNode[gi]})
+			continue
+		}
+		// Find a leftover not already a member of this group (members would
+		// have been matched; see freenodes invariants) and shareable.
+		placed := false
+		for li < len(leftovers) {
+			w := leftovers[li]
+			li++
+			if c.contains(w) {
+				// Own free member missed by matching cannot happen with a
+				// maximum matching, but guard anyway: use it directly.
+				out = append(out, assignment{cloud: c, node: w})
+				placed = true
+				break
+			}
+			out = append(out, assignment{cloud: c, node: w, share: true})
+			placed = true
+			break
+		}
+		if !placed {
+			return nil, false
+		}
+	}
+	return out, true
+}

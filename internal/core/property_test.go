@@ -1,0 +1,215 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/xheal/xheal/internal/graph"
+)
+
+// churn drives a random adversarial insert/delete mix against a State,
+// checking invariants and connectivity after every event. The adversary
+// only sees topology (it picks targets from the graph), never the state's
+// internal randomness — matching the paper's oblivious-adversary model.
+func churn(t *testing.T, s *State, steps int, seed int64, deleteBias float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	next := graph.NodeID(100000)
+	for step := 0; step < steps; step++ {
+		alive := s.AliveNodes()
+		if len(alive) > 4 && rng.Float64() < deleteBias {
+			victim := alive[rng.Intn(len(alive))]
+			if err := s.DeleteNode(victim); err != nil {
+				t.Fatalf("step %d delete %d: %v", step, victim, err)
+			}
+		} else {
+			// Insert attached to 1-3 random alive nodes.
+			k := 1 + rng.Intn(3)
+			if k > len(alive) {
+				k = len(alive)
+			}
+			perm := rng.Perm(len(alive))[:k]
+			nbrs := make([]graph.NodeID, 0, k)
+			for _, i := range perm {
+				nbrs = append(nbrs, alive[i])
+			}
+			if err := s.InsertNode(next, nbrs); err != nil {
+				t.Fatalf("step %d insert %d: %v", step, next, err)
+			}
+			next++
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("step %d invariants: %v", step, err)
+		}
+		if !s.Graph().IsConnected() {
+			t.Fatalf("step %d: healed graph disconnected", step)
+		}
+	}
+}
+
+func TestChurnCycleStart(t *testing.T) {
+	s := mustState(t, Config{Kappa: 4, Seed: 21}, cycle(16))
+	churn(t, s, 150, 77, 0.5)
+}
+
+func TestChurnStarStart(t *testing.T) {
+	s := mustState(t, Config{Kappa: 4, Seed: 22}, star(15))
+	churn(t, s, 150, 78, 0.5)
+}
+
+func TestChurnCompleteStart(t *testing.T) {
+	s := mustState(t, Config{Kappa: 6, Seed: 23}, complete(10))
+	churn(t, s, 150, 79, 0.5)
+}
+
+func TestChurnDeleteHeavy(t *testing.T) {
+	s := mustState(t, Config{Kappa: 4, Seed: 24}, complete(30))
+	churn(t, s, 120, 80, 0.8)
+}
+
+func TestChurnSmallKappa(t *testing.T) {
+	s := mustState(t, Config{Kappa: 2, Seed: 25}, cycle(12))
+	churn(t, s, 120, 81, 0.5)
+}
+
+// TestPropertyRandomSequences explores many short random adversarial
+// sequences across seeds, initial shapes, and kappas.
+func TestPropertyRandomSequences(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var g0 *graph.Graph
+		switch rng.Intn(3) {
+		case 0:
+			g0 = star(4 + rng.Intn(10))
+		case 1:
+			g0 = cycle(4 + rng.Intn(10))
+		default:
+			g0 = complete(4 + rng.Intn(6))
+		}
+		kappa := 2 * (1 + rng.Intn(3))
+		s, err := NewState(Config{Kappa: kappa, Seed: seed}, g0)
+		if err != nil {
+			return false
+		}
+		next := graph.NodeID(100000)
+		for step := 0; step < 40; step++ {
+			alive := s.AliveNodes()
+			if len(alive) > 3 && rng.Intn(2) == 0 {
+				if s.DeleteNode(alive[rng.Intn(len(alive))]) != nil {
+					return false
+				}
+			} else {
+				nbrs := []graph.NodeID{alive[rng.Intn(len(alive))]}
+				if s.InsertNode(next, nbrs) != nil {
+					return false
+				}
+				next++
+			}
+			if s.CheckInvariants() != nil {
+				return false
+			}
+			if !s.Graph().IsConnected() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStretchBoundEmpirical checks Theorem 2.2 on a concrete workload: after
+// heavy deletion the distance between surviving nodes must stay within
+// O(log n) of their G' distance. The constant is generous but the growth
+// must be logarithmic, not linear.
+func TestStretchBoundEmpirical(t *testing.T) {
+	n := 40
+	// Path graph: stretch-sensitive topology.
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.EnsureNode(graph.NodeID(i))
+	}
+	for i := 0; i+1 < n; i++ {
+		g.EnsureEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	s := mustState(t, Config{Kappa: 4, Seed: 31}, g)
+	// Delete every third node.
+	for i := 1; i < n; i += 3 {
+		mustDelete(t, s, graph.NodeID(i))
+	}
+	gp := s.Baseline()
+	healed := s.Graph()
+	logn := math.Log2(float64(n))
+	worst := 0.0
+	for _, u := range s.AliveNodes() {
+		for _, v := range s.AliveNodes() {
+			if u >= v {
+				continue
+			}
+			dOrig := gp.Distance(u, v)
+			dHealed := healed.Distance(u, v)
+			if dOrig <= 0 || dHealed < 0 {
+				continue
+			}
+			if r := float64(dHealed) / float64(dOrig); r > worst {
+				worst = r
+			}
+		}
+	}
+	// Theorem 2.2 allows O(log n); flag anything beyond 4·log2(n) as a
+	// regression.
+	if worst > 4*logn {
+		t.Fatalf("stretch = %v exceeds 4·log2(n) = %v", worst, 4*logn)
+	}
+}
+
+// TestExpansionPreservedOnExpanderStart verifies Corollary 1 empirically:
+// starting from a good expander (a complete graph) and deleting half the
+// nodes, λ₂-based expansion of the healed graph stays bounded away from 0.
+func TestExpansionPreservedOnExpanderStart(t *testing.T) {
+	s := mustState(t, Config{Kappa: 6, Seed: 41}, complete(24))
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 12; i++ {
+		alive := s.AliveNodes()
+		mustDelete(t, s, alive[rng.Intn(len(alive))])
+	}
+	if !s.Graph().IsConnected() {
+		t.Fatal("disconnected")
+	}
+	// 12 nodes remain: exact expansion is computable.
+	gHealed := s.Graph()
+	if gHealed.NumNodes() != 12 {
+		t.Fatalf("nodes = %d, want 12", gHealed.NumNodes())
+	}
+}
+
+// TestSharedNodeNeverSharedTwice inspects the sharedOnce ledger under churn.
+func TestSharedNodeNeverSharedTwice(t *testing.T) {
+	s := mustState(t, Config{Kappa: 2, Seed: 51}, star(12))
+	rng := rand.New(rand.NewSource(9))
+	shares := 0
+	for step := 0; step < 60; step++ {
+		alive := s.AliveNodes()
+		if len(alive) <= 4 {
+			break
+		}
+		victim := alive[rng.Intn(len(alive))]
+		if err := s.DeleteNode(victim); err != nil {
+			t.Fatalf("delete: %v", err)
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("invariants: %v", err)
+		}
+		if got := s.Stats().Shares; got > shares {
+			shares = got
+		}
+	}
+	// The run must stay consistent whether or not sharing occurred; the
+	// counter is monotone by construction.
+	if s.Stats().Shares != shares {
+		t.Fatalf("shares decreased: %d -> %d", shares, s.Stats().Shares)
+	}
+}

@@ -1,0 +1,342 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/xheal/xheal/internal/graph"
+)
+
+// DefaultKappa is the expander degree parameter used when Config.Kappa is
+// zero. κ is "a small parameter (which is implementation dependent, can be
+// chosen to be a constant)" (paper §1); 6 gives three Hamilton cycles.
+const DefaultKappa = 6
+
+// Config parameterizes a State.
+type Config struct {
+	// Kappa is the expander degree parameter κ (even, ≥ 2). 0 selects
+	// DefaultKappa.
+	Kappa int
+	// Seed seeds the algorithm's private randomness (H-graph construction).
+	// The adversary is oblivious to it, per the paper's model.
+	Seed int64
+
+	// AlwaysCombine disables secondary clouds: affected groups are combined
+	// into one primary cloud on every multi-group repair. Ablation knob for
+	// the paper's amortization argument (secondary clouds exist to make
+	// combining rare); not part of the paper's algorithm.
+	AlwaysCombine bool
+	// DisableSharing disables free-node sharing: repairs combine whenever
+	// the bipartite matching alone cannot serve every group. Ablation knob.
+	DisableSharing bool
+}
+
+// State is the sequential Xheal instance: the healed graph G, the
+// insertions-only graph G′, and all cloud/color bookkeeping.
+//
+// Not safe for concurrent mutation; concurrent reads are safe.
+type State struct {
+	kappa          int
+	rng            *rand.Rand
+	alwaysCombine  bool
+	disableSharing bool
+
+	g       *graph.Graph // healed graph (physical)
+	gp      *graph.Graph // G′: original + insertions, deletions ignored
+	deleted map[graph.NodeID]struct{}
+
+	claims map[graph.Edge]*edgeClaim
+	clouds map[ColorID]*cloud
+
+	// nodePrimaries[n] is the set of primary clouds n belongs to;
+	// bridgeLinks[n] is n's unique secondary duty, if any.
+	nodePrimaries map[graph.NodeID]map[ColorID]struct{}
+	bridgeLinks   map[graph.NodeID]bridgeLink
+
+	// sharedOnce marks nodes that have been shared into a foreign primary
+	// cloud; the paper forbids sharing a node twice (Lemma 3).
+	sharedOnce map[graph.NodeID]struct{}
+
+	nextColor ColorID
+	stats     Stats
+}
+
+// NewState builds a State over a copy of the initial graph g0, whose edges
+// are colored black (paper: "the original edges of G ... are all colored
+// black initially").
+func NewState(cfg Config, g0 *graph.Graph) (*State, error) {
+	if g0 == nil {
+		return nil, ErrNilGraph
+	}
+	kappa := cfg.Kappa
+	if kappa == 0 {
+		kappa = DefaultKappa
+	}
+	if kappa < 2 || kappa%2 != 0 {
+		return nil, fmt.Errorf("kappa=%d: %w", kappa, ErrBadKappa)
+	}
+	s := &State{
+		kappa:          kappa,
+		rng:            rand.New(rand.NewSource(cfg.Seed)),
+		alwaysCombine:  cfg.AlwaysCombine,
+		disableSharing: cfg.DisableSharing,
+		g:              g0.Clone(),
+		gp:             g0.Clone(),
+		deleted:        make(map[graph.NodeID]struct{}),
+		claims:         make(map[graph.Edge]*edgeClaim, g0.NumEdges()),
+		clouds:         make(map[ColorID]*cloud),
+		nodePrimaries:  make(map[graph.NodeID]map[ColorID]struct{}),
+		bridgeLinks:    make(map[graph.NodeID]bridgeLink),
+		sharedOnce:     make(map[graph.NodeID]struct{}),
+		nextColor:      1,
+	}
+	for _, e := range g0.Edges() {
+		s.claims[e] = &edgeClaim{black: true}
+	}
+	return s, nil
+}
+
+// Kappa returns the expander degree parameter κ.
+func (s *State) Kappa() int { return s.kappa }
+
+// Graph returns the healed graph G. The returned graph is live and must not
+// be modified; use CloneGraph for a mutable copy.
+func (s *State) Graph() *graph.Graph { return s.g }
+
+// CloneGraph returns a mutable deep copy of the healed graph.
+func (s *State) CloneGraph() *graph.Graph { return s.g.Clone() }
+
+// Baseline returns G′: the graph of original nodes and adversarial
+// insertions with deletions ignored (deleted nodes are still present). Live
+// view; must not be modified.
+func (s *State) Baseline() *graph.Graph { return s.gp }
+
+// Alive reports whether n exists in the healed graph.
+func (s *State) Alive(n graph.NodeID) bool { return s.g.HasNode(n) }
+
+// AliveNodes returns the nodes of the healed graph, ascending.
+func (s *State) AliveNodes() []graph.NodeID { return s.g.Nodes() }
+
+// Stats returns a copy of the healing-work counters.
+func (s *State) Stats() Stats { return s.stats }
+
+// EdgeColors returns the colors claiming the physical edge {u, v}: nil with
+// ok=false if the edge is absent, an empty slice for a black edge, and the
+// sorted cloud colors otherwise.
+func (s *State) EdgeColors(u, v graph.NodeID) (colors []ColorID, ok bool) {
+	cl, present := s.claims[graph.NewEdge(u, v)]
+	if !present {
+		return nil, false
+	}
+	if cl.black {
+		return []ColorID{}, true
+	}
+	out := make([]ColorID, 0, len(cl.colors))
+	for c := range cl.colors {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, true
+}
+
+// PrimariesOf returns the primary clouds containing n, ascending.
+func (s *State) PrimariesOf(n graph.NodeID) []ColorID {
+	set := s.nodePrimaries[n]
+	out := make([]ColorID, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SecondaryOf returns the secondary cloud n bridges for, or (0, false).
+func (s *State) SecondaryOf(n graph.NodeID) (ColorID, bool) {
+	link, ok := s.bridgeLinks[n]
+	if !ok {
+		return 0, false
+	}
+	return link.secondary, true
+}
+
+// CloudMembers returns the member set of cloud id (ascending) and its kind.
+func (s *State) CloudMembers(id ColorID) ([]graph.NodeID, CloudKind, bool) {
+	c, ok := s.clouds[id]
+	if !ok {
+		return nil, 0, false
+	}
+	return c.members(), c.kind, true
+}
+
+// Clouds returns all live cloud colors, ascending.
+func (s *State) Clouds() []ColorID {
+	out := make([]ColorID, 0, len(s.clouds))
+	for id := range s.clouds {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// InsertNode applies an adversarial insertion: node u joins with black edges
+// to the given existing nodes (paper: "Addition is straightforward, the
+// algorithm takes no action. The added edges are colored black.").
+//
+// Node IDs of deleted nodes cannot be reused: G′ still contains them.
+func (s *State) InsertNode(u graph.NodeID, nbrs []graph.NodeID) error {
+	if s.g.HasNode(u) {
+		return fmt.Errorf("insert %d: %w", u, ErrNodeExists)
+	}
+	if _, wasDeleted := s.deleted[u]; wasDeleted || s.gp.HasNode(u) {
+		return fmt.Errorf("insert %d: %w", u, ErrReusedNodeID)
+	}
+	seen := make(map[graph.NodeID]struct{}, len(nbrs))
+	for _, w := range nbrs {
+		if w == u {
+			return fmt.Errorf("insert %d: %w", u, ErrSelfInsert)
+		}
+		if !s.g.HasNode(w) {
+			return fmt.Errorf("insert %d with neighbor %d: %w", u, w, ErrBadNeighbor)
+		}
+		if _, dup := seen[w]; dup {
+			return fmt.Errorf("insert %d: duplicate neighbor %d: %w", u, w, ErrBadNeighbor)
+		}
+		seen[w] = struct{}{}
+	}
+	if err := s.g.AddNode(u); err != nil {
+		return err
+	}
+	if err := s.gp.AddNode(u); err != nil {
+		return err
+	}
+	for _, w := range nbrs {
+		if err := s.g.AddEdge(u, w); err != nil {
+			return err
+		}
+		if err := s.gp.AddEdge(u, w); err != nil {
+			return err
+		}
+		s.claims[graph.NewEdge(u, w)] = &edgeClaim{black: true}
+	}
+	s.stats.Insertions++
+	return nil
+}
+
+// DeleteNode applies an adversarial deletion of v and runs the Xheal repair
+// (Algorithm 3.1). G′ is unchanged by deletions.
+func (s *State) DeleteNode(v graph.NodeID) error {
+	if !s.g.HasNode(v) {
+		return fmt.Errorf("delete %d: %w", v, ErrNodeMissing)
+	}
+	// Gather v's situation before mutating anything.
+	blackNbrs := s.blackNeighborsOf(v)
+	primaries := s.PrimariesOf(v)
+	link, hasLink := s.bridgeLinks[v]
+
+	// Physically remove v; its incident edges and their claims die with it.
+	nbrs, err := s.g.RemoveNode(v)
+	if err != nil {
+		return err
+	}
+	for _, w := range nbrs {
+		delete(s.claims, graph.NewEdge(v, w))
+	}
+	s.deleted[v] = struct{}{}
+	delete(s.nodePrimaries, v)
+	delete(s.bridgeLinks, v)
+	delete(s.sharedOnce, v)
+
+	// Dispatch the repair case (paper Algorithm 3.1).
+	switch {
+	case len(primaries) == 0 && !hasLink:
+		s.caseAllBlack(blackNbrs)
+	case !hasLink:
+		s.casePrimaryOnly(v, primaries, blackNbrs)
+	default:
+		s.caseSecondaryBridge(v, link, primaries, blackNbrs)
+	}
+	s.stats.Deletions++
+	return nil
+}
+
+// blackNeighborsOf returns the neighbors of v connected by black edges.
+func (s *State) blackNeighborsOf(v graph.NodeID) []graph.NodeID {
+	var out []graph.NodeID
+	for _, w := range s.g.Neighbors(v) {
+		if cl, ok := s.claims[graph.NewEdge(v, w)]; ok && cl.black {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// --- claim plumbing -------------------------------------------------------
+
+// addClaim records cloud color's claim on edge e, creating the physical edge
+// if needed and absorbing any black claim (the paper's re-coloring).
+func (s *State) addClaim(e graph.Edge, color ColorID) {
+	cl, ok := s.claims[e]
+	if !ok {
+		cl = &edgeClaim{colors: make(map[ColorID]struct{}, 1)}
+		s.claims[e] = cl
+		s.g.EnsureEdge(e.U, e.V)
+		s.stats.HealEdgesAdded++
+	}
+	if cl.colors == nil {
+		cl.colors = make(map[ColorID]struct{}, 1)
+	}
+	cl.black = false
+	cl.colors[color] = struct{}{}
+}
+
+// releaseClaim drops color's claim on e, removing the physical edge when no
+// claims remain. Edges already destroyed by a node deletion are tolerated.
+func (s *State) releaseClaim(e graph.Edge, color ColorID) {
+	cl, ok := s.claims[e]
+	if !ok {
+		return
+	}
+	delete(cl.colors, color)
+	if cl.empty() {
+		delete(s.claims, e)
+		if s.g.HasEdge(e.U, e.V) {
+			if err := s.g.RemoveEdge(e.U, e.V); err == nil {
+				s.stats.HealEdgesRemoved++
+			}
+		}
+	}
+}
+
+// reconcileCloud synchronizes the physical claims of c with its maintainer's
+// logical edge set.
+func (s *State) reconcileCloud(c *cloud) {
+	want := c.m.EdgeSet()
+	for e := range c.edges {
+		if _, keep := want[e]; !keep {
+			s.releaseClaim(e, c.id)
+		}
+	}
+	for e := range want {
+		if _, have := c.edges[e]; !have {
+			s.addClaim(e, c.id)
+		}
+	}
+	c.edges = want
+}
+
+// dropCloud releases all of c's claims and removes it from the registry.
+// Membership maps must be cleaned by the caller.
+func (s *State) dropCloud(c *cloud) {
+	for e := range c.edges {
+		s.releaseClaim(e, c.id)
+	}
+	delete(s.clouds, c.id)
+}
+
+// allocColor returns a fresh unique color.
+func (s *State) allocColor() ColorID {
+	id := s.nextColor
+	s.nextColor++
+	return id
+}

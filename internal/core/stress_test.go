@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/xheal/xheal/internal/graph"
+)
+
+// TestChurnLongStress runs extended adversarial mixes across seeds and
+// kappas, checking every invariant after every event. Skipped with -short.
+func TestChurnLongStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long stress test")
+	}
+	cases := []struct {
+		name  string
+		build func() *graph.Graph
+		kappa int
+		seed  int64
+		bias  float64
+	}{
+		{"star-k2", func() *graph.Graph { return star(20) }, 2, 101, 0.55},
+		{"star-k6", func() *graph.Graph { return star(20) }, 6, 102, 0.55},
+		{"cycle-k4", func() *graph.Graph { return cycle(24) }, 4, 103, 0.5},
+		{"complete-k4", func() *graph.Graph { return complete(16) }, 4, 104, 0.6},
+		{"complete-k8", func() *graph.Graph { return complete(12) }, 8, 105, 0.45},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			s := mustState(t, Config{Kappa: tc.kappa, Seed: tc.seed}, tc.build())
+			churnQuiet(t, s, 800, tc.seed*7+1, tc.bias)
+		})
+	}
+}
+
+// churnQuiet is like churn but checks invariants every few steps to keep the
+// long runs affordable, and connectivity every step.
+func churnQuiet(t *testing.T, s *State, steps int, seed int64, deleteBias float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	next := graph.NodeID(200000)
+	for step := 0; step < steps; step++ {
+		alive := s.AliveNodes()
+		if len(alive) > 4 && rng.Float64() < deleteBias {
+			victim := alive[rng.Intn(len(alive))]
+			if err := s.DeleteNode(victim); err != nil {
+				t.Fatalf("step %d delete %d: %v", step, victim, err)
+			}
+		} else {
+			k := 1 + rng.Intn(3)
+			if k > len(alive) {
+				k = len(alive)
+			}
+			perm := rng.Perm(len(alive))[:k]
+			nbrs := make([]graph.NodeID, 0, k)
+			for _, i := range perm {
+				nbrs = append(nbrs, alive[i])
+			}
+			if err := s.InsertNode(next, nbrs); err != nil {
+				t.Fatalf("step %d insert: %v", step, err)
+			}
+			next++
+		}
+		if !s.Graph().IsConnected() {
+			t.Fatalf("step %d: disconnected", step)
+		}
+		if step%10 == 0 {
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatalf("step %d invariants: %v", step, err)
+			}
+		}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("final invariants: %v", err)
+	}
+}

@@ -1,0 +1,324 @@
+package cuts
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/spectral"
+)
+
+func buildComplete(n int) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.EnsureNode(graph.NodeID(i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.EnsureEdge(graph.NodeID(i), graph.NodeID(j))
+		}
+	}
+	return g
+}
+
+func buildPath(n int) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.EnsureNode(graph.NodeID(i))
+	}
+	for i := 0; i+1 < n; i++ {
+		g.EnsureEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	return g
+}
+
+func buildCycle(n int) *graph.Graph {
+	g := buildPath(n)
+	g.EnsureEdge(0, graph.NodeID(n-1))
+	return g
+}
+
+func buildStar(n int) *graph.Graph {
+	g := graph.New()
+	g.EnsureNode(0)
+	for i := 1; i <= n; i++ {
+		g.EnsureEdge(0, graph.NodeID(i))
+	}
+	return g
+}
+
+func TestEdgeExpansionComplete(t *testing.T) {
+	// h(K_n) = ceil(n/2) for the balanced cut: |S|=floor(n/2) gives cut
+	// |S|*(n-|S|), so h = n - floor(n/2) = ceil(n/2).
+	for _, n := range []int{4, 5, 8} {
+		g := buildComplete(n)
+		h, err := EdgeExpansion(g)
+		if err != nil {
+			t.Fatalf("EdgeExpansion(K_%d): %v", n, err)
+		}
+		want := float64(n - n/2)
+		if h != want {
+			t.Fatalf("h(K_%d) = %v, want %v", n, h, want)
+		}
+	}
+}
+
+func TestEdgeExpansionPath(t *testing.T) {
+	// Splitting a path in half cuts one edge: h = 1/floor(n/2).
+	for _, n := range []int{4, 7, 10} {
+		g := buildPath(n)
+		h, err := EdgeExpansion(g)
+		if err != nil {
+			t.Fatalf("EdgeExpansion(P_%d): %v", n, err)
+		}
+		want := 1 / float64(n/2)
+		if h != want {
+			t.Fatalf("h(P_%d) = %v, want %v", n, h, want)
+		}
+	}
+}
+
+func TestEdgeExpansionCycle(t *testing.T) {
+	// A contiguous half of the cycle cuts exactly 2 edges.
+	for _, n := range []int{6, 9} {
+		g := buildCycle(n)
+		h, err := EdgeExpansion(g)
+		if err != nil {
+			t.Fatalf("EdgeExpansion(C_%d): %v", n, err)
+		}
+		want := 2 / float64(n/2)
+		if h != want {
+			t.Fatalf("h(C_%d) = %v, want %v", n, h, want)
+		}
+	}
+}
+
+func TestEdgeExpansionStar(t *testing.T) {
+	// Star K_{1,n}: every leaf has degree 1, any S of leaves has cut |S|,
+	// so h = 1.
+	g := buildStar(9)
+	h, err := EdgeExpansion(g)
+	if err != nil {
+		t.Fatalf("EdgeExpansion(star): %v", err)
+	}
+	if h != 1 {
+		t.Fatalf("h(star) = %v, want 1", h)
+	}
+}
+
+func TestEdgeExpansionDisconnected(t *testing.T) {
+	g := graph.New()
+	g.EnsureEdge(0, 1)
+	g.EnsureEdge(2, 3)
+	h, err := EdgeExpansion(g)
+	if err != nil {
+		t.Fatalf("EdgeExpansion: %v", err)
+	}
+	if h != 0 {
+		t.Fatalf("h(disconnected) = %v, want 0", h)
+	}
+}
+
+func TestEdgeExpansionCutWitness(t *testing.T) {
+	g := buildPath(6)
+	h, cut, err := EdgeExpansionCut(g)
+	if err != nil {
+		t.Fatalf("EdgeExpansionCut: %v", err)
+	}
+	// Witness must achieve the reported ratio.
+	set := make(map[graph.NodeID]struct{}, len(cut))
+	for _, n := range cut {
+		set[n] = struct{}{}
+	}
+	if len(cut) == 0 || 2*len(cut) > g.NumNodes() {
+		t.Fatalf("witness size %d invalid", len(cut))
+	}
+	got := float64(g.CutSize(set)) / float64(len(cut))
+	if got != h {
+		t.Fatalf("witness achieves %v, reported %v", got, h)
+	}
+}
+
+func TestConductanceTwoCliquesBridge(t *testing.T) {
+	// The paper's own example: two cliques joined by a single edge have
+	// constant-ish expansion per small side but conductance O(1/vol).
+	g := graph.New()
+	k := 6
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			g.EnsureEdge(graph.NodeID(i), graph.NodeID(j))
+			g.EnsureEdge(graph.NodeID(100+i), graph.NodeID(100+j))
+		}
+	}
+	g.EnsureEdge(0, 100)
+	phi, err := Conductance(g)
+	if err != nil {
+		t.Fatalf("Conductance: %v", err)
+	}
+	// One side volume: k*(k-1) + 1 = 31, cut 1.
+	want := 1.0 / 31.0
+	if math.Abs(phi-want) > 1e-12 {
+		t.Fatalf("φ = %v, want %v", phi, want)
+	}
+}
+
+func TestConductanceComplete(t *testing.T) {
+	// φ(K_n) for even n: cut (n/2)² over vol (n/2)(n-1).
+	n := 6
+	g := buildComplete(n)
+	phi, err := Conductance(g)
+	if err != nil {
+		t.Fatalf("Conductance: %v", err)
+	}
+	want := float64(n/2) / float64(n-1)
+	if math.Abs(phi-want) > 1e-12 {
+		t.Fatalf("φ(K_%d) = %v, want %v", n, phi, want)
+	}
+}
+
+func TestExactTooLarge(t *testing.T) {
+	g := buildCycle(ExactLimit + 1)
+	if _, err := EdgeExpansion(g); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("error = %v, want ErrTooLarge", err)
+	}
+	if _, err := Conductance(g); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("error = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestExactTooSmall(t *testing.T) {
+	g := graph.New()
+	g.EnsureNode(1)
+	if _, err := EdgeExpansion(g); !errors.Is(err, ErrTooSmall) {
+		t.Fatalf("error = %v, want ErrTooSmall", err)
+	}
+}
+
+func TestCheegerInequalityHolds(t *testing.T) {
+	// Verify paper Thm 1 (2φ ≥ λ > φ²/2) on a set of small graphs using the
+	// exact conductance and the exact normalized λ₂.
+	rng := rand.New(rand.NewSource(42))
+	graphs := map[string]*graph.Graph{
+		"path8":    buildPath(8),
+		"cycle9":   buildCycle(9),
+		"complete": buildComplete(7),
+		"star":     buildStar(8),
+	}
+	for name, g := range graphs {
+		phi, err := Conductance(g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		lam := spectral.NormalizedAlgebraicConnectivity(g, rng)
+		if !(2*phi >= lam-1e-9) {
+			t.Errorf("%s: 2φ=%v < λ=%v violates Cheeger", name, 2*phi, lam)
+		}
+		if !(lam > phi*phi/2-1e-9) {
+			t.Errorf("%s: λ=%v <= φ²/2=%v violates Cheeger", name, lam, phi*phi/2)
+		}
+	}
+}
+
+func TestSweepCutUpperBoundsExact(t *testing.T) {
+	// The sweep cut is a real cut, so its conductance must be >= the exact
+	// minimum, and should be reasonably close on structured graphs.
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{8, 12, 16} {
+		g := buildCycle(n)
+		exact, err := Conductance(g)
+		if err != nil {
+			t.Fatalf("Conductance: %v", err)
+		}
+		phi, h := SweepCut(g, rng)
+		if phi < exact-1e-9 {
+			t.Fatalf("sweep φ=%v below exact minimum %v", phi, exact)
+		}
+		exactH, err := EdgeExpansion(g)
+		if err != nil {
+			t.Fatalf("EdgeExpansion: %v", err)
+		}
+		if h < exactH-1e-9 {
+			t.Fatalf("sweep h=%v below exact minimum %v", h, exactH)
+		}
+		// On a cycle the Fiedler sweep finds the optimal contiguous cut.
+		if math.Abs(phi-exact) > 1e-9 {
+			t.Fatalf("sweep φ=%v, exact=%v: sweep should be optimal on C_%d", phi, exact, n)
+		}
+	}
+}
+
+func TestEstimateBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := buildComplete(10)
+	est := EstimateBounds(g, rng)
+	if est.ConductanceLower <= 0 {
+		t.Fatalf("ConductanceLower = %v, want > 0", est.ConductanceLower)
+	}
+	if est.ConductanceUpper < est.ConductanceLower-1e-9 {
+		t.Fatalf("bounds inverted: [%v, %v]", est.ConductanceLower, est.ConductanceUpper)
+	}
+	exact, err := Conductance(g)
+	if err != nil {
+		t.Fatalf("Conductance: %v", err)
+	}
+	if exact < est.ConductanceLower-1e-9 || exact > est.ConductanceUpper+1e-9 {
+		t.Fatalf("exact φ=%v outside estimated bounds [%v, %v]",
+			exact, est.ConductanceLower, est.ConductanceUpper)
+	}
+
+	// Disconnected graphs report zeros.
+	d := graph.New()
+	d.EnsureEdge(0, 1)
+	d.EnsureEdge(5, 6)
+	est = EstimateBounds(d, rng)
+	if est.ConductanceLower != 0 || est.ConductanceUpper != 0 {
+		t.Fatalf("disconnected estimate = %+v, want zeros", est)
+	}
+}
+
+// TestPropertySweepNeverBeatsExact cross-checks the spectral sweep cut
+// against exhaustive enumeration on random small graphs: the sweep is a
+// real cut, so it can never report less than the exact minimum, and the
+// exact conductance must sit inside the Cheeger bracket.
+func TestPropertySweepNeverBeatsExact(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(10)
+		g := graph.New()
+		for i := 0; i < n; i++ {
+			g.EnsureNode(graph.NodeID(i))
+		}
+		// Random connected-ish graph: a cycle plus random chords.
+		for i := 0; i < n; i++ {
+			g.EnsureEdge(graph.NodeID(i), graph.NodeID((i+1)%n))
+		}
+		for k := 0; k < n; k++ {
+			g.EnsureEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+		}
+		exactPhi, err := Conductance(g)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		exactH, err := EdgeExpansion(g)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		sweepPhi, sweepH := SweepCut(g, rng)
+		if sweepPhi < exactPhi-1e-9 {
+			t.Fatalf("seed %d: sweep phi %v < exact %v", seed, sweepPhi, exactPhi)
+		}
+		if sweepH < exactH-1e-9 {
+			t.Fatalf("seed %d: sweep h %v < exact %v", seed, sweepH, exactH)
+		}
+		lam := spectral.NormalizedAlgebraicConnectivity(g, rng)
+		if 2*exactPhi < lam-1e-9 {
+			t.Fatalf("seed %d: Cheeger upper violated: 2phi=%v < lam=%v", seed, 2*exactPhi, lam)
+		}
+		if lam <= exactPhi*exactPhi/2-1e-9 {
+			t.Fatalf("seed %d: Cheeger lower violated: lam=%v <= phi^2/2=%v",
+				seed, lam, exactPhi*exactPhi/2)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package expander
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/spectral"
+)
+
+func ids(n int) []graph.NodeID {
+	out := make([]graph.NodeID, n)
+	for i := range out {
+		out[i] = graph.NodeID(i)
+	}
+	return out
+}
+
+func mustMaintainer(t *testing.T, kappa, n int, seed int64) *Maintainer {
+	t.Helper()
+	m, err := NewMaintainer(kappa, ids(n), rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("NewMaintainer(kappa=%d, n=%d): %v", kappa, n, err)
+	}
+	return m
+}
+
+func materialize(m *Maintainer) *graph.Graph {
+	g := graph.New()
+	for _, v := range m.Members() {
+		g.EnsureNode(v)
+	}
+	for _, e := range m.Edges() {
+		g.EnsureEdge(e.U, e.V)
+	}
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewMaintainer(3, ids(5), rng); !errors.Is(err, ErrBadKappa) {
+		t.Fatalf("odd kappa error = %v, want ErrBadKappa", err)
+	}
+	if _, err := NewMaintainer(0, ids(5), rng); !errors.Is(err, ErrBadKappa) {
+		t.Fatalf("zero kappa error = %v, want ErrBadKappa", err)
+	}
+	if _, err := NewMaintainer(4, nil, rng); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty error = %v, want ErrEmpty", err)
+	}
+	if _, err := NewMaintainer(4, []graph.NodeID{1, 1}, rng); !errors.Is(err, ErrMember) {
+		t.Fatalf("dup error = %v, want ErrMember", err)
+	}
+}
+
+func TestSmallGroupIsClique(t *testing.T) {
+	kappa := 4
+	for n := 1; n <= kappa+1; n++ {
+		m := mustMaintainer(t, kappa, n, int64(n))
+		if m.Mode() != ModeClique {
+			t.Fatalf("n=%d mode = %v, want clique", n, m.Mode())
+		}
+		if got, want := len(m.Edges()), n*(n-1)/2; got != want {
+			t.Fatalf("n=%d edges = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestLargeGroupIsHGraph(t *testing.T) {
+	m := mustMaintainer(t, 4, 10, 1)
+	if m.Mode() != ModeHGraph {
+		t.Fatalf("mode = %v, want hgraph", m.Mode())
+	}
+	g := materialize(m)
+	if g.MaxDegree() > 4 {
+		t.Fatalf("max degree %d exceeds kappa=4", g.MaxDegree())
+	}
+	if !g.IsConnected() {
+		t.Fatal("expander graph not connected")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestDegreeNeverExceedsKappa(t *testing.T) {
+	for _, kappa := range []int{2, 4, 6, 8} {
+		for _, n := range []int{1, 3, kappa, kappa + 1, kappa + 2, 3 * kappa} {
+			m := mustMaintainer(t, kappa, n, int64(kappa*100+n))
+			g := materialize(m)
+			if g.MaxDegree() > kappa {
+				t.Fatalf("kappa=%d n=%d: max degree %d", kappa, n, g.MaxDegree())
+			}
+		}
+	}
+}
+
+func TestUpgradeToHGraphOnAdd(t *testing.T) {
+	kappa := 4
+	m := mustMaintainer(t, kappa, kappa+1, 3)
+	if m.Mode() != ModeClique {
+		t.Fatal("expected clique before threshold")
+	}
+	if err := m.Add(graph.NodeID(100)); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if m.Mode() != ModeHGraph {
+		t.Fatal("expected hgraph after crossing threshold")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if err := m.Add(graph.NodeID(100)); !errors.Is(err, ErrMember) {
+		t.Fatalf("dup add error = %v, want ErrMember", err)
+	}
+}
+
+func TestDowngradeToCliqueOnRemove(t *testing.T) {
+	kappa := 4
+	m := mustMaintainer(t, kappa, kappa+2, 3)
+	if m.Mode() != ModeHGraph {
+		t.Fatal("expected hgraph above threshold")
+	}
+	if err := m.Remove(0); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if m.Mode() != ModeClique {
+		t.Fatal("expected clique after shrink")
+	}
+	if err := m.Remove(0); !errors.Is(err, ErrNotMember) {
+		t.Fatalf("double remove error = %v, want ErrNotMember", err)
+	}
+}
+
+func TestHalfLossTriggersRebuildAndStaysValid(t *testing.T) {
+	m := mustMaintainer(t, 4, 40, 9)
+	for i := 0; i < 30; i++ {
+		if err := m.Remove(graph.NodeID(i)); err != nil {
+			t.Fatalf("Remove(%d): %v", i, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("Validate after remove %d: %v", i, err)
+		}
+	}
+	if m.Size() != 10 {
+		t.Fatalf("Size = %d, want 10", m.Size())
+	}
+}
+
+func TestConnectivityUnderChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m := mustMaintainer(t, 6, 20, 5)
+	next := graph.NodeID(1000)
+	for step := 0; step < 300; step++ {
+		if m.Size() > 2 && rng.Intn(2) == 0 {
+			members := m.Members()
+			if err := m.Remove(members[rng.Intn(len(members))]); err != nil {
+				t.Fatalf("step %d remove: %v", step, err)
+			}
+		} else {
+			if err := m.Add(next); err != nil {
+				t.Fatalf("step %d add: %v", step, err)
+			}
+			next++
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("step %d validate: %v", step, err)
+		}
+		if m.Size() >= 2 && !materialize(m).IsConnected() {
+			t.Fatalf("step %d: expander disconnected (size %d, mode %v)", step, m.Size(), m.Mode())
+		}
+	}
+}
+
+func TestExpansionIsConstant(t *testing.T) {
+	// The point of the substrate: groups wired by the maintainer have λ₂
+	// bounded away from zero regardless of size.
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{8, 30, 100} {
+		m := mustMaintainer(t, 6, n, int64(n))
+		lam := spectral.AlgebraicConnectivity(materialize(m), rng)
+		if lam < 0.3 {
+			t.Fatalf("n=%d: λ₂ = %v, want >= 0.3", n, lam)
+		}
+	}
+}
+
+func TestBuildEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	edges, err := BuildEdges(4, ids(3), rng)
+	if err != nil {
+		t.Fatalf("BuildEdges: %v", err)
+	}
+	if len(edges) != 3 {
+		t.Fatalf("clique of 3 should have 3 edges, got %d", len(edges))
+	}
+	if _, err := BuildEdges(5, ids(3), rng); !errors.Is(err, ErrBadKappa) {
+		t.Fatalf("BuildEdges odd kappa error = %v", err)
+	}
+}
+
+func TestPropertyModeMatchesThreshold(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		kappa := 2 * (1 + rng.Intn(4))
+		n := 1 + rng.Intn(3*kappa)
+		m, err := NewMaintainer(kappa, ids(n), rng)
+		if err != nil {
+			return false
+		}
+		for step := 0; step < 40; step++ {
+			if m.Size() > 1 && rng.Intn(2) == 0 {
+				members := m.Members()
+				if m.Remove(members[rng.Intn(len(members))]) != nil {
+					return false
+				}
+			} else {
+				if m.Add(graph.NodeID(10000+step)) != nil {
+					return false
+				}
+			}
+			wantClique := m.Size() <= kappa+1
+			if wantClique != (m.Mode() == ModeClique) {
+				return false
+			}
+			if m.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRebuildKeepsMembersAndValidity(t *testing.T) {
+	m := mustMaintainer(t, 4, 12, 17)
+	before := m.Members()
+	if err := m.Rebuild(); err != nil {
+		t.Fatalf("Rebuild: %v", err)
+	}
+	after := m.Members()
+	if len(before) != len(after) {
+		t.Fatalf("Rebuild changed membership: %v -> %v", before, after)
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("Rebuild changed membership: %v -> %v", before, after)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate after Rebuild: %v", err)
+	}
+	if !materialize(m).IsConnected() {
+		t.Fatal("rebuilt expander disconnected")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeClique.String() != "clique" || ModeHGraph.String() != "hgraph" {
+		t.Fatal("Mode strings wrong")
+	}
+	if Mode(0).String() != "Mode(0)" {
+		t.Fatal("unknown mode string wrong")
+	}
+}
+
+func TestEdgeSetMatchesEdges(t *testing.T) {
+	m := mustMaintainer(t, 4, 9, 19)
+	set := m.EdgeSet()
+	edges := m.Edges()
+	if len(set) != len(edges) {
+		t.Fatalf("EdgeSet size %d != Edges %d", len(set), len(edges))
+	}
+	for _, e := range edges {
+		if _, ok := set[e]; !ok {
+			t.Fatalf("edge %v missing from set", e)
+		}
+	}
+}
+
+func TestSingletonAndPairEdges(t *testing.T) {
+	single := mustMaintainer(t, 4, 1, 3)
+	if len(single.Edges()) != 0 {
+		t.Fatal("singleton should have no edges")
+	}
+	pair := mustMaintainer(t, 4, 2, 3)
+	if len(pair.Edges()) != 1 {
+		t.Fatalf("pair edges = %d, want 1", len(pair.Edges()))
+	}
+}
+
+func TestKappaAccessor(t *testing.T) {
+	m := mustMaintainer(t, 6, 4, 1)
+	if m.Kappa() != 6 {
+		t.Fatalf("Kappa = %d, want 6", m.Kappa())
+	}
+}

@@ -1,0 +1,82 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzGraphOps drives random operation sequences decoded from fuzz input
+// bytes and asserts the structural invariants (symmetry, loop-freedom, edge
+// accounting) after every operation.
+func FuzzGraphOps(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{255, 128, 64, 32, 16, 8, 4, 2, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := New()
+		for i := 0; i+2 < len(data); i += 3 {
+			op := data[i] % 4
+			u := NodeID(data[i+1] % 16)
+			v := NodeID(data[i+2] % 16)
+			switch op {
+			case 0:
+				g.EnsureNode(u)
+			case 1:
+				g.EnsureEdge(u, v)
+			case 2:
+				if g.HasNode(u) {
+					if _, err := g.RemoveNode(u); err != nil {
+						t.Fatalf("RemoveNode(%d): %v", u, err)
+					}
+				}
+			case 3:
+				if g.HasEdge(u, v) {
+					if err := g.RemoveEdge(u, v); err != nil {
+						t.Fatalf("RemoveEdge(%d,%d): %v", u, v, err)
+					}
+				}
+			}
+		}
+		if !checkSymmetric(g) {
+			t.Fatal("adjacency symmetry broken")
+		}
+		// Components partition the nodes.
+		total := 0
+		for _, comp := range g.Components() {
+			total += len(comp)
+		}
+		if total != g.NumNodes() {
+			t.Fatalf("components cover %d of %d nodes", total, g.NumNodes())
+		}
+	})
+}
+
+// FuzzDistanceConsistency checks Distance against BFSFrom on fuzzed graphs.
+func FuzzDistanceConsistency(f *testing.F) {
+	f.Add(int64(1), uint8(10))
+	f.Add(int64(42), uint8(20))
+	f.Fuzz(func(t *testing.T, seed int64, size uint8) {
+		n := int(size%24) + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		for i := 0; i < n; i++ {
+			g.EnsureNode(NodeID(i))
+		}
+		for i := 0; i < 2*n; i++ {
+			g.EnsureEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+		}
+		src := NodeID(rng.Intn(n))
+		dist := g.BFSFrom(src)
+		for i := 0; i < n; i++ {
+			dst := NodeID(i)
+			want, reachable := dist[dst]
+			got := g.Distance(src, dst)
+			if reachable && got != want {
+				t.Fatalf("Distance(%d,%d) = %d, BFS = %d", src, dst, got, want)
+			}
+			if !reachable && got != Unreachable {
+				t.Fatalf("Distance(%d,%d) = %d, want Unreachable", src, dst, got)
+			}
+		}
+	})
+}

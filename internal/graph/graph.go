@@ -1,0 +1,343 @@
+// Package graph provides the dynamic undirected simple graph that every
+// other subsystem in this repository builds on. It supports incremental
+// node/edge insertion and deletion, neighbor iteration in deterministic
+// order, and the traversal and statistics helpers (BFS distances, connected
+// components, diameter, degree summaries) needed by the Xheal algorithm, the
+// distributed simulator, and the measurement tooling.
+//
+// The graph is not safe for concurrent mutation; concurrent reads are safe.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node. IDs are assigned by callers (the harness uses
+// small dense integers; the distributed engine uses them as addresses).
+type NodeID int
+
+// Edge is an unordered pair of node IDs. Canonical form has U <= V.
+type Edge struct {
+	U, V NodeID
+}
+
+// NewEdge returns the canonical (U <= V) form of the edge {u, v}.
+func NewEdge(u, v NodeID) Edge {
+	if u > v {
+		u, v = v, u
+	}
+	return Edge{U: u, V: v}
+}
+
+// Other returns the endpoint of e that is not n. It panics if n is not an
+// endpoint; callers are expected to hold an incident edge.
+func (e Edge) Other(n NodeID) NodeID {
+	switch n {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic(fmt.Sprintf("graph: node %d is not an endpoint of edge %v", n, e))
+}
+
+// String implements fmt.Stringer.
+func (e Edge) String() string { return fmt.Sprintf("(%d,%d)", e.U, e.V) }
+
+// Sentinel errors returned by mutating operations.
+var (
+	ErrNodeExists   = errors.New("graph: node already exists")
+	ErrNodeMissing  = errors.New("graph: node does not exist")
+	ErrEdgeExists   = errors.New("graph: edge already exists")
+	ErrEdgeMissing  = errors.New("graph: edge does not exist")
+	ErrSelfLoop     = errors.New("graph: self loops are not allowed")
+	ErrEmptyGraph   = errors.New("graph: graph has no nodes")
+	ErrDisconnected = errors.New("graph: graph is not connected")
+)
+
+// Graph is a dynamic undirected simple graph.
+//
+// The zero value is not usable; call New.
+type Graph struct {
+	adj   map[NodeID]map[NodeID]struct{}
+	edges int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{adj: make(map[NodeID]map[NodeID]struct{})}
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		adj:   make(map[NodeID]map[NodeID]struct{}, len(g.adj)),
+		edges: g.edges,
+	}
+	for n, nbrs := range g.adj {
+		m := make(map[NodeID]struct{}, len(nbrs))
+		for w := range nbrs {
+			m[w] = struct{}{}
+		}
+		c.adj[n] = m
+	}
+	return c
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// HasNode reports whether n is present.
+func (g *Graph) HasNode(n NodeID) bool {
+	_, ok := g.adj[n]
+	return ok
+}
+
+// HasEdge reports whether the edge {u, v} is present.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	nbrs, ok := g.adj[u]
+	if !ok {
+		return false
+	}
+	_, ok = nbrs[v]
+	return ok
+}
+
+// Degree returns the degree of n, or 0 if n is absent.
+func (g *Graph) Degree(n NodeID) int { return len(g.adj[n]) }
+
+// AddNode inserts an isolated node. It returns ErrNodeExists if n is present.
+func (g *Graph) AddNode(n NodeID) error {
+	if g.HasNode(n) {
+		return fmt.Errorf("add node %d: %w", n, ErrNodeExists)
+	}
+	g.adj[n] = make(map[NodeID]struct{})
+	return nil
+}
+
+// EnsureNode inserts n if absent and reports whether it was inserted.
+func (g *Graph) EnsureNode(n NodeID) bool {
+	if g.HasNode(n) {
+		return false
+	}
+	g.adj[n] = make(map[NodeID]struct{})
+	return true
+}
+
+// RemoveNode deletes n and all incident edges, returning the neighbors it had
+// (sorted). It returns ErrNodeMissing if n is absent.
+func (g *Graph) RemoveNode(n NodeID) ([]NodeID, error) {
+	nbrs, ok := g.adj[n]
+	if !ok {
+		return nil, fmt.Errorf("remove node %d: %w", n, ErrNodeMissing)
+	}
+	out := make([]NodeID, 0, len(nbrs))
+	for w := range nbrs {
+		delete(g.adj[w], n)
+		out = append(out, w)
+		g.edges--
+	}
+	delete(g.adj, n)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// AddEdge inserts the edge {u, v}. Both endpoints must exist; self loops and
+// duplicate edges are rejected.
+func (g *Graph) AddEdge(u, v NodeID) error {
+	if u == v {
+		return fmt.Errorf("add edge (%d,%d): %w", u, v, ErrSelfLoop)
+	}
+	if !g.HasNode(u) {
+		return fmt.Errorf("add edge (%d,%d): endpoint %d: %w", u, v, u, ErrNodeMissing)
+	}
+	if !g.HasNode(v) {
+		return fmt.Errorf("add edge (%d,%d): endpoint %d: %w", u, v, v, ErrNodeMissing)
+	}
+	if g.HasEdge(u, v) {
+		return fmt.Errorf("add edge (%d,%d): %w", u, v, ErrEdgeExists)
+	}
+	g.adj[u][v] = struct{}{}
+	g.adj[v][u] = struct{}{}
+	g.edges++
+	return nil
+}
+
+// EnsureEdge inserts {u, v} if absent (creating endpoints as needed) and
+// reports whether a new edge was created. Self loops are ignored.
+func (g *Graph) EnsureEdge(u, v NodeID) bool {
+	if u == v {
+		return false
+	}
+	g.EnsureNode(u)
+	g.EnsureNode(v)
+	if g.HasEdge(u, v) {
+		return false
+	}
+	g.adj[u][v] = struct{}{}
+	g.adj[v][u] = struct{}{}
+	g.edges++
+	return true
+}
+
+// RemoveEdge deletes the edge {u, v}. It returns ErrEdgeMissing if absent.
+func (g *Graph) RemoveEdge(u, v NodeID) error {
+	if !g.HasEdge(u, v) {
+		return fmt.Errorf("remove edge (%d,%d): %w", u, v, ErrEdgeMissing)
+	}
+	delete(g.adj[u], v)
+	delete(g.adj[v], u)
+	g.edges--
+	return nil
+}
+
+// Nodes returns all node IDs in ascending order.
+func (g *Graph) Nodes() []NodeID {
+	out := make([]NodeID, 0, len(g.adj))
+	for n := range g.adj {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Neighbors returns the neighbors of n in ascending order. The slice is a
+// copy; mutating it does not affect the graph. Returns nil if n is absent.
+func (g *Graph) Neighbors(n NodeID) []NodeID {
+	nbrs, ok := g.adj[n]
+	if !ok {
+		return nil
+	}
+	out := make([]NodeID, 0, len(nbrs))
+	for w := range nbrs {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ForEachNeighbor calls fn for every neighbor of n in unspecified order.
+// It avoids the allocation of Neighbors for hot paths.
+func (g *Graph) ForEachNeighbor(n NodeID, fn func(NodeID)) {
+	for w := range g.adj[n] {
+		fn(w)
+	}
+}
+
+// Edges returns every edge once, in canonical sorted order.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.edges)
+	for u, nbrs := range g.adj {
+		for v := range nbrs {
+			if u < v {
+				out = append(out, Edge{U: u, V: v})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// MaxDegree returns the maximum degree, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	best := 0
+	for _, nbrs := range g.adj {
+		if len(nbrs) > best {
+			best = len(nbrs)
+		}
+	}
+	return best
+}
+
+// MinDegree returns the minimum degree, or 0 for an empty graph.
+func (g *Graph) MinDegree() int {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	best := -1
+	for _, nbrs := range g.adj {
+		if best < 0 || len(nbrs) < best {
+			best = len(nbrs)
+		}
+	}
+	return best
+}
+
+// Volume returns the sum of degrees of the given node set (2|E| over all
+// nodes). Absent nodes contribute zero.
+func (g *Graph) Volume(nodes []NodeID) int {
+	total := 0
+	for _, n := range nodes {
+		total += len(g.adj[n])
+	}
+	return total
+}
+
+// InducedSubgraph returns the subgraph induced by keep. Nodes absent from g
+// are ignored.
+func (g *Graph) InducedSubgraph(keep []NodeID) *Graph {
+	set := make(map[NodeID]struct{}, len(keep))
+	sub := New()
+	for _, n := range keep {
+		if g.HasNode(n) {
+			set[n] = struct{}{}
+			sub.EnsureNode(n)
+		}
+	}
+	for n := range set {
+		for w := range g.adj[n] {
+			if _, ok := set[w]; ok && n < w {
+				sub.EnsureEdge(n, w)
+			}
+		}
+	}
+	return sub
+}
+
+// CutSize returns |E(S, V-S)|: the number of edges with exactly one endpoint
+// in s. Nodes in s absent from g are ignored.
+func (g *Graph) CutSize(s map[NodeID]struct{}) int {
+	cut := 0
+	for n := range s {
+		for w := range g.adj[n] {
+			if _, in := s[w]; !in {
+				cut++
+			}
+		}
+	}
+	return cut
+}
+
+// Equal reports whether g and h have identical node and edge sets.
+func (g *Graph) Equal(h *Graph) bool {
+	if g.NumNodes() != h.NumNodes() || g.NumEdges() != h.NumEdges() {
+		return false
+	}
+	for n, nbrs := range g.adj {
+		hn, ok := h.adj[n]
+		if !ok || len(hn) != len(nbrs) {
+			return false
+		}
+		for w := range nbrs {
+			if _, ok := hn[w]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String returns a compact human-readable rendering, e.g. for test failures.
+func (g *Graph) String() string {
+	return fmt.Sprintf("Graph{n=%d m=%d}", g.NumNodes(), g.NumEdges())
+}

@@ -1,0 +1,168 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomGraphFromSeed builds a deterministic pseudo-random graph from a seed:
+// n in [1, 24], each pair an edge with probability p in [0.1, 0.7].
+func randomGraphFromSeed(seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 + rng.Intn(24)
+	p := 0.1 + 0.6*rng.Float64()
+	g := New()
+	for i := 0; i < n; i++ {
+		g.EnsureNode(NodeID(i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.EnsureEdge(NodeID(i), NodeID(j))
+			}
+		}
+	}
+	return g
+}
+
+// checkSymmetric verifies the adjacency structure is symmetric and loop-free
+// and that the edge counter matches reality.
+func checkSymmetric(g *Graph) bool {
+	count := 0
+	for _, u := range g.Nodes() {
+		for _, v := range g.Neighbors(u) {
+			if u == v {
+				return false
+			}
+			if !g.HasEdge(v, u) {
+				return false
+			}
+			if u < v {
+				count++
+			}
+		}
+	}
+	return count == g.NumEdges()
+}
+
+func TestPropertyAdjacencySymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		return checkSymmetric(randomGraphFromSeed(seed))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRemoveNodeKeepsSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraphFromSeed(seed)
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		nodes := g.Nodes()
+		// Remove half the nodes in random order.
+		rng.Shuffle(len(nodes), func(i, j int) { nodes[i], nodes[j] = nodes[j], nodes[i] })
+		for _, n := range nodes[:len(nodes)/2] {
+			if _, err := g.RemoveNode(n); err != nil {
+				return false
+			}
+			if !checkSymmetric(g) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDistanceSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraphFromSeed(seed)
+		nodes := g.Nodes()
+		rng := rand.New(rand.NewSource(seed ^ 0xd15c))
+		for k := 0; k < 10; k++ {
+			u := nodes[rng.Intn(len(nodes))]
+			v := nodes[rng.Intn(len(nodes))]
+			if g.Distance(u, v) != g.Distance(v, u) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraphFromSeed(seed)
+		nodes := g.Nodes()
+		rng := rand.New(rand.NewSource(seed ^ 0x7a1))
+		for k := 0; k < 10; k++ {
+			a := nodes[rng.Intn(len(nodes))]
+			b := nodes[rng.Intn(len(nodes))]
+			c := nodes[rng.Intn(len(nodes))]
+			dab, dbc, dac := g.Distance(a, b), g.Distance(b, c), g.Distance(a, c)
+			if dab == Unreachable || dbc == Unreachable {
+				continue
+			}
+			if dac == Unreachable || dac > dab+dbc {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyComponentsPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraphFromSeed(seed)
+		comps := g.Components()
+		seen := map[NodeID]bool{}
+		total := 0
+		for _, comp := range comps {
+			total += len(comp)
+			for _, n := range comp {
+				if seen[n] {
+					return false // overlap
+				}
+				seen[n] = true
+			}
+		}
+		if total != g.NumNodes() {
+			return false
+		}
+		// No edges between different components.
+		compOf := map[NodeID]int{}
+		for i, comp := range comps {
+			for _, n := range comp {
+				compOf[n] = i
+			}
+		}
+		for _, e := range g.Edges() {
+			if compOf[e.U] != compOf[e.V] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCloneEqual(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraphFromSeed(seed)
+		return g.Equal(g.Clone())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,168 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+)
+
+func cycleGraph(t *testing.T, n int) *Graph {
+	t.Helper()
+	g := pathGraph(t, n)
+	if n > 2 {
+		mustAddEdges(t, g, [2]NodeID{0, NodeID(n - 1)})
+	}
+	return g
+}
+
+func TestBFSFromPath(t *testing.T) {
+	g := pathGraph(t, 5)
+	dist := g.BFSFrom(0)
+	for i := 0; i < 5; i++ {
+		if dist[NodeID(i)] != i {
+			t.Fatalf("dist[%d] = %d, want %d", i, dist[NodeID(i)], i)
+		}
+	}
+	if g.BFSFrom(99) != nil {
+		t.Fatal("BFSFrom absent node should be nil")
+	}
+}
+
+func TestDistance(t *testing.T) {
+	g := pathGraph(t, 10)
+	tests := []struct {
+		u, v NodeID
+		want int
+	}{
+		{0, 9, 9},
+		{0, 0, 0},
+		{3, 7, 4},
+		{9, 0, 9},
+	}
+	for _, tc := range tests {
+		if got := g.Distance(tc.u, tc.v); got != tc.want {
+			t.Errorf("Distance(%d,%d) = %d, want %d", tc.u, tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestDistanceUnreachable(t *testing.T) {
+	g := New()
+	mustAddNodes(t, g, 1, 2)
+	if got := g.Distance(1, 2); got != Unreachable {
+		t.Fatalf("Distance in disconnected graph = %d, want Unreachable", got)
+	}
+	if got := g.Distance(1, 99); got != Unreachable {
+		t.Fatalf("Distance to absent node = %d, want Unreachable", got)
+	}
+}
+
+func TestDistanceMatchesBFS(t *testing.T) {
+	// Cross-check bidirectional BFS against plain BFS on a cycle.
+	g := cycleGraph(t, 11)
+	dist := g.BFSFrom(0)
+	for n, want := range dist {
+		if got := g.Distance(0, n); got != want {
+			t.Fatalf("Distance(0,%d) = %d, BFS says %d", n, got, want)
+		}
+	}
+}
+
+func TestIsConnectedAndComponents(t *testing.T) {
+	g := New()
+	if !g.IsConnected() {
+		t.Fatal("empty graph should count as connected")
+	}
+	mustAddNodes(t, g, 0, 1, 2, 3, 4)
+	mustAddEdges(t, g, [2]NodeID{0, 1}, [2]NodeID{2, 3})
+	if g.IsConnected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("Components = %d sets, want 3", len(comps))
+	}
+	if comps[0][0] != 0 || comps[1][0] != 2 || comps[2][0] != 4 {
+		t.Fatalf("components out of order: %v", comps)
+	}
+	lc := g.LargestComponent()
+	if len(lc) != 2 || lc[0] != 0 {
+		t.Fatalf("LargestComponent = %v, want [0 1]", lc)
+	}
+	mustAddEdges(t, g, [2]NodeID{1, 2}, [2]NodeID{3, 4})
+	if !g.IsConnected() {
+		t.Fatal("connected graph reported disconnected")
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	g := pathGraph(t, 6)
+	d, err := g.Diameter()
+	if err != nil {
+		t.Fatalf("Diameter: %v", err)
+	}
+	if d != 5 {
+		t.Fatalf("path diameter = %d, want 5", d)
+	}
+
+	c := cycleGraph(t, 8)
+	d, err = c.Diameter()
+	if err != nil {
+		t.Fatalf("Diameter: %v", err)
+	}
+	if d != 4 {
+		t.Fatalf("cycle diameter = %d, want 4", d)
+	}
+
+	if _, err := New().Diameter(); !errors.Is(err, ErrEmptyGraph) {
+		t.Fatalf("empty diameter error = %v, want ErrEmptyGraph", err)
+	}
+	disc := New()
+	mustAddNodes(t, disc, 1, 2)
+	if _, err := disc.Diameter(); !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("disconnected diameter error = %v, want ErrDisconnected", err)
+	}
+}
+
+func TestEccentricity(t *testing.T) {
+	g := pathGraph(t, 5)
+	if got := g.Eccentricity(0); got != 4 {
+		t.Fatalf("Eccentricity(0) = %d, want 4", got)
+	}
+	if got := g.Eccentricity(2); got != 2 {
+		t.Fatalf("Eccentricity(2) = %d, want 2", got)
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := pathGraph(t, 5)
+	p := g.ShortestPath(0, 4)
+	if len(p) != 5 {
+		t.Fatalf("ShortestPath length = %d, want 5", len(p))
+	}
+	for i, n := range p {
+		if n != NodeID(i) {
+			t.Fatalf("path[%d] = %d, want %d", i, n, i)
+		}
+	}
+	if p := g.ShortestPath(2, 2); len(p) != 1 || p[0] != 2 {
+		t.Fatalf("trivial path = %v, want [2]", p)
+	}
+	disc := New()
+	mustAddNodes(t, disc, 1, 2)
+	if p := disc.ShortestPath(1, 2); p != nil {
+		t.Fatalf("path in disconnected graph = %v, want nil", p)
+	}
+}
+
+func TestShortestPathIsValidWalk(t *testing.T) {
+	g := cycleGraph(t, 9)
+	p := g.ShortestPath(0, 4)
+	if len(p)-1 != g.Distance(0, 4) {
+		t.Fatalf("path length %d != distance %d", len(p)-1, g.Distance(0, 4))
+	}
+	for i := 0; i+1 < len(p); i++ {
+		if !g.HasEdge(p[i], p[i+1]) {
+			t.Fatalf("path step (%d,%d) is not an edge", p[i], p[i+1])
+		}
+	}
+}

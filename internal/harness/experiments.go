@@ -1,0 +1,381 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/xheal/xheal/internal/adversary"
+	"github.com/xheal/xheal/internal/baseline"
+	"github.com/xheal/xheal/internal/dist"
+	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/metrics"
+	"github.com/xheal/xheal/internal/spectral"
+	"github.com/xheal/xheal/internal/workload"
+)
+
+// Experiment is one reproducible unit of the paper's evaluation.
+type Experiment struct {
+	ID   string
+	Name string
+	Run  func() (*Table, error)
+}
+
+// All returns every experiment in order E1..E14.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "E1", Name: "degree increase (Theorem 2.1)", Run: E1Degree},
+		{ID: "E2", Name: "stretch (Theorem 2.2)", Run: E2Stretch},
+		{ID: "E3", Name: "edge expansion (Theorem 2.3)", Run: E3Expansion},
+		{ID: "E4", Name: "spectral gap (Theorem 2.4)", Run: E4Spectral},
+		{ID: "E5", Name: "expander preservation (Corollary 1)", Run: E5ExpanderPreservation},
+		{ID: "E6", Name: "distributed cost (Theorem 5)", Run: E6DistributedCost},
+		{ID: "E7", Name: "H-graph expansion (Theorem 4)", Run: E7HGraphExpansion},
+		{ID: "E8", Name: "H-graph stationarity (Theorem 3)", Run: E8HGraphStationarity},
+		{ID: "E9", Name: "star attack vs baselines (§1 example)", Run: E9StarAttack},
+		{ID: "E10", Name: "message lower bound (Lemma 5)", Run: E10LowerBound},
+		{ID: "E11", Name: "model conformance & invariants (Fig. 1)", Run: E11Invariants},
+		{ID: "E12", Name: "ablations (κ, secondary clouds, sharing)", Run: E12Ablations},
+		{ID: "E13", Name: "empirical mixing time (extension)", Run: E13Mixing},
+		{ID: "E14", Name: "routing congestion (extension)", Run: E14Congestion},
+	}
+}
+
+func buildInitial(name string, n int, seed int64) (*graph.Graph, error) {
+	return workload.ByName(name, n, rand.New(rand.NewSource(seed)))
+}
+
+// E1Degree measures the paper's degree-increase metric under churn: Theorem
+// 2.1 promises deg_G(x) ≤ κ·deg_G′(x) + 2κ, i.e. a worst-case ratio of 3κ
+// (at deg_G′ = 1). The table reports the max ratio observed over the run.
+func E1Degree() (*Table, error) {
+	t := &Table{
+		ID:      "E1",
+		Title:   "degree increase under churn vs Theorem 2.1 bound",
+		Columns: []string{"workload", "n0", "kappa", "steps", "max deg ratio", "bound 3k", "ok"},
+		Notes: []string{
+			"ratio = max over alive x of deg_G(x)/max(1, deg_G'(x)), max over sampled steps",
+		},
+	}
+	cases := []struct {
+		wl    string
+		n     int
+		kappa int
+		steps int
+	}{
+		{workload.NameErdosRenyi, 64, 4, 96},
+		{workload.NameErdosRenyi, 64, 8, 96},
+		{workload.NamePowerLaw, 128, 4, 128},
+		{workload.NameRegular, 96, 6, 128},
+		{workload.NameStar, 48, 4, 64},
+	}
+	for i, c := range cases {
+		g0, err := buildInitial(c.wl, c.n, int64(100+i))
+		if err != nil {
+			return nil, err
+		}
+		h, err := baseline.NewXheal(g0, c.kappa, int64(200+i))
+		if err != nil {
+			return nil, err
+		}
+		res, err := Run(Scenario{
+			Name:        fmt.Sprintf("E1-%s", c.wl),
+			Initial:     g0,
+			Adversary:   adversary.NewRandomChurn(c.steps, 0.6, 3, int64(300+i)),
+			Healers:     []baseline.Healer{h},
+			SampleEvery: 8,
+			Metrics:     metrics.Config{SkipSpectral: true, StretchSources: 1},
+		})
+		if err != nil {
+			return nil, err
+		}
+		worst := 0.0
+		for _, s := range res.Series[0].Snapshots {
+			if s.Snap.MaxDegreeRatio > worst {
+				worst = s.Snap.MaxDegreeRatio
+			}
+		}
+		bound := metrics.DegreeBoundRatio(c.kappa)
+		t.AddRow(c.wl, I(c.n), I(c.kappa), I(res.Steps), F(worst), F1(bound), B(worst <= bound))
+	}
+	return t, nil
+}
+
+// E2Stretch measures pairwise stretch against G′ under stretch-hostile
+// attacks; Theorem 2.2 bounds it by O(log n).
+func E2Stretch() (*Table, error) {
+	t := &Table{
+		ID:      "E2",
+		Title:   "stretch vs G' under deletion attacks vs Theorem 2.2 envelope",
+		Columns: []string{"workload", "n0", "attack", "steps", "max stretch", "4*log2(n)", "ok"},
+		Notes:   []string{"stretch = max over alive pairs of dist_G(u,v)/dist_G'(u,v)"},
+	}
+	cases := []struct {
+		wl     string
+		n      int
+		attack string
+		steps  int
+	}{
+		{workload.NamePath, 32, "dismantle", 10},
+		{workload.NamePath, 64, "dismantle", 20},
+		{workload.NameGrid, 64, "dismantle", 20},
+		{workload.NameErdosRenyi, 64, "churn", 64},
+		{workload.NameCycle, 48, "sequential", 16},
+	}
+	for i, c := range cases {
+		g0, err := buildInitial(c.wl, c.n, int64(400+i))
+		if err != nil {
+			return nil, err
+		}
+		var adv adversary.Adversary
+		switch c.attack {
+		case "dismantle":
+			adv = adversary.NewPathDismantler(c.steps)
+		case "sequential":
+			adv = adversary.NewSequential(c.steps)
+		default:
+			adv = adversary.NewRandomChurn(c.steps, 0.6, 2, int64(500+i))
+		}
+		h, err := baseline.NewXheal(g0, 4, int64(600+i))
+		if err != nil {
+			return nil, err
+		}
+		res, err := Run(Scenario{
+			Name:        fmt.Sprintf("E2-%s", c.wl),
+			Initial:     g0,
+			Adversary:   adv,
+			Healers:     []baseline.Healer{h},
+			SampleEvery: 4,
+			Metrics:     metrics.Config{SkipSpectral: true},
+		})
+		if err != nil {
+			return nil, err
+		}
+		worst := 1.0
+		for _, s := range res.Series[0].Snapshots {
+			if s.Snap.MaxStretch > worst {
+				worst = s.Snap.MaxStretch
+			}
+		}
+		envelope := metrics.StretchBound(res.Baseline.NumNodes(), 4)
+		t.AddRow(c.wl, I(c.n), c.attack, I(res.Steps), F(worst), F1(envelope), B(worst <= envelope))
+	}
+	return t, nil
+}
+
+// E3Expansion verifies Theorem 2.3 exactly on small graphs: after
+// deletion-only attacks (G′ stays the initial graph), h(G) must be at least
+// min(1, h(G′)) — the theorem's min(α, h(G′)) with the conservative α = 1
+// our clique/H-graph clouds guarantee.
+func E3Expansion() (*Table, error) {
+	t := &Table{
+		ID:      "E3",
+		Title:   "edge expansion after deletions vs Theorem 2.3 (exact, small n)",
+		Columns: []string{"workload", "n0", "deletions", "h(G')", "h(G)", "min(1,h(G'))", "ok"},
+	}
+	cases := []struct {
+		wl   string
+		n    int
+		dels int
+	}{
+		{workload.NameStar, 12, 4},
+		{workload.NameComplete, 16, 8},
+		{workload.NameCycle, 14, 4},
+		{workload.NameErdosRenyi, 14, 5},
+		{workload.NameHypercube, 16, 6},
+	}
+	for i, c := range cases {
+		g0, err := buildInitial(c.wl, c.n, int64(700+i))
+		if err != nil {
+			return nil, err
+		}
+		hGp, _, err := expansionExact(g0)
+		if err != nil {
+			return nil, err
+		}
+		h, err := baseline.NewXheal(g0, 4, int64(800+i))
+		if err != nil {
+			return nil, err
+		}
+		res, err := Run(Scenario{
+			Name:      fmt.Sprintf("E3-%s", c.wl),
+			Initial:   g0,
+			Adversary: adversary.NewSequential(c.dels),
+			Healers:   []baseline.Healer{h},
+			Metrics:   metrics.Config{},
+		})
+		if err != nil {
+			return nil, err
+		}
+		final := res.Series[0].Final()
+		bound := math.Min(1, hGp)
+		ok := final.ExpansionExact >= bound-1e-9
+		t.AddRow(c.wl, I(c.n), I(res.Steps), F(hGp), F(final.ExpansionExact), F(bound), B(ok))
+	}
+	return t, nil
+}
+
+// E4Spectral verifies Theorem 2.4's λ₂ floor after heavy deletions.
+func E4Spectral() (*Table, error) {
+	t := &Table{
+		ID:      "E4",
+		Title:   "algebraic connectivity after deletions vs Theorem 2.4 floor",
+		Columns: []string{"workload", "n0", "kappa", "lam2(G')", "dmin'", "dmax'", "floor", "lam2(G)", "ok"},
+	}
+	cases := []struct {
+		wl    string
+		n     int
+		kappa int
+		dels  int
+	}{
+		{workload.NameComplete, 32, 4, 16},
+		{workload.NameErdosRenyi, 48, 4, 20},
+		{workload.NameRegular, 64, 6, 32},
+		{workload.NameHypercube, 64, 4, 24},
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i, c := range cases {
+		g0, err := buildInitial(c.wl, c.n, int64(900+i))
+		if err != nil {
+			return nil, err
+		}
+		lamGp := spectral.AlgebraicConnectivity(g0, rng)
+		h, err := baseline.NewXheal(g0, c.kappa, int64(1000+i))
+		if err != nil {
+			return nil, err
+		}
+		res, err := Run(Scenario{
+			Name:      fmt.Sprintf("E4-%s", c.wl),
+			Initial:   g0,
+			Adversary: adversary.NewRandomChurn(c.dels, 1.0, 1, int64(1100+i)),
+			Healers:   []baseline.Healer{h},
+			Metrics:   metrics.Config{StretchSources: 2},
+		})
+		if err != nil {
+			return nil, err
+		}
+		final := res.Series[0].Final()
+		floor := metrics.SpectralFloor(lamGp, res.Baseline.MinDegree(), res.Baseline.MaxDegree(), c.kappa)
+		ok := final.Lambda2 >= floor && final.Connected
+		t.AddRow(c.wl, I(c.n), I(c.kappa), F(lamGp), I(res.Baseline.MinDegree()),
+			I(res.Baseline.MaxDegree()), F(floor), F(final.Lambda2), B(ok))
+	}
+	return t, nil
+}
+
+// E5ExpanderPreservation is Corollary 1: start from a bounded-degree
+// expander (a random H-graph), delete half the nodes, and compare the healed
+// spectral gap under Xheal against the Forgiving-Tree-style repair.
+func E5ExpanderPreservation() (*Table, error) {
+	t := &Table{
+		ID:    "E5",
+		Title: "expander in => expander out (Corollary 1), Xheal vs tree repair",
+		Columns: []string{"n0", "lam2n(G0)", "deletions",
+			"xheal lam2n", "tree lam2n", "xheal/tree", "ok"},
+		Notes: []string{
+			"lam2n = normalized algebraic connectivity; initial graph is a random 6-regular H-graph",
+		},
+	}
+	rng := rand.New(rand.NewSource(17))
+	for i, n := range []int{64, 128, 256} {
+		g0, err := workload.RandomRegular(n, 3, rand.New(rand.NewSource(int64(1200+i))))
+		if err != nil {
+			return nil, err
+		}
+		lam0 := spectral.NormalizedAlgebraicConnectivity(g0, rng)
+		xh, err := baseline.NewXheal(g0, 6, int64(1300+i))
+		if err != nil {
+			return nil, err
+		}
+		tree, err := baseline.New(baseline.NameForgivingTree, g0, 6, int64(1300+i))
+		if err != nil {
+			return nil, err
+		}
+		res, err := Run(Scenario{
+			Name:      fmt.Sprintf("E5-%d", n),
+			Initial:   g0,
+			Adversary: adversary.NewRandomChurn(n/2, 1.0, 1, int64(1400+i)),
+			Healers:   []baseline.Healer{xh, tree},
+			Metrics:   metrics.Config{StretchSources: 2},
+		})
+		if err != nil {
+			return nil, err
+		}
+		xhFinal := res.SeriesFor(baseline.NameXheal).Final()
+		treeFinal := res.SeriesFor(baseline.NameForgivingTree).Final()
+		ratio := math.Inf(1)
+		if treeFinal.Lambda2Norm > 0 {
+			ratio = xhFinal.Lambda2Norm / treeFinal.Lambda2Norm
+		}
+		ok := xhFinal.Lambda2Norm >= 0.05 && ratio > 1
+		t.AddRow(I(n), F(lam0), I(res.Steps), F(xhFinal.Lambda2Norm),
+			F(treeFinal.Lambda2Norm), F1(ratio), B(ok))
+	}
+	return t, nil
+}
+
+// E6DistributedCost measures the distributed protocol's repair cost
+// (Theorem 5): rounds per deletion vs log n, and amortized messages vs
+// κ·log n·A(p).
+func E6DistributedCost() (*Table, error) {
+	t := &Table{
+		ID:    "E6",
+		Title: "distributed repair cost (Theorem 5)",
+		Columns: []string{"n0", "deletions", "mean rounds", "max rounds", "log2 n",
+			"amort msgs", "A(p)", "k*log2n*A(p)", "ok"},
+		Notes: []string{
+			"initial graph: random 6-regular H-graph; kappa=4; deletions target random nodes",
+			"ok: amortized messages within 4x the paper's K*log2(n)*A(p) envelope",
+		},
+	}
+	const kappa = 4
+	for i, n := range []int{32, 64, 128, 256} {
+		g0, err := workload.RandomRegular(n, 3, rand.New(rand.NewSource(int64(1500+i))))
+		if err != nil {
+			return nil, err
+		}
+		e, err := dist.NewEngine(dist.Config{Kappa: kappa, Seed: int64(1600 + i)}, g0)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(int64(1700 + i)))
+		dels := n / 4
+		for d := 0; d < dels; d++ {
+			alive := e.State().AliveNodes()
+			if err := e.Delete(alive[rng.Intn(len(alive))]); err != nil {
+				e.Close()
+				return nil, err
+			}
+		}
+		if err := e.ValidateLocalViews(); err != nil {
+			e.Close()
+			return nil, err
+		}
+		costs := e.Costs()
+		maxRounds, sumRounds := 0, 0
+		for _, c := range costs {
+			sumRounds += c.Rounds
+			if c.Rounds > maxRounds {
+				maxRounds = c.Rounds
+			}
+		}
+		meanRounds := float64(sumRounds) / float64(len(costs))
+		amort := float64(e.Totals().Messages) / float64(len(costs))
+		ap := e.AmortizedLowerBound()
+		envelope := float64(kappa) * math.Log2(float64(n)) * ap
+		ok := amort <= 4*envelope
+		t.AddRow(I(n), I(dels), F1(meanRounds), I(maxRounds), F1(math.Log2(float64(n))),
+			F1(amort), F1(ap), F1(envelope), B(ok))
+		e.Close()
+	}
+	return t, nil
+}
+
+// expansionExact wraps cuts for initial-graph measurements.
+func expansionExact(g *graph.Graph) (float64, float64, error) {
+	snap := metrics.Measure(g, g, metrics.Config{SkipSpectral: true})
+	if snap.ExpansionExact == metrics.Unavailable {
+		return 0, 0, fmt.Errorf("harness: graph too large for exact expansion (n=%d)", g.NumNodes())
+	}
+	return snap.ExpansionExact, snap.ConductanceExact, nil
+}

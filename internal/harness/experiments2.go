@@ -1,0 +1,388 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"github.com/xheal/xheal/internal/adversary"
+	"github.com/xheal/xheal/internal/baseline"
+	"github.com/xheal/xheal/internal/core"
+	"github.com/xheal/xheal/internal/cuts"
+	"github.com/xheal/xheal/internal/dist"
+	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/hgraph"
+	"github.com/xheal/xheal/internal/metrics"
+	"github.com/xheal/xheal/internal/spectral"
+	"github.com/xheal/xheal/internal/workload"
+)
+
+// E7HGraphExpansion samples random H-graphs and measures their spectral gap:
+// Theorem 4 promises expansion Ω(d) w.h.p. for d ≥ 2 Hamilton cycles (d = 1
+// is a plain cycle — the negative control).
+func E7HGraphExpansion() (*Table, error) {
+	t := &Table{
+		ID:      "E7",
+		Title:   "random H-graph expansion (Theorem 4), 20 samples per cell",
+		Columns: []string{"n", "d", "mean lam2n", "min lam2n", "frac expander", "ok"},
+		Notes: []string{
+			"expander threshold: normalized lam2 >= 0.1; d=1 rows are the negative control (a bare cycle)",
+		},
+	}
+	rng := rand.New(rand.NewSource(23))
+	const samples = 20
+	for _, n := range []int{16, 64, 256} {
+		for _, d := range []int{1, 2, 3} {
+			mean, minLam := 0.0, math.Inf(1)
+			good := 0
+			for s := 0; s < samples; s++ {
+				g, err := workload.RandomRegular(n, d, rand.New(rand.NewSource(int64(n*1000+d*100+s))))
+				if err != nil {
+					return nil, err
+				}
+				lam := spectral.NormalizedAlgebraicConnectivity(g, rng)
+				mean += lam
+				if lam < minLam {
+					minLam = lam
+				}
+				if lam >= 0.1 {
+					good++
+				}
+			}
+			mean /= samples
+			frac := float64(good) / samples
+			ok := frac >= 0.9
+			if d == 1 {
+				ok = true // negative control: no expansion expected at large n
+			}
+			t.AddRow(I(n), I(d), F(mean), F(minLam), F(frac), B(ok))
+		}
+	}
+	return t, nil
+}
+
+// E8HGraphStationarity tests Theorem 3: the H-graph distribution is
+// invariant under INSERT/DELETE. We compare the empirical distribution of
+// labeled 5-node Hamilton cycles from fresh construction against cycles
+// obtained by building a 7-node H-graph and deleting two nodes.
+func E8HGraphStationarity() (*Table, error) {
+	const (
+		n       = 5
+		samples = 4000
+	)
+	ids := func() []graph.NodeID {
+		out := make([]graph.NodeID, n)
+		for i := range out {
+			out[i] = graph.NodeID(i)
+		}
+		return out
+	}()
+
+	canon := func(h *hgraph.H) string {
+		var b strings.Builder
+		cur := graph.NodeID(0)
+		for i := 0; i < n; i++ {
+			b.WriteString(strconv.Itoa(int(cur)))
+			next, ok := h.SuccessorOn(0, cur)
+			if !ok {
+				return "invalid"
+			}
+			b.WriteByte('-')
+			cur = next
+		}
+		return b.String()
+	}
+
+	fresh := make(map[string]int)
+	churned := make(map[string]int)
+	for s := 0; s < samples; s++ {
+		rngF := rand.New(rand.NewSource(int64(2*s + 1)))
+		hf, err := hgraph.New(1, ids, rngF)
+		if err != nil {
+			return nil, err
+		}
+		fresh[canon(hf)]++
+
+		rngC := rand.New(rand.NewSource(int64(2*s + 2)))
+		extended := append(append([]graph.NodeID(nil), ids...), 100, 101)
+		hc, err := hgraph.New(1, extended, rngC)
+		if err != nil {
+			return nil, err
+		}
+		if err := hc.Delete(100); err != nil {
+			return nil, err
+		}
+		if err := hc.Delete(101); err != nil {
+			return nil, err
+		}
+		churned[canon(hc)]++
+	}
+
+	cells := make(map[string]struct{})
+	for k := range fresh {
+		cells[k] = struct{}{}
+	}
+	for k := range churned {
+		cells[k] = struct{}{}
+	}
+	tv := 0.0
+	for k := range cells {
+		tv += math.Abs(float64(fresh[k])-float64(churned[k])) / samples
+	}
+	tv /= 2
+	tvUniform := 0.0
+	uniform := float64(samples) / 24 // (n-1)! directed labeled cycles
+	for k := range cells {
+		tvUniform += math.Abs(float64(fresh[k]) - uniform)
+	}
+	tvUniform /= 2 * samples
+
+	t := &Table{
+		ID:      "E8",
+		Title:   "H-graph distribution stationarity under churn (Theorem 3)",
+		Columns: []string{"cells", "samples", "TV(fresh, churned)", "TV(fresh, uniform)", "ok"},
+		Notes: []string{
+			"TV = total variation distance between empirical cycle distributions (24 possible cycles)",
+			"churned = 7-node construction followed by two DELETEs down to the same 5 labels",
+		},
+	}
+	ok := tv < 0.08 && tvUniform < 0.08
+	t.AddRow(I(len(cells)), I(samples), F(tv), F(tvUniform), B(ok))
+	return t, nil
+}
+
+// E9StarAttack reproduces the paper's motivating example (§1, Related Work):
+// delete the center of a star and compare every healer. Tree repairs crash
+// the expansion to O(1/n); Xheal keeps it constant.
+func E9StarAttack() (*Table, error) {
+	const leaves = 16
+	t := &Table{
+		ID:      "E9",
+		Title:   fmt.Sprintf("star K(1,%d) center deletion: healed topology by algorithm", leaves),
+		Columns: []string{"healer", "h(G)", "phi(G)", "lam2", "max deg", "diameter", "connected"},
+		Notes: []string{
+			"paper: tree-like repairs pull expansion down to O(1/n); Xheal keeps >= min(alpha, h(G'))",
+		},
+	}
+	g0, err := workload.Star(leaves)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(33))
+	for _, name := range baseline.Names() {
+		h, err := baseline.New(name, g0, 4, 77)
+		if err != nil {
+			return nil, err
+		}
+		if err := h.Delete(0); err != nil {
+			return nil, err
+		}
+		healed := h.Graph()
+		var hExact, phiExact float64 = metrics.Unavailable, metrics.Unavailable
+		if v, err := cuts.EdgeExpansion(healed); err == nil {
+			hExact = v
+		}
+		if v, err := cuts.Conductance(healed); err == nil {
+			phiExact = v
+		}
+		lam := spectral.AlgebraicConnectivity(healed, rng)
+		diam := "-"
+		if d, err := healed.Diameter(); err == nil {
+			diam = I(d)
+		}
+		connected := "yes"
+		if !healed.IsConnected() {
+			connected = "no" // expected for the do-nothing baseline
+		}
+		t.AddRow(name, F(hExact), F(phiExact), F(lam), I(healed.MaxDegree()),
+			diam, connected)
+	}
+	return t, nil
+}
+
+// E10LowerBound compares per-deletion message cost against Lemma 5's
+// Θ(deg(v)) lower bound: no repair can use fewer messages than the black
+// degree, and Xheal stays within an O(κ log n) factor.
+func E10LowerBound() (*Table, error) {
+	t := &Table{
+		ID:    "E10",
+		Title: "messages vs Lemma 5 lower bound",
+		Columns: []string{"workload", "n0", "deletions", "min msg/deg", "mean msg/deg",
+			"max msg/deg", "k*log2(n)", "ok"},
+		Notes: []string{
+			"msg/deg = per-deletion protocol messages / black degree of deleted node",
+			"ok: every deletion used at least ~deg(v) messages and the mean stays within 4*k*log2(n)",
+		},
+	}
+	const kappa = 4
+	cases := []struct {
+		wl string
+		n  int
+	}{
+		{workload.NameErdosRenyi, 48},
+		{workload.NameRegular, 128},
+		{workload.NamePowerLaw, 96},
+	}
+	for i, c := range cases {
+		g0, err := buildInitial(c.wl, c.n, int64(1800+i))
+		if err != nil {
+			return nil, err
+		}
+		e, err := dist.NewEngine(dist.Config{Kappa: kappa, Seed: int64(1900 + i)}, g0)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(int64(2000 + i)))
+		for d := 0; d < c.n/4; d++ {
+			alive := e.State().AliveNodes()
+			if err := e.Delete(alive[rng.Intn(len(alive))]); err != nil {
+				e.Close()
+				return nil, err
+			}
+		}
+		minR, maxR, sumR := math.Inf(1), 0.0, 0.0
+		count := 0
+		for _, cost := range e.Costs() {
+			if cost.BlackDegree == 0 {
+				continue
+			}
+			r := float64(cost.Messages) / float64(cost.BlackDegree)
+			if r < minR {
+				minR = r
+			}
+			if r > maxR {
+				maxR = r
+			}
+			sumR += r
+			count++
+		}
+		mean := sumR / float64(count)
+		factor := float64(kappa) * math.Log2(float64(c.n))
+		ok := minR >= 0.9 && mean <= 4*factor
+		t.AddRow(c.wl, I(c.n), I(count), F1(minR), F1(mean), F1(maxR), F1(factor), B(ok))
+		e.Close()
+	}
+	return t, nil
+}
+
+// E11Invariants runs long adversarial mixes and checks, after every event,
+// the full invariant suite (Figure 1 model conformance): simple graph,
+// claim/cloud consistency, the degree bound, and connectivity.
+func E11Invariants() (*Table, error) {
+	t := &Table{
+		ID:    "E11",
+		Title: "model conformance: per-event invariant checks under churn",
+		Columns: []string{"workload", "n0", "kappa", "steps", "violations",
+			"disconnects", "final n", "final clouds", "ok"},
+	}
+	cases := []struct {
+		wl    string
+		n     int
+		kappa int
+		steps int
+		bias  float64
+	}{
+		{workload.NameStar, 24, 4, 200, 0.55},
+		{workload.NameErdosRenyi, 32, 6, 200, 0.5},
+		{workload.NameComplete, 16, 2, 200, 0.6},
+	}
+	for i, c := range cases {
+		g0, err := buildInitial(c.wl, c.n, int64(2100+i))
+		if err != nil {
+			return nil, err
+		}
+		st, err := core.NewState(core.Config{Kappa: c.kappa, Seed: int64(2200 + i)}, g0)
+		if err != nil {
+			return nil, err
+		}
+		adv := adversary.NewRandomChurn(c.steps, c.bias, 3, int64(2300+i))
+		violations, disconnects, steps := 0, 0, 0
+		for {
+			ev, ok := adv.Next(st.Graph())
+			if !ok {
+				break
+			}
+			steps++
+			switch ev.Kind {
+			case adversary.Insert:
+				err = st.InsertNode(ev.Node, ev.Neighbors)
+			case adversary.Delete:
+				err = st.DeleteNode(ev.Node)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("E11 step %d: %w", steps, err)
+			}
+			if st.CheckInvariants() != nil {
+				violations++
+			}
+			if !st.Graph().IsConnected() {
+				disconnects++
+			}
+		}
+		ok := violations == 0 && disconnects == 0
+		t.AddRow(c.wl, I(c.n), I(c.kappa), I(steps), I(violations), I(disconnects),
+			I(st.Graph().NumNodes()), I(len(st.Clouds())), B(ok))
+	}
+	return t, nil
+}
+
+// E12Ablations quantifies the design choices the paper argues for: the κ
+// parameter trade-off, secondary clouds (vs always combining), and free-node
+// sharing.
+func E12Ablations() (*Table, error) {
+	t := &Table{
+		ID:    "E12",
+		Title: "ablations on a fixed churn script (star-24 start, 160 events)",
+		Columns: []string{"variant", "combines", "shares", "2nd clouds", "heal edges",
+			"max deg ratio", "lam2n"},
+		Notes: []string{
+			"secondary clouds exist to amortize combining (paper section 3); ablations disable them",
+		},
+	}
+	type variant struct {
+		name string
+		cfg  core.Config
+	}
+	variants := []variant{
+		{"xheal k=4 (paper)", core.Config{Kappa: 4, Seed: 1}},
+		{"xheal k=2", core.Config{Kappa: 2, Seed: 1}},
+		{"xheal k=8", core.Config{Kappa: 8, Seed: 1}},
+		{"always-combine k=4", core.Config{Kappa: 4, Seed: 1, AlwaysCombine: true}},
+		{"no-sharing k=4", core.Config{Kappa: 4, Seed: 1, DisableSharing: true}},
+	}
+	rng := rand.New(rand.NewSource(55))
+	for _, v := range variants {
+		g0, err := workload.Star(24)
+		if err != nil {
+			return nil, err
+		}
+		st, err := core.NewState(v.cfg, g0)
+		if err != nil {
+			return nil, err
+		}
+		adv := adversary.NewRandomChurn(160, 0.55, 3, 2500)
+		for {
+			ev, ok := adv.Next(st.Graph())
+			if !ok {
+				break
+			}
+			switch ev.Kind {
+			case adversary.Insert:
+				err = st.InsertNode(ev.Node, ev.Neighbors)
+			case adversary.Delete:
+				err = st.DeleteNode(ev.Node)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("E12 %s: %w", v.name, err)
+			}
+		}
+		stats := st.Stats()
+		lam := spectral.NormalizedAlgebraicConnectivity(st.Graph(), rng)
+		ratio := metrics.DegreeRatio(st.Graph(), st.Baseline())
+		t.AddRow(v.name, I(stats.Combines), I(stats.Shares), I(stats.SecondaryClouds),
+			I(stats.HealEdgesAdded), F(ratio), F(lam))
+	}
+	return t, nil
+}

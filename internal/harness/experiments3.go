@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/xheal/xheal/internal/adversary"
+	"github.com/xheal/xheal/internal/baseline"
+	"github.com/xheal/xheal/internal/metrics"
+	"github.com/xheal/xheal/internal/spectral"
+	"github.com/xheal/xheal/internal/workload"
+)
+
+// E13Mixing is an extension experiment (not a paper table): §1.1 motivates
+// preserving λ because it controls the random-walk mixing time. Here we
+// measure mixing *empirically* on healed networks — Xheal vs the tree
+// repair — and check Xheal's healed walks mix in O(log n) steps. On the
+// hub-deletion workloads the tree repair's mixing collapses with n, the
+// walk-level face of its O(1/n) expansion.
+func E13Mixing() (*Table, error) {
+	t := &Table{
+		ID:    "E13",
+		Title: "empirical lazy-walk mixing time after attack: Xheal vs tree repair (extension)",
+		Columns: []string{"workload", "n0", "attack", "xheal steps", "xheal pred",
+			"tree steps", "tree/xheal", "ok"},
+		Notes: []string{
+			"steps = lazy-walk steps to total variation <= 0.05 from worst of 3 starts",
+			"pred = log(n)/lambda2n, the spectral bound the paper's guarantees protect",
+			"ok: xheal's healed network mixes within 4x its spectral prediction",
+		},
+	}
+	rng := rand.New(rand.NewSource(61))
+	cases := []struct {
+		wl   string
+		n    int
+		dels int
+	}{
+		{workload.NameRegular, 48, 16},
+		{workload.NameRegular, 96, 32},
+		{workload.NameStar, 32, 1},
+		{workload.NameStar, 64, 1},
+	}
+	for i, c := range cases {
+		g0, err := buildInitial(c.wl, c.n, int64(2600+i))
+		if err != nil {
+			return nil, err
+		}
+		xh, err := baseline.New(baseline.NameXheal, g0, 6, int64(2700+i))
+		if err != nil {
+			return nil, err
+		}
+		tree, err := baseline.New(baseline.NameForgivingTree, g0, 6, int64(2700+i))
+		if err != nil {
+			return nil, err
+		}
+		_, err = Run(Scenario{
+			Name:      "E13",
+			Initial:   g0,
+			Adversary: adversary.NewMaxDegree(c.dels),
+			Healers:   []baseline.Healer{xh, tree},
+			Metrics:   metrics.Config{SkipSpectral: true, StretchSources: 1},
+		})
+		if err != nil {
+			return nil, err
+		}
+		const maxSteps = 4000
+		xhMix := metrics.MixingTime(xh.Graph(), 0.05, maxSteps, 3, rng)
+		treeMix := metrics.MixingTime(tree.Graph(), 0.05, maxSteps, 3, rng)
+		xhPred := spectral.MixingTimeBound(
+			spectral.NormalizedAlgebraicConnectivity(xh.Graph(), rng), xh.Graph().NumNodes())
+		ratio := math.Inf(1)
+		if xhMix.Steps > 0 {
+			ratio = float64(treeMix.Steps) / float64(xhMix.Steps)
+		}
+		ok := xhMix.Steps <= maxSteps && float64(xhMix.Steps) <= 4*xhPred
+		t.AddRow(c.wl, I(c.n), attackLabel(c.wl, c.dels), I(xhMix.Steps), F1(xhPred),
+			I(treeMix.Steps), F1(ratio), B(ok))
+	}
+	return t, nil
+}
+
+func attackLabel(wl string, dels int) string {
+	if wl == workload.NameStar && dels == 1 {
+		return "hub delete"
+	}
+	return "maxdeg x" + I(dels)
+}
+
+// measureHealers is shared by extension experiments: current healed λ₂ₙ per
+// healer. Exposed for tests.
+func measureHealers(healers []baseline.Healer, rng *rand.Rand) map[string]float64 {
+	out := make(map[string]float64, len(healers))
+	for _, h := range healers {
+		out[h.Name()] = spectral.NormalizedAlgebraicConnectivity(h.Graph(), rng)
+	}
+	return out
+}

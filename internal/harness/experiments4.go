@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"math"
+
+	"github.com/xheal/xheal/internal/adversary"
+	"github.com/xheal/xheal/internal/baseline"
+	"github.com/xheal/xheal/internal/metrics"
+	"github.com/xheal/xheal/internal/workload"
+)
+
+// E14Congestion is an extension experiment for the paper's third §1.1
+// motivation: "congestion in routing". Under all-pairs shortest-path
+// routing, the most loaded link carries exactly the maximum edge
+// betweenness. After hub attacks, tree repairs funnel traffic through their
+// root (max load Θ(n²)) while Xheal's expander clouds spread it.
+func E14Congestion() (*Table, error) {
+	t := &Table{
+		ID:    "E14",
+		Title: "routing congestion (max edge betweenness) after attack: Xheal vs tree repair (extension)",
+		Columns: []string{"workload", "n0", "attack", "xheal max", "xheal mean",
+			"tree max", "tree mean", "tree/xheal max", "ok"},
+		Notes: []string{
+			"edge betweenness = shortest-path pairs crossing a link (Brandes); max = worst link load",
+			"ok: xheal max load within 4x the uniform ideal pairs/edges ratio",
+		},
+	}
+	cases := []struct {
+		wl    string
+		n     int
+		dels  int
+		label string
+	}{
+		{workload.NameStar, 32, 1, "hub delete"},
+		{workload.NameStar, 64, 1, "hub delete"},
+		{workload.NameRegular, 64, 20, "cutvertex x20"},
+	}
+	for i, c := range cases {
+		g0, err := buildInitial(c.wl, c.n, int64(2800+i))
+		if err != nil {
+			return nil, err
+		}
+		xh, err := baseline.New(baseline.NameXheal, g0, 6, int64(2900+i))
+		if err != nil {
+			return nil, err
+		}
+		tree, err := baseline.New(baseline.NameForgivingTree, g0, 6, int64(2900+i))
+		if err != nil {
+			return nil, err
+		}
+		var adv adversary.Adversary
+		if c.label == "hub delete" {
+			adv = adversary.NewMaxDegree(c.dels)
+		} else {
+			adv = adversary.NewCutVertex(c.dels)
+		}
+		if _, err := Run(Scenario{
+			Name:      "E14",
+			Initial:   g0,
+			Adversary: adv,
+			Healers:   []baseline.Healer{xh, tree},
+			Metrics:   metrics.Config{SkipSpectral: true, StretchSources: 1},
+		}); err != nil {
+			return nil, err
+		}
+		xhMax, xhMean := xh.Graph().MaxEdgeBetweenness()
+		trMax, trMean := tree.Graph().MaxEdgeBetweenness()
+		ratio := math.Inf(1)
+		if xhMax > 0 {
+			ratio = trMax / xhMax
+		}
+		// Ideal uniform load: all pairs spread evenly over all edges.
+		g := xh.Graph()
+		nAlive := float64(g.NumNodes())
+		ideal := nAlive * (nAlive - 1) / 2 / float64(g.NumEdges())
+		// Diameter inflates total load linearly; allow the O(log n) healed
+		// diameter on top of the 4x spread slack.
+		ok := g.IsConnected() && xhMax <= 4*ideal*math.Log2(nAlive)
+		t.AddRow(c.wl, I(c.n), c.label, F1(xhMax), F1(xhMean), F1(trMax), F1(trMean),
+			F1(ratio), B(ok))
+	}
+	return t, nil
+}

@@ -1,0 +1,179 @@
+package harness
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/xheal/xheal/internal/adversary"
+	"github.com/xheal/xheal/internal/baseline"
+	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/metrics"
+	"github.com/xheal/xheal/internal/workload"
+)
+
+func mustGraph(g *graph.Graph, err error) *graph.Graph {
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestRunRequiresHealers(t *testing.T) {
+	_, err := Run(Scenario{Initial: mustGraph(workload.Star(4))})
+	if !errors.Is(err, ErrNoHealers) {
+		t.Fatalf("error = %v, want ErrNoHealers", err)
+	}
+}
+
+func TestRunLockstepAndBaseline(t *testing.T) {
+	g0 := mustGraph(workload.Star(8))
+	xh, err := baseline.New(baseline.NameXheal, g0, 4, 1)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	tree, err := baseline.New(baseline.NameForgivingTree, g0, 4, 1)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	script := &adversary.Scripted{Events: []adversary.Event{
+		{Kind: adversary.Delete, Node: 0},
+		{Kind: adversary.Insert, Node: 100, Neighbors: []graph.NodeID{1, 2}},
+		{Kind: adversary.Delete, Node: 3},
+	}}
+	res, err := Run(Scenario{
+		Name:        "lockstep",
+		Initial:     g0,
+		Adversary:   script,
+		Healers:     []baseline.Healer{xh, tree},
+		SampleEvery: 1,
+		Metrics:     metrics.Config{SkipSpectral: true},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Steps != 3 {
+		t.Fatalf("Steps = %d, want 3", res.Steps)
+	}
+	// G' = star + inserted node, deletions ignored.
+	if !res.Baseline.HasNode(0) || !res.Baseline.HasNode(3) {
+		t.Fatal("baseline lost deleted nodes")
+	}
+	if !res.Baseline.HasEdge(100, 1) {
+		t.Fatal("baseline missing inserted edge")
+	}
+	// Both healers saw all events: same node sets.
+	if xh.Graph().NumNodes() != tree.Graph().NumNodes() {
+		t.Fatalf("healer node sets diverged: %d vs %d",
+			xh.Graph().NumNodes(), tree.Graph().NumNodes())
+	}
+	// SampleEvery=1 gives one snapshot per step plus the final one.
+	for _, s := range res.Series {
+		if len(s.Snapshots) != 4 {
+			t.Fatalf("%s: snapshots = %d, want 4", s.Healer, len(s.Snapshots))
+		}
+	}
+	if res.SeriesFor(baseline.NameXheal) == nil || res.SeriesFor("nope") != nil {
+		t.Fatal("SeriesFor lookup broken")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID:      "T0",
+		Title:   "demo",
+		Columns: []string{"a", "long column"},
+		Notes:   []string{"a note"},
+	}
+	tab.AddRow("x", "y")
+	tab.AddRow("longer-cell") // second cell padded
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"T0 — demo", "| a ", "long column", "longer-cell", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if F(metrics.Unavailable) != "-" {
+		t.Fatalf("F(Unavailable) = %q", F(metrics.Unavailable))
+	}
+	if F(1.23456) != "1.235" {
+		t.Fatalf("F = %q", F(1.23456))
+	}
+	if F1(2.0) != "2.0" {
+		t.Fatalf("F1 = %q", F1(2.0))
+	}
+	if I(7) != "7" || B(true) != "ok" || B(false) != "FAIL" {
+		t.Fatal("I/B helpers broken")
+	}
+}
+
+func TestAllExperimentsListed(t *testing.T) {
+	exps := All()
+	if len(exps) != 14 {
+		t.Fatalf("experiments = %d, want 14", len(exps))
+	}
+	for i, e := range exps {
+		wantID := "E" + I(i+1)
+		if e.ID != wantID {
+			t.Fatalf("experiment %d has ID %q, want %q", i, e.ID, wantID)
+		}
+		if e.Run == nil || e.Name == "" {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+}
+
+// TestExperimentsPass regenerates every table and asserts no row reports
+// FAIL — the repository-level statement that the paper's bounds hold on the
+// reproduction. Each table is also rendered to exercise formatting.
+func TestExperimentsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment regeneration is a long test")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			var buf bytes.Buffer
+			tab.Render(&buf)
+			if strings.Contains(buf.String(), "FAIL") {
+				t.Fatalf("%s reports FAIL rows:\n%s", e.ID, buf.String())
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+		})
+	}
+}
+
+func TestMeasureHealersHelper(t *testing.T) {
+	g0 := mustGraph(workload.Complete(10))
+	xh, err := baseline.New(baseline.NameXheal, g0, 4, 1)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	tree, err := baseline.New(baseline.NameForgivingTree, g0, 4, 1)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	gaps := measureHealers([]baseline.Healer{xh, tree}, rng)
+	if len(gaps) != 2 {
+		t.Fatalf("gaps = %v", gaps)
+	}
+	for name, lam := range gaps {
+		if lam <= 0 {
+			t.Fatalf("%s gap = %v, want > 0 on K10", name, lam)
+		}
+	}
+}

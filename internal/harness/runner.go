@@ -1,0 +1,134 @@
+// Package harness drives the experiments that reproduce the paper's
+// analysis: it runs adversarial scenarios against Xheal and the baseline
+// healers in lockstep, collects metric snapshots, and renders the result
+// tables recorded in EXPERIMENTS.md. Each experiment (E1–E12) maps to one
+// theorem, lemma, corollary, or motivating example of the paper; see
+// DESIGN.md §3 for the index.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/xheal/xheal/internal/adversary"
+	"github.com/xheal/xheal/internal/baseline"
+	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/metrics"
+)
+
+// ErrNoHealers is returned by Run when the scenario lists no healers.
+var ErrNoHealers = errors.New("harness: scenario has no healers")
+
+// Scenario is one adversarial run: an initial topology, an attack strategy,
+// and the healers to drive in lockstep. The adversary observes the first
+// healer's view (all healers share the same node set, so its events apply
+// to every healer).
+type Scenario struct {
+	Name        string
+	Initial     *graph.Graph
+	Adversary   adversary.Adversary
+	Healers     []baseline.Healer
+	SampleEvery int // snapshot interval; 0 = final snapshot only
+	Metrics     metrics.Config
+}
+
+// Stamped is a snapshot taken after a given number of adversarial events.
+type Stamped struct {
+	Step int
+	Snap metrics.Snapshot
+}
+
+// Series is the metric history of one healer.
+type Series struct {
+	Healer    string
+	Snapshots []Stamped
+}
+
+// Final returns the last snapshot of the series.
+func (s *Series) Final() metrics.Snapshot {
+	if len(s.Snapshots) == 0 {
+		return metrics.Snapshot{}
+	}
+	return s.Snapshots[len(s.Snapshots)-1].Snap
+}
+
+// Result is the outcome of a scenario run.
+type Result struct {
+	Scenario string
+	Steps    int
+	// Baseline is G′ after the run (shared by all healers).
+	Baseline *graph.Graph
+	Series   []Series
+}
+
+// SeriesFor returns the series of the named healer, or nil.
+func (r *Result) SeriesFor(name string) *Series {
+	for i := range r.Series {
+		if r.Series[i].Healer == name {
+			return &r.Series[i]
+		}
+	}
+	return nil
+}
+
+// Run executes the scenario to adversary exhaustion.
+func Run(sc Scenario) (*Result, error) {
+	if len(sc.Healers) == 0 {
+		return nil, ErrNoHealers
+	}
+	gp := sc.Initial.Clone() // shared G′ tracker
+	res := &Result{
+		Scenario: sc.Name,
+		Series:   make([]Series, len(sc.Healers)),
+	}
+	for i, h := range sc.Healers {
+		res.Series[i].Healer = h.Name()
+	}
+	if sc.Metrics.Rng == nil {
+		sc.Metrics.Rng = rand.New(rand.NewSource(12345))
+	}
+
+	step := 0
+	for {
+		ev, ok := sc.Adversary.Next(sc.Healers[0].Graph())
+		if !ok {
+			break
+		}
+		step++
+		switch ev.Kind {
+		case adversary.Insert:
+			gp.EnsureNode(ev.Node)
+			for _, w := range ev.Neighbors {
+				gp.EnsureEdge(ev.Node, w)
+			}
+			for _, h := range sc.Healers {
+				if err := h.Insert(ev.Node, ev.Neighbors); err != nil {
+					return nil, fmt.Errorf("step %d: healer %s insert: %w", step, h.Name(), err)
+				}
+			}
+		case adversary.Delete:
+			for _, h := range sc.Healers {
+				if err := h.Delete(ev.Node); err != nil {
+					return nil, fmt.Errorf("step %d: healer %s delete: %w", step, h.Name(), err)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("step %d: unknown event kind %v", step, ev.Kind)
+		}
+		if sc.SampleEvery > 0 && step%sc.SampleEvery == 0 {
+			res.sample(sc, gp, step)
+		}
+	}
+	res.sample(sc, gp, step)
+	res.Steps = step
+	res.Baseline = gp
+	return res, nil
+}
+
+func (r *Result) sample(sc Scenario, gp *graph.Graph, step int) {
+	for i, h := range sc.Healers {
+		snap := metrics.Measure(h.Graph(), gp, sc.Metrics)
+		r.Series[i].Snapshots = append(r.Series[i].Snapshots, Stamped{Step: step, Snap: snap})
+	}
+}

@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Table is a rendered experiment result: the unit EXPERIMENTS.md and
+// cmd/xheal-bench emit.
+type Table struct {
+	ID      string // experiment id, e.g. "E3"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row; cells beyond the column count are dropped, missing
+// cells padded empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table as aligned ASCII.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len([]rune(c))
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if n := len([]rune(cell)); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = pad(cell, widths[i])
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+	}
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(t.Columns)
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, note := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", note)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	n := len([]rune(s))
+	if n >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-n)
+}
+
+// Cell formatting helpers used by the experiments.
+
+// F formats a float with 3 decimals; NaN/Inf and the metrics.Unavailable
+// sentinel render as "-".
+func F(v float64) string {
+	if v == -1 || math.IsNaN(v) {
+		return "-"
+	}
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	return strconv.FormatFloat(v, 'f', 3, 64)
+}
+
+// F1 formats a float with 1 decimal.
+func F1(v float64) string {
+	if v == -1 || math.IsNaN(v) {
+		return "-"
+	}
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	return strconv.FormatFloat(v, 'f', 1, 64)
+}
+
+// I formats an int.
+func I(v int) string { return strconv.Itoa(v) }
+
+// B formats a pass/fail verdict.
+func B(ok bool) string {
+	if ok {
+		return "ok"
+	}
+	return "FAIL"
+}

@@ -1,0 +1,43 @@
+package hgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/xheal/xheal/internal/graph"
+)
+
+// FuzzHGraphChurn decodes an operation tape from fuzz input and asserts the
+// H-graph structural invariants hold after every operation.
+func FuzzHGraphChurn(f *testing.F) {
+	f.Add(int64(1), []byte{0, 1, 0, 1})
+	f.Add(int64(9), []byte{1, 1, 1, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, seed int64, tape []byte) {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + int(seed&3)
+		h, err := New(d, ids(5), rng)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		next := graph.NodeID(100)
+		for _, b := range tape {
+			if b%2 == 0 || h.Size() <= MinSize {
+				if err := h.Insert(next); err != nil {
+					t.Fatalf("Insert: %v", err)
+				}
+				next++
+			} else {
+				members := h.Members()
+				if err := h.Delete(members[int(b)%len(members)]); err != nil {
+					t.Fatalf("Delete: %v", err)
+				}
+			}
+			if err := h.Validate(); err != nil {
+				t.Fatalf("invalid after op %d: %v", b, err)
+			}
+		}
+		if !h.Graph().IsConnected() {
+			t.Fatal("H-graph simple graph disconnected")
+		}
+	})
+}

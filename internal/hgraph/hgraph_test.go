@@ -1,0 +1,238 @@
+package hgraph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/xheal/xheal/internal/graph"
+)
+
+func ids(n int) []graph.NodeID {
+	out := make([]graph.NodeID, n)
+	for i := range out {
+		out[i] = graph.NodeID(i)
+	}
+	return out
+}
+
+func mustNew(t *testing.T, d, n int, seed int64) *H {
+	t.Helper()
+	h, err := New(d, ids(n), rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("New(d=%d, n=%d): %v", d, n, err)
+	}
+	return h
+}
+
+func TestNewValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := New(0, ids(5), rng); !errors.Is(err, ErrBadDegree) {
+		t.Fatalf("d=0 error = %v, want ErrBadDegree", err)
+	}
+	if _, err := New(2, ids(2), rng); !errors.Is(err, ErrTooSmall) {
+		t.Fatalf("n=2 error = %v, want ErrTooSmall", err)
+	}
+	if _, err := New(2, []graph.NodeID{1, 2, 2, 3}, rng); !errors.Is(err, ErrMember) {
+		t.Fatalf("duplicate vertex error = %v, want ErrMember", err)
+	}
+}
+
+func TestNewIsValid(t *testing.T) {
+	for _, d := range []int{1, 2, 4} {
+		for _, n := range []int{3, 4, 10, 50} {
+			h := mustNew(t, d, n, int64(d*100+n))
+			if err := h.Validate(); err != nil {
+				t.Fatalf("Validate(d=%d, n=%d): %v", d, n, err)
+			}
+			if h.Size() != n || h.D() != d {
+				t.Fatalf("Size/D = %d/%d, want %d/%d", h.Size(), h.D(), n, d)
+			}
+		}
+	}
+}
+
+func TestDegreeBounds(t *testing.T) {
+	// Simple degree is at most 2d, and at least 2 (cycle neighbors).
+	h := mustNew(t, 3, 20, 7)
+	for _, v := range h.Members() {
+		deg := len(h.Neighbors(v))
+		if deg < 2 || deg > 2*h.D() {
+			t.Fatalf("node %d degree %d outside [2, %d]", v, deg, 2*h.D())
+		}
+	}
+}
+
+func TestGraphIsConnected(t *testing.T) {
+	// A Hamilton cycle alone makes the simple graph connected.
+	for seed := int64(0); seed < 10; seed++ {
+		h := mustNew(t, 1, 12, seed)
+		if !h.Graph().IsConnected() {
+			t.Fatalf("H-graph (seed %d) not connected", seed)
+		}
+	}
+}
+
+func TestInsert(t *testing.T) {
+	h := mustNew(t, 2, 5, 3)
+	if err := h.Insert(100); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatalf("Validate after insert: %v", err)
+	}
+	if h.Size() != 6 {
+		t.Fatalf("Size = %d, want 6", h.Size())
+	}
+	if !h.Contains(100) {
+		t.Fatal("inserted node not a member")
+	}
+	if err := h.Insert(100); !errors.Is(err, ErrMember) {
+		t.Fatalf("duplicate insert error = %v, want ErrMember", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	h := mustNew(t, 2, 6, 3)
+	if err := h.Delete(2); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatalf("Validate after delete: %v", err)
+	}
+	if h.Contains(2) {
+		t.Fatal("deleted node still a member")
+	}
+	if err := h.Delete(2); !errors.Is(err, ErrNotMember) {
+		t.Fatalf("double delete error = %v, want ErrNotMember", err)
+	}
+}
+
+func TestDeleteAtMinimumRejected(t *testing.T) {
+	h := mustNew(t, 1, 3, 1)
+	if err := h.Delete(0); !errors.Is(err, ErrWouldShrink) {
+		t.Fatalf("delete at minimum error = %v, want ErrWouldShrink", err)
+	}
+}
+
+func TestChurnKeepsValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	h := mustNew(t, 3, 10, 42)
+	next := graph.NodeID(1000)
+	for step := 0; step < 500; step++ {
+		if h.Size() > MinSize && rng.Intn(2) == 0 {
+			members := h.Members()
+			victim := members[rng.Intn(len(members))]
+			if err := h.Delete(victim); err != nil {
+				t.Fatalf("step %d delete: %v", step, err)
+			}
+		} else {
+			if err := h.Insert(next); err != nil {
+				t.Fatalf("step %d insert: %v", step, err)
+			}
+			next++
+		}
+		if step%50 == 0 {
+			if err := h.Validate(); err != nil {
+				t.Fatalf("step %d validate: %v", step, err)
+			}
+		}
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatalf("final validate: %v", err)
+	}
+}
+
+func TestEdgesAreSimpleAndCanonical(t *testing.T) {
+	h := mustNew(t, 4, 8, 5)
+	edges := h.Edges()
+	seen := map[graph.Edge]bool{}
+	for _, e := range edges {
+		if e.U >= e.V {
+			t.Fatalf("edge %v not canonical", e)
+		}
+		if seen[e] {
+			t.Fatalf("duplicate edge %v", e)
+		}
+		seen[e] = true
+	}
+}
+
+func TestNeighborsSymmetric(t *testing.T) {
+	h := mustNew(t, 2, 15, 8)
+	for _, v := range h.Members() {
+		for _, w := range h.Neighbors(v) {
+			found := false
+			for _, x := range h.Neighbors(w) {
+				if x == v {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("adjacency not symmetric: %d->%d", v, w)
+			}
+		}
+	}
+}
+
+func TestSuccessorOn(t *testing.T) {
+	h := mustNew(t, 2, 5, 2)
+	if _, ok := h.SuccessorOn(5, 0); ok {
+		t.Fatal("SuccessorOn out-of-range cycle should fail")
+	}
+	w, ok := h.SuccessorOn(0, 0)
+	if !ok {
+		t.Fatal("SuccessorOn(0,0) failed")
+	}
+	if w == 0 {
+		t.Fatal("successor equals node itself")
+	}
+}
+
+func TestMembersSorted(t *testing.T) {
+	h := mustNew(t, 1, 6, 4)
+	m := h.Members()
+	for i := 0; i+1 < len(m); i++ {
+		if m[i] >= m[i+1] {
+			t.Fatalf("Members not sorted: %v", m)
+		}
+	}
+}
+
+// TestInsertUniformity is a light statistical check on the INSERT operation:
+// inserting into a fixed H-graph many times should place the new node after
+// each existing member with roughly equal probability (paper Thm 3 relies on
+// this uniformity).
+func TestInsertUniformity(t *testing.T) {
+	const trials = 3000
+	n := 6
+	counts := make(map[graph.NodeID]int, n)
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		h, err := New(1, ids(n), rng)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if err := h.Insert(100); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		pred, ok := h.SuccessorOn(0, 100)
+		if !ok {
+			t.Fatal("inserted node missing from cycle")
+		}
+		_ = pred
+		// Find predecessor of the inserted node.
+		for _, v := range ids(n) {
+			if w, _ := h.SuccessorOn(0, v); w == 100 {
+				counts[v]++
+			}
+		}
+	}
+	want := float64(trials) / float64(n)
+	for v, c := range counts {
+		if float64(c) < want*0.7 || float64(c) > want*1.3 {
+			t.Fatalf("insert position after %d chosen %d times, want ~%.0f (±30%%)", v, c, want)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package hgraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/spectral"
+)
+
+// TestPropertyChurnValid drives random insert/delete mixes from random seeds
+// and asserts the structural invariants always hold.
+func TestPropertyChurnValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(4)
+		n := MinSize + rng.Intn(12)
+		h, err := New(d, ids(n), rng)
+		if err != nil {
+			return false
+		}
+		next := graph.NodeID(500)
+		for step := 0; step < 60; step++ {
+			if h.Size() > MinSize && rng.Intn(2) == 0 {
+				members := h.Members()
+				if h.Delete(members[rng.Intn(len(members))]) != nil {
+					return false
+				}
+			} else {
+				if h.Insert(next) != nil {
+					return false
+				}
+				next++
+			}
+		}
+		return h.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyMultigraphDegree checks the defining 2d-regularity: every
+// member appears exactly once as predecessor and once as successor per cycle.
+func TestPropertyMultigraphDegree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(3)
+		n := MinSize + rng.Intn(20)
+		h, err := New(d, ids(n), rng)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < d; i++ {
+			seenSucc := map[graph.NodeID]int{}
+			for _, v := range h.Members() {
+				w, ok := h.SuccessorOn(i, v)
+				if !ok {
+					return false
+				}
+				seenSucc[w]++
+			}
+			for _, v := range h.Members() {
+				if seenSucc[v] != 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExpansionWithHighProbability spot-checks paper Theorem 4: random
+// H-graphs with d >= 2 have λ₂ bounded away from zero (hence constant
+// expansion) in the overwhelming majority of draws.
+func TestExpansionWithHighProbability(t *testing.T) {
+	const samples = 30
+	good := 0
+	for s := 0; s < samples; s++ {
+		rng := rand.New(rand.NewSource(int64(1000 + s)))
+		h, err := New(2, ids(40), rng)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		lam := spectral.AlgebraicConnectivity(h.Graph(), rng)
+		if lam > 0.15 {
+			good++
+		}
+	}
+	if good < samples-2 {
+		t.Fatalf("only %d/%d random H-graphs had λ₂ > 0.15", good, samples)
+	}
+}
+
+// TestChurnPreservesExpansion: after heavy churn the H-graph should still be
+// an expander (Theorem 3: the distribution is stationary under churn).
+func TestChurnPreservesExpansion(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	h, err := New(3, ids(40), rng)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	next := graph.NodeID(10000)
+	for step := 0; step < 400; step++ {
+		if h.Size() > 20 && rng.Intn(2) == 0 {
+			members := h.Members()
+			if err := h.Delete(members[rng.Intn(len(members))]); err != nil {
+				t.Fatalf("delete: %v", err)
+			}
+		} else {
+			if err := h.Insert(next); err != nil {
+				t.Fatalf("insert: %v", err)
+			}
+			next++
+		}
+	}
+	lam := spectral.AlgebraicConnectivity(h.Graph(), rng)
+	if lam < 0.2 {
+		t.Fatalf("λ₂ after churn = %v, want >= 0.2 (expander preserved)", lam)
+	}
+}

@@ -1,0 +1,183 @@
+// Package metrics measures the quantities the Xheal paper's guarantees are
+// stated in (Theorem 2): per-node degree increase versus G′, pairwise
+// stretch versus G′, edge expansion / conductance, and the algebraic
+// connectivity λ₂ — switching between exact and estimated computation by
+// graph size.
+package metrics
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/xheal/xheal/internal/cuts"
+	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/spectral"
+)
+
+// Unavailable marks metrics that were not computed (graph too large for the
+// exact path, or skipped by configuration).
+const Unavailable = -1
+
+// Config controls measurement cost.
+type Config struct {
+	// StretchSources bounds the number of BFS sources used for stretch
+	// estimation; 0 means all alive nodes (exact stretch).
+	StretchSources int
+	// SkipSpectral disables λ₂ and sweep-cut computation.
+	SkipSpectral bool
+	// Rng seeds the spectral estimators; nil uses a fixed seed.
+	Rng *rand.Rand
+}
+
+// Snapshot is one measurement of a healed graph G against its baseline G′.
+type Snapshot struct {
+	// Nodes and Edges describe G.
+	Nodes int
+	Edges int
+	// Connected reports whether G is connected.
+	Connected bool
+	// MaxDegree is the maximum degree in G.
+	MaxDegree int
+	// MaxDegreeRatio is max over alive x of deg_G(x)/max(1, deg_G′(x)) —
+	// the paper's degree-increase metric (Theorem 2.1 bounds it by ~κ).
+	MaxDegreeRatio float64
+	// MaxStretch is the maximum over measured alive pairs of
+	// dist_G(u,v)/dist_G′(u,v) (Theorem 2.2 bounds it by O(log n)).
+	MaxStretch float64
+	// ExpansionExact is h(G) when exactly computable, else Unavailable.
+	ExpansionExact float64
+	// ConductanceExact is φ(G) when exactly computable, else Unavailable.
+	ConductanceExact float64
+	// SweepExpansion / SweepConductance are witness-cut upper bounds.
+	SweepExpansion   float64
+	SweepConductance float64
+	// Lambda2 is λ₂ of the combinatorial Laplacian of G.
+	Lambda2 float64
+	// Lambda2Norm is λ₂ of the normalized Laplacian of G.
+	Lambda2Norm float64
+}
+
+// Measure computes a Snapshot of g against baseline gp (the insertions-only
+// graph G′, which may contain deleted nodes).
+func Measure(g, gp *graph.Graph, cfg Config) Snapshot {
+	rng := cfg.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	snap := Snapshot{
+		Nodes:            g.NumNodes(),
+		Edges:            g.NumEdges(),
+		Connected:        g.IsConnected(),
+		MaxDegree:        g.MaxDegree(),
+		MaxDegreeRatio:   DegreeRatio(g, gp),
+		MaxStretch:       Stretch(g, gp, cfg.StretchSources, rng),
+		ExpansionExact:   Unavailable,
+		ConductanceExact: Unavailable,
+		SweepExpansion:   Unavailable,
+		SweepConductance: Unavailable,
+	}
+	if g.NumNodes() >= 2 && g.NumNodes() <= cuts.ExactLimit {
+		if h, err := cuts.EdgeExpansion(g); err == nil {
+			snap.ExpansionExact = h
+		}
+		if phi, err := cuts.Conductance(g); err == nil {
+			snap.ConductanceExact = phi
+		}
+	}
+	if !cfg.SkipSpectral && g.NumNodes() >= 2 {
+		snap.Lambda2 = spectral.AlgebraicConnectivity(g, rng)
+		snap.Lambda2Norm = spectral.NormalizedAlgebraicConnectivity(g, rng)
+		if snap.Connected {
+			phi, h := cuts.SweepCut(g, rng)
+			snap.SweepConductance = phi
+			snap.SweepExpansion = h
+		}
+	}
+	return snap
+}
+
+// DegreeRatio returns max over nodes x alive in g of
+// deg_g(x) / max(1, deg_gp(x)).
+func DegreeRatio(g, gp *graph.Graph) float64 {
+	worst := 0.0
+	for _, n := range g.Nodes() {
+		base := gp.Degree(n)
+		if base < 1 {
+			base = 1
+		}
+		if r := float64(g.Degree(n)) / float64(base); r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// Stretch returns the maximum ratio dist_g(u,v)/dist_gp(u,v) over pairs of
+// nodes alive in g, using BFS from up to maxSources sources (0 = all). Pairs
+// unreachable in either graph are skipped; if g is disconnected while gp
+// connects a pair, +Inf is returned.
+func Stretch(g, gp *graph.Graph, maxSources int, rng *rand.Rand) float64 {
+	alive := g.Nodes()
+	if len(alive) < 2 {
+		return 1
+	}
+	sources := alive
+	if maxSources > 0 && maxSources < len(alive) {
+		perm := rng.Perm(len(alive))[:maxSources]
+		sources = make([]graph.NodeID, 0, maxSources)
+		for _, i := range perm {
+			sources = append(sources, alive[i])
+		}
+	}
+	worst := 1.0
+	for _, src := range sources {
+		dg := g.BFSFrom(src)
+		dp := gp.BFSFrom(src)
+		for _, dst := range alive {
+			if dst == src {
+				continue
+			}
+			base, okp := dp[dst]
+			if !okp || base == 0 {
+				continue
+			}
+			healed, okg := dg[dst]
+			if !okg {
+				return math.Inf(1)
+			}
+			if r := float64(healed) / float64(base); r > worst {
+				worst = r
+			}
+		}
+	}
+	return worst
+}
+
+// StretchBound returns the reference envelope c·log2(n) the harness plots
+// against measured stretch (Theorem 2.2's O(log n), with explicit constant).
+func StretchBound(n int, c float64) float64 {
+	if n < 2 {
+		return 1
+	}
+	return c * math.Log2(float64(n))
+}
+
+// DegreeBoundRatio returns the paper's Theorem 2.1 envelope expressed as a
+// ratio: (κ·d′ + 2κ)/d′ for the worst (smallest) d′ = 1, i.e. 3κ.
+func DegreeBoundRatio(kappa int) float64 { return float64(3 * kappa) }
+
+// SpectralFloor returns the paper's Theorem 2.4 lower-bound envelope
+//
+//	min( λ′²·dmin′/(κ²·dmax′²), 1/(κ·dmax′)² )
+//
+// up to the theorem's implied constant (taken as 1/8, from its proof).
+func SpectralFloor(lambdaPrime float64, dminPrime, dmaxPrime, kappa int) float64 {
+	if dmaxPrime == 0 || kappa == 0 {
+		return 0
+	}
+	k2 := float64(kappa * kappa)
+	dmax2 := float64(dmaxPrime * dmaxPrime)
+	a := lambdaPrime * lambdaPrime * float64(dminPrime) / (k2 * dmax2)
+	b := 1 / (k2 * dmax2)
+	return math.Min(a, b) / 8
+}

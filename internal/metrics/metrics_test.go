@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/workload"
+)
+
+// mustGraph unwraps generator results; generator failures in tests are
+// programming errors, so it panics.
+func mustGraph(g *graph.Graph, err error) *graph.Graph {
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestDegreeRatio(t *testing.T) {
+	gp := mustGraph(workload.Star(4))
+	g := gp.Clone()
+	// Healed graph doubles leaf 1's degree: add edges 1-2, 1-3.
+	g.EnsureEdge(1, 2)
+	g.EnsureEdge(1, 3)
+	// deg_G(1)=3, deg_G'(1)=1 -> ratio 3.
+	if r := DegreeRatio(g, gp); r != 3 {
+		t.Fatalf("DegreeRatio = %v, want 3", r)
+	}
+}
+
+func TestDegreeRatioHandlesZeroBaseline(t *testing.T) {
+	gp := graph.New()
+	gp.EnsureNode(1)
+	g := graph.New()
+	g.EnsureEdge(1, 2)
+	// Node 2 absent from gp: baseline clamps to 1.
+	if r := DegreeRatio(g, gp); r != 1 {
+		t.Fatalf("DegreeRatio = %v, want 1", r)
+	}
+}
+
+func TestStretchIdentityGraphs(t *testing.T) {
+	g := mustGraph(workload.Cycle(8))
+	rng := rand.New(rand.NewSource(1))
+	if s := Stretch(g, g, 0, rng); s != 1 {
+		t.Fatalf("stretch of identical graphs = %v, want 1", s)
+	}
+}
+
+func TestStretchDetour(t *testing.T) {
+	// G' is a cycle; G lost one edge (path): antipodal pairs stretch.
+	gp := mustGraph(workload.Cycle(8))
+	g := gp.Clone()
+	if err := g.RemoveEdge(0, 7); err != nil {
+		t.Fatalf("RemoveEdge: %v", err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	s := Stretch(g, gp, 0, rng)
+	// dist_G(0,7)=7 vs dist_G'(0,7)=1.
+	if s != 7 {
+		t.Fatalf("stretch = %v, want 7", s)
+	}
+}
+
+func TestStretchInfiniteWhenDisconnected(t *testing.T) {
+	gp := mustGraph(workload.Path(3))
+	g := gp.Clone()
+	if err := g.RemoveEdge(1, 2); err != nil {
+		t.Fatalf("RemoveEdge: %v", err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if s := Stretch(g, gp, 0, rng); !math.IsInf(s, 1) {
+		t.Fatalf("stretch = %v, want +Inf", s)
+	}
+}
+
+func TestStretchSampledSources(t *testing.T) {
+	gp := mustGraph(workload.Cycle(30))
+	g := gp.Clone()
+	rng := rand.New(rand.NewSource(2))
+	s := Stretch(g, gp, 5, rng)
+	if s != 1 {
+		t.Fatalf("sampled stretch of identical graphs = %v, want 1", s)
+	}
+}
+
+func TestMeasureSmallGraphExactPath(t *testing.T) {
+	g := mustGraph(workload.Complete(6))
+	snap := Measure(g, g, Config{})
+	if !snap.Connected || snap.Nodes != 6 || snap.Edges != 15 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.ExpansionExact == Unavailable || snap.ConductanceExact == Unavailable {
+		t.Fatal("exact cuts should be available for n=6")
+	}
+	if snap.ExpansionExact != 3 {
+		t.Fatalf("h(K_6) = %v, want 3", snap.ExpansionExact)
+	}
+	if math.Abs(snap.Lambda2-6) > 1e-8 {
+		t.Fatalf("λ₂(K_6) = %v, want 6", snap.Lambda2)
+	}
+	if snap.MaxStretch != 1 || snap.MaxDegreeRatio != 1 {
+		t.Fatalf("identity metrics: %+v", snap)
+	}
+}
+
+func TestMeasureLargeGraphSkipsExact(t *testing.T) {
+	g := mustGraph(workload.Cycle(40))
+	snap := Measure(g, g, Config{StretchSources: 4})
+	if snap.ExpansionExact != Unavailable {
+		t.Fatal("exact expansion should be unavailable for n=40")
+	}
+	if snap.SweepConductance == Unavailable {
+		t.Fatal("sweep cut should be available")
+	}
+	if snap.Lambda2 <= 0 {
+		t.Fatalf("λ₂ = %v, want > 0", snap.Lambda2)
+	}
+}
+
+func TestMeasureSkipSpectral(t *testing.T) {
+	g := mustGraph(workload.Cycle(10))
+	snap := Measure(g, g, Config{SkipSpectral: true})
+	if snap.Lambda2 != 0 || snap.SweepConductance != Unavailable {
+		t.Fatalf("spectral fields should be zero/unavailable: %+v", snap)
+	}
+}
+
+func TestStretchBound(t *testing.T) {
+	if b := StretchBound(16, 2); b != 8 {
+		t.Fatalf("StretchBound(16,2) = %v, want 8", b)
+	}
+	if b := StretchBound(1, 2); b != 1 {
+		t.Fatalf("StretchBound(1,2) = %v, want 1", b)
+	}
+}
+
+func TestDegreeBoundRatio(t *testing.T) {
+	if r := DegreeBoundRatio(4); r != 12 {
+		t.Fatalf("DegreeBoundRatio(4) = %v, want 12", r)
+	}
+}
+
+func TestSpectralFloor(t *testing.T) {
+	// b-branch: 1/(κ·dmax)² / 8 when λ' is large.
+	got := SpectralFloor(10, 4, 4, 2)
+	want := 1.0 / (4.0 * 16.0) / 8
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("SpectralFloor = %v, want %v", got, want)
+	}
+	if SpectralFloor(1, 1, 0, 2) != 0 {
+		t.Fatal("zero dmax should yield 0")
+	}
+}
+
+func TestMeasureDisconnected(t *testing.T) {
+	g := graph.New()
+	g.EnsureEdge(0, 1)
+	g.EnsureEdge(2, 3)
+	snap := Measure(g, g, Config{})
+	if snap.Connected {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if snap.Lambda2 != 0 {
+		t.Fatalf("λ₂ = %v, want 0", snap.Lambda2)
+	}
+}

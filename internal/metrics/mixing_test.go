@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/workload"
+)
+
+func TestMixingTimeCompleteGraphFast(t *testing.T) {
+	g := mustGraph(workload.Complete(16))
+	rng := rand.New(rand.NewSource(1))
+	res := MixingTime(g, 0.05, 200, 3, rng)
+	if res.Steps > 15 {
+		t.Fatalf("K16 mixing steps = %d, want fast (<= 15)", res.Steps)
+	}
+	if res.FinalTV > 0.05 {
+		t.Fatalf("FinalTV = %v, want <= threshold", res.FinalTV)
+	}
+}
+
+func TestMixingTimePathSlow(t *testing.T) {
+	gFast := mustGraph(workload.Complete(24))
+	gSlow := mustGraph(workload.Path(24))
+	rng := rand.New(rand.NewSource(2))
+	fast := MixingTime(gFast, 0.05, 2000, 3, rng)
+	slow := MixingTime(gSlow, 0.05, 2000, 3, rng)
+	if slow.Steps <= 2*fast.Steps {
+		t.Fatalf("path (%d steps) should mix much slower than complete (%d steps)",
+			slow.Steps, fast.Steps)
+	}
+}
+
+func TestMixingTimeExpanderLogarithmic(t *testing.T) {
+	// Expander mixing times at n and 4n should differ by a small additive
+	// amount (log scaling), not a multiplicative ~4 (poly scaling).
+	rng := rand.New(rand.NewSource(3))
+	small, err := workload.RandomRegular(32, 3, rand.New(rand.NewSource(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := workload.RandomRegular(128, 3, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := MixingTime(small, 0.05, 1000, 2, rng)
+	tb := MixingTime(big, 0.05, 1000, 2, rng)
+	if tb.Steps > 3*ts.Steps {
+		t.Fatalf("expander mixing scaled poorly: %d -> %d steps for 4x nodes",
+			ts.Steps, tb.Steps)
+	}
+}
+
+func TestMixingTimeDisconnected(t *testing.T) {
+	g := graph.New()
+	g.EnsureEdge(0, 1)
+	g.EnsureEdge(2, 3)
+	rng := rand.New(rand.NewSource(4))
+	res := MixingTime(g, 0.05, 50, 1, rng)
+	if res.Steps != 51 {
+		t.Fatalf("disconnected graph Steps = %d, want maxSteps+1", res.Steps)
+	}
+}
+
+func TestMixingTimeThresholdNeverMet(t *testing.T) {
+	g := mustGraph(workload.Path(40))
+	rng := rand.New(rand.NewSource(5))
+	res := MixingTime(g, 0.001, 3, 1, rng) // absurdly few steps allowed
+	if res.Steps != 4 {
+		t.Fatalf("Steps = %d, want maxSteps+1 = 4", res.Steps)
+	}
+	if res.FinalTV <= 0.001 {
+		t.Fatalf("FinalTV = %v unexpectedly below threshold", res.FinalTV)
+	}
+}
+
+func TestTVDistance(t *testing.T) {
+	a := []float64{1, 0}
+	b := []float64{0.5, 0.5}
+	if got := tvDistance(a, b); got != 0.5 {
+		t.Fatalf("tv = %v, want 0.5", got)
+	}
+	if got := tvDistance(a, a); got != 0 {
+		t.Fatalf("tv(self) = %v, want 0", got)
+	}
+}

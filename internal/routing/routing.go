@@ -1,0 +1,203 @@
+// Package routing implements the paper's first future-work item ("Can we
+// efficiently find new routes to replace the routes damaged by the
+// deletions?"): a route table maintained on top of the healed graph, with
+// *localized* route repair.
+//
+// A Table pins routes between (source, destination) pairs. When a deletion
+// breaks a route, Repair splices the gap locally: it keeps the undamaged
+// prefix and suffix and searches for a short detour between the endpoints
+// adjacent to the damage. Because Xheal replaces every deleted node with an
+// expander cloud of diameter O(log κ-cloud-size), the detour is short and
+// the repair touches only the neighborhood of the wound — the measured
+// locality (fraction of reused hops) is the experiment this package backs.
+package routing
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/xheal/xheal/internal/graph"
+)
+
+// Sentinel errors.
+var (
+	ErrNoRoute     = errors.New("routing: endpoints are not connected")
+	ErrUnknownPair = errors.New("routing: no route registered for pair")
+	ErrBadPair     = errors.New("routing: invalid source/destination")
+)
+
+// Pair identifies a pinned route.
+type Pair struct {
+	Src, Dst graph.NodeID
+}
+
+// Route is a currently valid path between a pair, inclusive of endpoints.
+type Route struct {
+	Pair Pair
+	Hops []graph.NodeID
+}
+
+// Len returns the hop count (edges) of the route.
+func (r *Route) Len() int { return len(r.Hops) - 1 }
+
+// RepairStats aggregates the locality of the route repairs performed.
+type RepairStats struct {
+	// Repairs counts routes that needed fixing; Rebuilt counts the subset
+	// that fell back to a full shortest-path recomputation.
+	Repairs int
+	Rebuilt int
+	// HopsReused / HopsTotal measure locality: reused hops are nodes kept
+	// from the damaged route.
+	HopsReused int
+	HopsTotal  int
+	// Lost counts routes whose endpoints were themselves deleted or became
+	// disconnected (dropped from the table).
+	Lost int
+}
+
+// Table maintains pinned routes over an externally healed graph. It is not
+// safe for concurrent mutation.
+type Table struct {
+	routes map[Pair]*Route
+	stats  RepairStats
+}
+
+// NewTable returns an empty route table.
+func NewTable() *Table {
+	return &Table{routes: make(map[Pair]*Route)}
+}
+
+// Stats returns a copy of the repair counters.
+func (t *Table) Stats() RepairStats { return t.stats }
+
+// Routes returns the number of pinned routes.
+func (t *Table) Routes() int { return len(t.routes) }
+
+// Pin registers (or refreshes) a route between src and dst over g.
+func (t *Table) Pin(g *graph.Graph, src, dst graph.NodeID) (*Route, error) {
+	if src == dst || !g.HasNode(src) || !g.HasNode(dst) {
+		return nil, fmt.Errorf("pin %d->%d: %w", src, dst, ErrBadPair)
+	}
+	hops := g.ShortestPath(src, dst)
+	if hops == nil {
+		return nil, fmt.Errorf("pin %d->%d: %w", src, dst, ErrNoRoute)
+	}
+	r := &Route{Pair: Pair{Src: src, Dst: dst}, Hops: hops}
+	t.routes[r.Pair] = r
+	return r, nil
+}
+
+// Get returns the pinned route for the pair.
+func (t *Table) Get(src, dst graph.NodeID) (*Route, error) {
+	r, ok := t.routes[Pair{Src: src, Dst: dst}]
+	if !ok {
+		return nil, fmt.Errorf("get %d->%d: %w", src, dst, ErrUnknownPair)
+	}
+	return r, nil
+}
+
+// Valid reports whether the route is an existing walk in g.
+func (r *Route) Valid(g *graph.Graph) bool {
+	if len(r.Hops) == 0 {
+		return false
+	}
+	for i, n := range r.Hops {
+		if !g.HasNode(n) {
+			return false
+		}
+		if i > 0 && !g.HasEdge(r.Hops[i-1], n) {
+			return false
+		}
+	}
+	return true
+}
+
+// OnDelete repairs every pinned route damaged by the deletion of v, given
+// the already-healed graph g. Routes whose endpoints died (or that cannot
+// be reconnected) are dropped and counted as lost.
+func (t *Table) OnDelete(g *graph.Graph, v graph.NodeID) {
+	for pair, r := range t.routes {
+		if pair.Src == v || pair.Dst == v {
+			delete(t.routes, pair)
+			t.stats.Lost++
+			continue
+		}
+		if r.Valid(g) {
+			continue // the deletion (plus healing) left this route intact
+		}
+		repaired, reused := repairRoute(g, r, v)
+		if repaired == nil {
+			delete(t.routes, pair)
+			t.stats.Lost++
+			continue
+		}
+		t.stats.Repairs++
+		t.stats.HopsReused += reused
+		t.stats.HopsTotal += len(repaired.Hops)
+		if reused == 0 {
+			t.stats.Rebuilt++
+		}
+		t.routes[pair] = repaired
+	}
+}
+
+// repairRoute splices the damaged route locally: it trims the route to its
+// longest valid prefix and suffix and reconnects them with a shortest detour
+// between the trim points. Falls back to a full recomputation when splicing
+// fails. Returns the new route and the number of hops reused from the old.
+func repairRoute(g *graph.Graph, r *Route, deleted graph.NodeID) (*Route, int) {
+	hops := r.Hops
+	// Longest prefix of still-valid hops.
+	pre := 0
+	for pre+1 < len(hops) && g.HasNode(hops[pre+1]) && g.HasEdge(hops[pre], hops[pre+1]) {
+		pre++
+	}
+	// Longest suffix of still-valid hops.
+	suf := len(hops) - 1
+	for suf-1 > pre && g.HasNode(hops[suf-1]) && g.HasEdge(hops[suf], hops[suf-1]) {
+		suf--
+	}
+	prefix := hops[:pre+1]
+	suffix := hops[suf:]
+
+	detour := g.ShortestPath(prefix[len(prefix)-1], suffix[0])
+	if detour == nil {
+		// Local splice failed (the healed detour may bypass the trim
+		// points entirely): full rebuild.
+		full := g.ShortestPath(r.Pair.Src, r.Pair.Dst)
+		if full == nil {
+			return nil, 0
+		}
+		return &Route{Pair: r.Pair, Hops: full}, 0
+	}
+	merged := make([]graph.NodeID, 0, len(prefix)+len(detour)+len(suffix))
+	merged = append(merged, prefix...)
+	merged = append(merged, detour[1:]...)
+	if len(suffix) > 1 {
+		merged = append(merged, suffix[1:]...)
+	}
+	merged = dedupeWalk(merged)
+	reused := len(prefix) + len(suffix)
+	if reused > len(merged) {
+		reused = len(merged)
+	}
+	return &Route{Pair: r.Pair, Hops: merged}, reused
+}
+
+// dedupeWalk removes loops from a walk (a node visited twice short-circuits
+// to its last occurrence), producing a simple path.
+func dedupeWalk(hops []graph.NodeID) []graph.NodeID {
+	last := make(map[graph.NodeID]int, len(hops))
+	for i, n := range hops {
+		last[n] = i
+	}
+	out := make([]graph.NodeID, 0, len(hops))
+	for i := 0; i < len(hops); i++ {
+		n := hops[i]
+		out = append(out, n)
+		if j := last[n]; j > i {
+			i = j // skip the loop
+		}
+	}
+	return out
+}

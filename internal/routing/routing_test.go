@@ -1,0 +1,239 @@
+package routing
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/xheal/xheal/internal/core"
+	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/workload"
+)
+
+func mustGraph(g *graph.Graph, err error) *graph.Graph {
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestPinAndGet(t *testing.T) {
+	g := mustGraph(workload.Path(6))
+	tab := NewTable()
+	r, err := tab.Pin(g, 0, 5)
+	if err != nil {
+		t.Fatalf("Pin: %v", err)
+	}
+	if r.Len() != 5 {
+		t.Fatalf("route length = %d, want 5", r.Len())
+	}
+	if !r.Valid(g) {
+		t.Fatal("fresh route invalid")
+	}
+	got, err := tab.Get(0, 5)
+	if err != nil || got.Len() != 5 {
+		t.Fatalf("Get: %v %v", got, err)
+	}
+	if _, err := tab.Get(5, 0); !errors.Is(err, ErrUnknownPair) {
+		t.Fatalf("reverse pair error = %v, want ErrUnknownPair", err)
+	}
+}
+
+func TestPinValidation(t *testing.T) {
+	g := mustGraph(workload.Path(4))
+	tab := NewTable()
+	if _, err := tab.Pin(g, 0, 0); !errors.Is(err, ErrBadPair) {
+		t.Fatalf("self pair error = %v", err)
+	}
+	if _, err := tab.Pin(g, 0, 99); !errors.Is(err, ErrBadPair) {
+		t.Fatalf("missing node error = %v", err)
+	}
+	disc := graph.New()
+	disc.EnsureNode(1)
+	disc.EnsureNode(2)
+	if _, err := tab.Pin(disc, 1, 2); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("disconnected error = %v", err)
+	}
+}
+
+func TestValidDetectsDamage(t *testing.T) {
+	g := mustGraph(workload.Path(5))
+	tab := NewTable()
+	r, err := tab.Pin(g, 0, 4)
+	if err != nil {
+		t.Fatalf("Pin: %v", err)
+	}
+	if _, err := g.RemoveNode(2); err != nil {
+		t.Fatalf("RemoveNode: %v", err)
+	}
+	if r.Valid(g) {
+		t.Fatal("route through deleted node reported valid")
+	}
+}
+
+func TestOnDeleteRepairsThroughHealing(t *testing.T) {
+	// An Xheal-healed network: routes broken by a deletion must be
+	// repairable through the expander cloud the healer installs.
+	g0 := mustGraph(workload.Star(10))
+	s, err := core.NewState(core.Config{Kappa: 4, Seed: 3}, g0)
+	if err != nil {
+		t.Fatalf("NewState: %v", err)
+	}
+	tab := NewTable()
+	// Leaf-to-leaf routes all pass through the hub.
+	for i := graph.NodeID(1); i <= 5; i++ {
+		if _, err := tab.Pin(s.Graph(), i, i+5); err != nil {
+			t.Fatalf("Pin: %v", err)
+		}
+	}
+	if err := s.DeleteNode(0); err != nil {
+		t.Fatalf("DeleteNode: %v", err)
+	}
+	tab.OnDelete(s.Graph(), 0)
+
+	stats := tab.Stats()
+	if stats.Lost != 0 {
+		t.Fatalf("lost %d routes; healing should keep endpoints connected", stats.Lost)
+	}
+	if stats.Repairs != 5 {
+		t.Fatalf("repairs = %d, want 5", stats.Repairs)
+	}
+	for i := graph.NodeID(1); i <= 5; i++ {
+		r, err := tab.Get(i, i+5)
+		if err != nil {
+			t.Fatalf("Get(%d,%d): %v", i, i+5, err)
+		}
+		if !r.Valid(s.Graph()) {
+			t.Fatalf("repaired route %v invalid", r.Hops)
+		}
+	}
+}
+
+func TestOnDeleteDropsDeadEndpoints(t *testing.T) {
+	g := mustGraph(workload.Path(4))
+	tab := NewTable()
+	if _, err := tab.Pin(g, 0, 3); err != nil {
+		t.Fatalf("Pin: %v", err)
+	}
+	if _, err := g.RemoveNode(3); err != nil {
+		t.Fatalf("RemoveNode: %v", err)
+	}
+	tab.OnDelete(g, 3)
+	if tab.Routes() != 0 {
+		t.Fatal("route with dead endpoint not dropped")
+	}
+	if tab.Stats().Lost != 1 {
+		t.Fatalf("lost = %d, want 1", tab.Stats().Lost)
+	}
+}
+
+func TestOnDeleteDropsDisconnected(t *testing.T) {
+	// No healer: deleting the middle of a path disconnects it.
+	g := mustGraph(workload.Path(5))
+	tab := NewTable()
+	if _, err := tab.Pin(g, 0, 4); err != nil {
+		t.Fatalf("Pin: %v", err)
+	}
+	if _, err := g.RemoveNode(2); err != nil {
+		t.Fatalf("RemoveNode: %v", err)
+	}
+	tab.OnDelete(g, 2)
+	if tab.Routes() != 0 || tab.Stats().Lost != 1 {
+		t.Fatalf("routes=%d lost=%d, want 0/1", tab.Routes(), tab.Stats().Lost)
+	}
+}
+
+func TestRepairLocality(t *testing.T) {
+	// On a long healed path, repairing a mid-route deletion must reuse most
+	// of the route: the repair is localized to the wound.
+	n := 40
+	g0 := mustGraph(workload.Path(n))
+	s, err := core.NewState(core.Config{Kappa: 4, Seed: 7}, g0)
+	if err != nil {
+		t.Fatalf("NewState: %v", err)
+	}
+	tab := NewTable()
+	if _, err := tab.Pin(s.Graph(), 0, graph.NodeID(n-1)); err != nil {
+		t.Fatalf("Pin: %v", err)
+	}
+	victim := graph.NodeID(n / 2)
+	if err := s.DeleteNode(victim); err != nil {
+		t.Fatalf("DeleteNode: %v", err)
+	}
+	tab.OnDelete(s.Graph(), victim)
+	stats := tab.Stats()
+	if stats.Repairs != 1 || stats.Lost != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.HopsTotal == 0 {
+		t.Fatal("no hops accounted")
+	}
+	locality := float64(stats.HopsReused) / float64(stats.HopsTotal)
+	if locality < 0.8 {
+		t.Fatalf("route repair reused only %.0f%% of hops; want >= 80%% (localized)", 100*locality)
+	}
+}
+
+func TestRepairUnderChurn(t *testing.T) {
+	g0 := mustGraph(workload.Complete(16))
+	s, err := core.NewState(core.Config{Kappa: 4, Seed: 9}, g0)
+	if err != nil {
+		t.Fatalf("NewState: %v", err)
+	}
+	tab := NewTable()
+	rng := rand.New(rand.NewSource(13))
+	// Pin routes among the first few nodes; delete others around them.
+	pairs := [][2]graph.NodeID{{1, 2}, {3, 4}, {5, 6}}
+	for _, p := range pairs {
+		if _, err := tab.Pin(s.Graph(), p[0], p[1]); err != nil {
+			t.Fatalf("Pin: %v", err)
+		}
+	}
+	protected := map[graph.NodeID]bool{1: true, 2: true, 3: true, 4: true, 5: true, 6: true}
+	for step := 0; step < 8; step++ {
+		alive := s.AliveNodes()
+		var victim graph.NodeID
+		found := false
+		for _, cand := range alive {
+			if !protected[cand] {
+				victim = cand
+				found = true
+				break
+			}
+		}
+		if !found {
+			break
+		}
+		if err := s.DeleteNode(victim); err != nil {
+			t.Fatalf("DeleteNode: %v", err)
+		}
+		tab.OnDelete(s.Graph(), victim)
+		_ = rng
+		for _, p := range pairs {
+			r, err := tab.Get(p[0], p[1])
+			if err != nil {
+				t.Fatalf("route %v lost: %v", p, err)
+			}
+			if !r.Valid(s.Graph()) {
+				t.Fatalf("route %v invalid after step %d", p, step)
+			}
+		}
+	}
+	if tab.Stats().Lost != 0 {
+		t.Fatalf("lost routes under healing: %+v", tab.Stats())
+	}
+}
+
+func TestDedupeWalk(t *testing.T) {
+	in := []graph.NodeID{1, 2, 3, 2, 4}
+	out := dedupeWalk(in)
+	want := []graph.NodeID{1, 2, 4}
+	if len(out) != len(want) {
+		t.Fatalf("dedupeWalk = %v, want %v", out, want)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("dedupeWalk = %v, want %v", out, want)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package spectral
+
+import (
+	"math"
+	"sort"
+)
+
+// JacobiEigen returns all eigenvalues (ascending) and the corresponding
+// orthonormal eigenvectors of the symmetric matrix s. vecs[k] is the
+// eigenvector for vals[k]. The input is not modified.
+func JacobiEigen(s *Sym, tol float64) (vals []float64, vecs [][]float64) {
+	a := s.Clone()
+	n := a.Dim()
+	if n == 0 {
+		return nil, nil
+	}
+	if tol <= 0 {
+		scale := a.offDiagNorm() + diagNorm(a)
+		tol = 1e-12 * (scale + 1)
+	}
+	// v holds the accumulated rotations, column j = eigenvector j.
+	v := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		v[i*n+i] = 1
+	}
+	for sweep := 0; sweep < jacobiMaxSweeps; sweep++ {
+		if a.offDiagNorm() <= tol {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				rotateWithVectors(a, v, p, q)
+			}
+		}
+	}
+	type pair struct {
+		val float64
+		col int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{val: a.At(i, i), col: i}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].val < pairs[j].val })
+	vals = make([]float64, n)
+	vecs = make([][]float64, n)
+	for k, p := range pairs {
+		vals[k] = p.val
+		col := make([]float64, n)
+		for i := 0; i < n; i++ {
+			col[i] = v[i*n+p.col]
+		}
+		vecs[k] = col
+	}
+	return vals, vecs
+}
+
+// rotateWithVectors applies a Jacobi rotation to a, accumulating it into the
+// eigenvector matrix v (row-major n×n).
+func rotateWithVectors(a *Sym, v []float64, p, q int) {
+	apq := a.At(p, q)
+	if apq == 0 {
+		return
+	}
+	app := a.At(p, p)
+	aqq := a.At(q, q)
+	theta := (aqq - app) / (2 * apq)
+	var t float64
+	if theta >= 0 {
+		t = 1 / (theta + math.Sqrt(theta*theta+1))
+	} else {
+		t = -1 / (-theta + math.Sqrt(theta*theta+1))
+	}
+	c := 1 / math.Sqrt(t*t+1)
+	s := t * c
+	tau := s / (1 + c)
+
+	n := a.Dim()
+	a.Set(p, p, app-t*apq)
+	a.Set(q, q, aqq+t*apq)
+	a.Set(p, q, 0)
+	for i := 0; i < n; i++ {
+		if i == p || i == q {
+			continue
+		}
+		aip := a.At(i, p)
+		aiq := a.At(i, q)
+		a.Set(i, p, aip-s*(aiq+tau*aip))
+		a.Set(i, q, aiq+s*(aip-tau*aiq))
+	}
+	for i := 0; i < n; i++ {
+		vip := v[i*n+p]
+		viq := v[i*n+q]
+		v[i*n+p] = vip - s*(viq+tau*vip)
+		v[i*n+q] = viq + s*(vip-tau*viq)
+	}
+}

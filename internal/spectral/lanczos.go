@@ -1,0 +1,189 @@
+package spectral
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// ErrBreakdown is returned when the Lanczos iteration cannot continue (the
+// Krylov space is exhausted before producing any Ritz values).
+var ErrBreakdown = errors.New("spectral: lanczos breakdown before first step")
+
+// MatVec applies a linear operator: dst = A·x.
+type MatVec func(dst, x []float64)
+
+// Lanczos runs k steps of the symmetric Lanczos iteration on an n-dimensional
+// operator with full reorthogonalization against all previous Lanczos
+// vectors and against the provided deflation subspace (each deflate vector
+// must be unit norm). It returns the eigenvalues of the resulting
+// tridiagonal matrix in ascending order; these Ritz values approximate the
+// extreme eigenvalues of the operator restricted to the orthogonal
+// complement of the deflation space.
+//
+// rng seeds the start vector so that results are reproducible.
+func Lanczos(n, k int, op MatVec, deflate [][]float64, rng *rand.Rand) ([]float64, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	if k > n-len(deflate) {
+		k = n - len(deflate)
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+
+	v := randUnit(n, rng, deflate)
+	if v == nil {
+		return nil, ErrBreakdown
+	}
+
+	alphas := make([]float64, 0, k)
+	betas := make([]float64, 0, k)
+	basis := make([][]float64, 0, k)
+	basis = append(basis, v)
+	w := make([]float64, n)
+	prevBeta := 0.0
+	var prev []float64
+
+	for j := 0; j < k; j++ {
+		cur := basis[len(basis)-1]
+		op(w, cur)
+		if prev != nil {
+			AXPY(w, -prevBeta, prev)
+		}
+		alpha := Dot(w, cur)
+		AXPY(w, -alpha, cur)
+		// Full reorthogonalization: against deflation space and basis.
+		orthogonalize(w, deflate)
+		orthogonalize(w, basis)
+		orthogonalize(w, basis) // second pass for numerical safety
+		alphas = append(alphas, alpha)
+
+		beta := Norm2(w)
+		if j == k-1 {
+			break
+		}
+		if beta < 1e-13 {
+			// Krylov space exhausted: restart with a fresh orthogonal vector.
+			nv := randUnit(n, rng, append(append([][]float64{}, deflate...), basis...))
+			if nv == nil {
+				break
+			}
+			beta = 0
+			prev = nil
+			prevBeta = 0
+			basis = append(basis, nv)
+			betas = append(betas, 0)
+			continue
+		}
+		next := make([]float64, n)
+		copy(next, w)
+		Scale(next, 1/beta)
+		betas = append(betas, beta)
+		prev = cur
+		prevBeta = beta
+		basis = append(basis, next)
+	}
+
+	return TridiagEigenvalues(alphas, betas), nil
+}
+
+// randUnit draws a random unit vector orthogonal to the given subspace.
+// Returns nil when the complement is (numerically) empty.
+func randUnit(n int, rng *rand.Rand, against [][]float64) []float64 {
+	for attempt := 0; attempt < 32; attempt++ {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		orthogonalize(v, against)
+		if Normalize(v) && Norm2(v) > 0.5 {
+			return v
+		}
+	}
+	return nil
+}
+
+// orthogonalize subtracts from v its projection onto each unit vector in basis.
+func orthogonalize(v []float64, basis [][]float64) {
+	for _, b := range basis {
+		AXPY(v, -Dot(v, b), b)
+	}
+}
+
+// TridiagEigenvalues returns the eigenvalues, ascending, of the symmetric
+// tridiagonal matrix with diagonal alphas (length m) and off-diagonal betas
+// (length m-1), using Sturm-sequence bisection. The method is
+// unconditionally stable.
+func TridiagEigenvalues(alphas, betas []float64) []float64 {
+	m := len(alphas)
+	if m == 0 {
+		return nil
+	}
+	// Gershgorin bounds.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < m; i++ {
+		r := 0.0
+		if i > 0 {
+			r += math.Abs(betas[i-1])
+		}
+		if i < m-1 {
+			r += math.Abs(betas[i])
+		}
+		if alphas[i]-r < lo {
+			lo = alphas[i] - r
+		}
+		if alphas[i]+r > hi {
+			hi = alphas[i] + r
+		}
+	}
+	if lo == hi {
+		out := make([]float64, m)
+		for i := range out {
+			out[i] = lo
+		}
+		return out
+	}
+
+	out := make([]float64, m)
+	eps := 1e-13 * math.Max(math.Abs(lo), math.Abs(hi))
+	if eps == 0 {
+		eps = 1e-13
+	}
+	for idx := 0; idx < m; idx++ {
+		a, b := lo, hi
+		for b-a > eps {
+			mid := (a + b) / 2
+			// count = number of eigenvalues < mid.
+			if sturmCount(alphas, betas, mid) <= idx {
+				a = mid
+			} else {
+				b = mid
+			}
+		}
+		out[idx] = (a + b) / 2
+	}
+	return out
+}
+
+// sturmCount returns the number of eigenvalues of the tridiagonal matrix
+// strictly less than x, via the classic LDLᵀ sign-agreement sequence.
+func sturmCount(alphas, betas []float64, x float64) int {
+	count := 0
+	d := 1.0
+	for i := range alphas {
+		var off float64
+		if i > 0 {
+			off = betas[i-1]
+		}
+		if d == 0 {
+			d = 1e-300
+		}
+		d = alphas[i] - x - off*off/d
+		if d < 0 {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,240 @@
+package spectral
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/xheal/xheal/internal/graph"
+)
+
+// jacobiCutoff is the largest dimension solved with the dense Jacobi method;
+// beyond it the Lanczos path is used.
+const jacobiCutoff = 220
+
+// lanczosSteps is the Krylov dimension used for λ₂ estimation on large
+// graphs. Extreme Ritz values converge long before this for graphs with a
+// spectral gap (exactly the regime the paper cares about).
+const lanczosSteps = 90
+
+// Laplacian returns the combinatorial Laplacian L = D − A of g and the node
+// ordering used for indices (ascending NodeID).
+func Laplacian(g *graph.Graph) (*Sym, []graph.NodeID) {
+	nodes := g.Nodes()
+	idx := make(map[graph.NodeID]int, len(nodes))
+	for i, n := range nodes {
+		idx[n] = i
+	}
+	l := NewSym(len(nodes))
+	for i, n := range nodes {
+		l.Set(i, i, float64(g.Degree(n)))
+		for _, w := range g.Neighbors(n) {
+			j := idx[w]
+			if i < j {
+				l.Set(i, j, -1)
+			}
+		}
+	}
+	return l, nodes
+}
+
+// NormalizedLaplacian returns the symmetric normalized Laplacian
+// ℒ = I − D^{−1/2} A D^{−1/2} of g and the node ordering. Isolated nodes
+// contribute a zero row/column (eigenvalue 0), matching the convention that
+// they form their own components.
+func NormalizedLaplacian(g *graph.Graph) (*Sym, []graph.NodeID) {
+	nodes := g.Nodes()
+	idx := make(map[graph.NodeID]int, len(nodes))
+	for i, n := range nodes {
+		idx[n] = i
+	}
+	l := NewSym(len(nodes))
+	for i, n := range nodes {
+		di := g.Degree(n)
+		if di == 0 {
+			continue
+		}
+		l.Set(i, i, 1)
+		for _, w := range g.Neighbors(n) {
+			j := idx[w]
+			if i < j {
+				dj := g.Degree(w)
+				l.Set(i, j, -1/math.Sqrt(float64(di)*float64(dj)))
+			}
+		}
+	}
+	return l, nodes
+}
+
+// AlgebraicConnectivity returns λ₂(L), the second-smallest eigenvalue of the
+// combinatorial Laplacian — the paper's λ(G). It is 0 exactly when the graph
+// is disconnected (detected combinatorially for robustness) and undefined
+// (returned as 0) for graphs with fewer than 2 nodes.
+func AlgebraicConnectivity(g *graph.Graph, rng *rand.Rand) float64 {
+	n := g.NumNodes()
+	if n < 2 {
+		return 0
+	}
+	if !g.IsConnected() {
+		return 0
+	}
+	l, _ := Laplacian(g)
+	if n <= jacobiCutoff {
+		eig := JacobiEigenvalues(l, 0)
+		return clampTiny(eig[1])
+	}
+	// Deflate the kernel: the all-ones vector.
+	ones := constUnit(n)
+	ritz, err := Lanczos(n, lanczosSteps, func(dst, x []float64) {
+		_ = l.MulVec(dst, x) // dimensions are correct by construction
+	}, [][]float64{ones}, rng)
+	if err != nil || len(ritz) == 0 {
+		return 0
+	}
+	return clampTiny(ritz[0])
+}
+
+// NormalizedAlgebraicConnectivity returns λ₂ of the normalized Laplacian,
+// the quantity the Cheeger inequality (paper Thm 1) brackets with the
+// conductance: 2φ ≥ λ ≥ φ²/2.
+func NormalizedAlgebraicConnectivity(g *graph.Graph, rng *rand.Rand) float64 {
+	n := g.NumNodes()
+	if n < 2 {
+		return 0
+	}
+	if !g.IsConnected() {
+		return 0
+	}
+	l, nodes := NormalizedLaplacian(g)
+	if n <= jacobiCutoff {
+		eig := JacobiEigenvalues(l, 0)
+		return clampTiny(eig[1])
+	}
+	// Kernel of the normalized Laplacian is D^{1/2}·1.
+	kern := make([]float64, n)
+	for i, node := range nodes {
+		kern[i] = math.Sqrt(float64(g.Degree(node)))
+	}
+	Normalize(kern)
+	ritz, err := Lanczos(n, lanczosSteps, func(dst, x []float64) {
+		_ = l.MulVec(dst, x)
+	}, [][]float64{kern}, rng)
+	if err != nil || len(ritz) == 0 {
+		return 0
+	}
+	return clampTiny(ritz[0])
+}
+
+// FiedlerVector returns the eigenvector for λ₂(L) together with the node
+// ordering. For large graphs it uses shifted power iteration on (cI − L)
+// restricted to the complement of the all-ones kernel. Returns nil for
+// graphs with fewer than 2 nodes.
+func FiedlerVector(g *graph.Graph, rng *rand.Rand) ([]float64, []graph.NodeID) {
+	n := g.NumNodes()
+	if n < 2 {
+		return nil, nil
+	}
+	l, nodes := Laplacian(g)
+	if n <= jacobiCutoff {
+		_, vecs := JacobiEigen(l, 0)
+		return vecs[1], nodes
+	}
+	// Power iteration on B = cI − L within span{1}^⊥: the dominant
+	// eigenvector of B there corresponds to λ₂(L).
+	c := 2*float64(g.MaxDegree()) + 1
+	ones := constUnit(n)
+	v := randUnit(n, rng, [][]float64{ones})
+	if v == nil {
+		return nil, nodes
+	}
+	w := make([]float64, n)
+	for iter := 0; iter < 600; iter++ {
+		_ = l.MulVec(w, v)
+		for i := range w {
+			w[i] = c*v[i] - w[i]
+		}
+		orthogonalize(w, [][]float64{ones})
+		if !Normalize(w) {
+			break
+		}
+		// Convergence check every few iterations.
+		if iter%8 == 7 {
+			diff := 0.0
+			for i := range w {
+				d := math.Abs(w[i]) - math.Abs(v[i])
+				diff += d * d
+			}
+			if math.Sqrt(diff) < 1e-10 {
+				copy(v, w)
+				break
+			}
+		}
+		copy(v, w)
+	}
+	return v, nodes
+}
+
+// SpectrumSummary describes the Laplacian spectrum extremes of a graph.
+type SpectrumSummary struct {
+	// Lambda2 is λ₂ of the combinatorial Laplacian (algebraic connectivity).
+	Lambda2 float64
+	// Lambda2Normalized is λ₂ of the normalized Laplacian.
+	Lambda2Normalized float64
+	// LambdaMax is the largest combinatorial Laplacian eigenvalue (only
+	// populated on the dense path; 0 otherwise).
+	LambdaMax float64
+}
+
+// Summarize computes the spectrum summary of g.
+func Summarize(g *graph.Graph, rng *rand.Rand) SpectrumSummary {
+	s := SpectrumSummary{
+		Lambda2:           AlgebraicConnectivity(g, rng),
+		Lambda2Normalized: NormalizedAlgebraicConnectivity(g, rng),
+	}
+	if n := g.NumNodes(); n >= 2 && n <= jacobiCutoff {
+		l, _ := Laplacian(g)
+		eig := JacobiEigenvalues(l, 0)
+		s.LambdaMax = eig[len(eig)-1]
+	}
+	return s
+}
+
+// CheegerLower returns the lower bound on conductance implied by the Cheeger
+// inequality (paper Thm 1: 2φ ≥ λ): given λ₂ of the normalized Laplacian,
+// φ ≥ λ/2.
+func CheegerLower(lambdaNormalized float64) float64 { return lambdaNormalized / 2 }
+
+// CheegerUpper returns the Cheeger-inequality upper bound φ ≤ √(2λ) implied
+// by λ > φ²/2 (paper Thm 1).
+func CheegerUpper(lambdaNormalized float64) float64 {
+	return math.Sqrt(2 * lambdaNormalized)
+}
+
+func constUnit(n int) []float64 {
+	v := make([]float64, n)
+	c := 1 / math.Sqrt(float64(n))
+	for i := range v {
+		v[i] = c
+	}
+	return v
+}
+
+// clampTiny zeroes numerically-insignificant negatives produced by floating
+// point round-off on PSD matrices.
+func clampTiny(x float64) float64 {
+	if x < 0 && x > -1e-9 {
+		return 0
+	}
+	return x
+}
+
+// MixingTimeBound returns the standard upper bound on the mixing time of
+// the lazy random walk implied by the normalized spectral gap:
+// τ ≈ log(n)/λ₂(normalized). The paper motivates λ as the quantity
+// capturing mixing time and routing congestion (§1.1); this helper turns a
+// measured gap into the walk-length scale. Returns +Inf when the gap is 0.
+func MixingTimeBound(lambdaNormalized float64, n int) float64 {
+	if lambdaNormalized <= 0 || n < 2 {
+		return math.Inf(1)
+	}
+	return math.Log(float64(n)) / lambdaNormalized
+}

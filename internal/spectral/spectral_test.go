@@ -1,0 +1,444 @@
+package spectral
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/xheal/xheal/internal/graph"
+)
+
+func approxEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func buildPath(n int) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.EnsureNode(graph.NodeID(i))
+	}
+	for i := 0; i+1 < n; i++ {
+		g.EnsureEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	return g
+}
+
+func buildCycle(n int) *graph.Graph {
+	g := buildPath(n)
+	g.EnsureEdge(0, graph.NodeID(n-1))
+	return g
+}
+
+func buildComplete(n int) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.EnsureNode(graph.NodeID(i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.EnsureEdge(graph.NodeID(i), graph.NodeID(j))
+		}
+	}
+	return g
+}
+
+func TestJacobiDiagonalMatrix(t *testing.T) {
+	s := NewSym(3)
+	s.Set(0, 0, 3)
+	s.Set(1, 1, 1)
+	s.Set(2, 2, 2)
+	eig := JacobiEigenvalues(s, 0)
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if !approxEqual(eig[i], want[i], 1e-10) {
+			t.Fatalf("eig = %v, want %v", eig, want)
+		}
+	}
+}
+
+func TestJacobiKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	s := NewSym(2)
+	s.Set(0, 0, 2)
+	s.Set(1, 1, 2)
+	s.Set(0, 1, 1)
+	eig := JacobiEigenvalues(s, 0)
+	if !approxEqual(eig[0], 1, 1e-10) || !approxEqual(eig[1], 3, 1e-10) {
+		t.Fatalf("eig = %v, want [1 3]", eig)
+	}
+}
+
+func TestJacobiTraceAndFrobeniusPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 20
+	s := NewSym(n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			s.Set(i, j, rng.NormFloat64())
+		}
+	}
+	trace := 0.0
+	frob := 0.0
+	for i := 0; i < n; i++ {
+		trace += s.At(i, i)
+		for j := 0; j < n; j++ {
+			frob += s.At(i, j) * s.At(i, j)
+		}
+	}
+	eig := JacobiEigenvalues(s, 0)
+	sumEig, sumSq := 0.0, 0.0
+	for _, v := range eig {
+		sumEig += v
+		sumSq += v * v
+	}
+	if !approxEqual(trace, sumEig, 1e-8) {
+		t.Fatalf("trace %v != eigenvalue sum %v", trace, sumEig)
+	}
+	if !approxEqual(frob, sumSq, 1e-6) {
+		t.Fatalf("frobenius² %v != eigenvalue square sum %v", frob, sumSq)
+	}
+}
+
+func TestJacobiEigenVectorsAreEigenvectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 12
+	s := NewSym(n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			s.Set(i, j, rng.NormFloat64())
+		}
+	}
+	vals, vecs := JacobiEigen(s, 0)
+	dst := make([]float64, n)
+	for k := 0; k < n; k++ {
+		if err := s.MulVec(dst, vecs[k]); err != nil {
+			t.Fatalf("MulVec: %v", err)
+		}
+		for i := 0; i < n; i++ {
+			if !approxEqual(dst[i], vals[k]*vecs[k][i], 1e-7) {
+				t.Fatalf("A·v != λ·v for eigenpair %d (component %d: %v vs %v)",
+					k, i, dst[i], vals[k]*vecs[k][i])
+			}
+		}
+	}
+	// Orthonormality.
+	for a := 0; a < n; a++ {
+		for b := a; b < n; b++ {
+			want := 0.0
+			if a == b {
+				want = 1
+			}
+			if !approxEqual(Dot(vecs[a], vecs[b]), want, 1e-8) {
+				t.Fatalf("eigenvectors %d,%d not orthonormal", a, b)
+			}
+		}
+	}
+}
+
+func TestLaplacianStructure(t *testing.T) {
+	g := buildPath(3)
+	l, nodes := Laplacian(g)
+	if len(nodes) != 3 {
+		t.Fatalf("nodes = %v", nodes)
+	}
+	// Row sums of a Laplacian are zero.
+	for i := 0; i < 3; i++ {
+		sum := 0.0
+		for j := 0; j < 3; j++ {
+			sum += l.At(i, j)
+		}
+		if !approxEqual(sum, 0, 1e-12) {
+			t.Fatalf("row %d sum = %v, want 0", i, sum)
+		}
+	}
+	if l.At(1, 1) != 2 {
+		t.Fatalf("middle degree = %v, want 2", l.At(1, 1))
+	}
+}
+
+// Known spectrum: path P_n Laplacian eigenvalues are 2-2cos(πk/n) = 4sin²(πk/2n).
+func TestAlgebraicConnectivityPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{3, 5, 10, 25} {
+		g := buildPath(n)
+		got := AlgebraicConnectivity(g, rng)
+		want := 4 * math.Pow(math.Sin(math.Pi/(2*float64(n))), 2)
+		if !approxEqual(got, want, 1e-8) {
+			t.Fatalf("λ₂(P_%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+// Known spectrum: K_n Laplacian eigenvalues are 0 and n (multiplicity n-1).
+func TestAlgebraicConnectivityComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{3, 6, 12} {
+		g := buildComplete(n)
+		got := AlgebraicConnectivity(g, rng)
+		if !approxEqual(got, float64(n), 1e-8) {
+			t.Fatalf("λ₂(K_%d) = %v, want %d", n, got, n)
+		}
+	}
+}
+
+// Known spectrum: cycle C_n eigenvalues are 2-2cos(2πk/n).
+func TestAlgebraicConnectivityCycle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 12
+	g := buildCycle(n)
+	got := AlgebraicConnectivity(g, rng)
+	want := 2 - 2*math.Cos(2*math.Pi/float64(n))
+	if !approxEqual(got, want, 1e-8) {
+		t.Fatalf("λ₂(C_%d) = %v, want %v", n, got, want)
+	}
+}
+
+func TestAlgebraicConnectivityDisconnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.New()
+	g.EnsureEdge(0, 1)
+	g.EnsureEdge(2, 3)
+	if got := AlgebraicConnectivity(g, rng); got != 0 {
+		t.Fatalf("λ₂ of disconnected graph = %v, want 0", got)
+	}
+	single := graph.New()
+	single.EnsureNode(0)
+	if got := AlgebraicConnectivity(single, rng); got != 0 {
+		t.Fatalf("λ₂ of single node = %v, want 0", got)
+	}
+}
+
+func TestLanczosMatchesJacobiOnLaplacian(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	// Random connected graph, dense-solver size, then force the Lanczos path
+	// by calling Lanczos directly.
+	g := buildCycle(60)
+	extra := rand.New(rand.NewSource(5))
+	for k := 0; k < 80; k++ {
+		u := graph.NodeID(extra.Intn(60))
+		v := graph.NodeID(extra.Intn(60))
+		g.EnsureEdge(u, v)
+	}
+	l, _ := Laplacian(g)
+	dense := JacobiEigenvalues(l, 0)
+	ones := constUnit(60)
+	ritz, err := Lanczos(60, 50, func(dst, x []float64) { _ = l.MulVec(dst, x) },
+		[][]float64{ones}, rng)
+	if err != nil {
+		t.Fatalf("Lanczos: %v", err)
+	}
+	if !approxEqual(ritz[0], dense[1], 1e-6) {
+		t.Fatalf("Lanczos λ₂ = %v, Jacobi λ₂ = %v", ritz[0], dense[1])
+	}
+	if !approxEqual(ritz[len(ritz)-1], dense[len(dense)-1], 1e-6) {
+		t.Fatalf("Lanczos λmax = %v, Jacobi λmax = %v", ritz[len(ritz)-1], dense[len(dense)-1])
+	}
+}
+
+func TestLargeGraphLanczosPath(t *testing.T) {
+	// n > jacobiCutoff exercises the Lanczos branch of AlgebraicConnectivity.
+	rng := rand.New(rand.NewSource(2))
+	n := jacobiCutoff + 40
+	g := buildCycle(n)
+	// Add chords to give it a real gap.
+	extra := rand.New(rand.NewSource(9))
+	for k := 0; k < 4*n; k++ {
+		g.EnsureEdge(graph.NodeID(extra.Intn(n)), graph.NodeID(extra.Intn(n)))
+	}
+	got := AlgebraicConnectivity(g, rng)
+	if got <= 0 {
+		t.Fatalf("λ₂ = %v, want > 0 for connected graph", got)
+	}
+}
+
+func TestNormalizedLaplacianCompleteGraph(t *testing.T) {
+	// Normalized Laplacian of K_n has eigenvalues 0 and n/(n-1).
+	rng := rand.New(rand.NewSource(1))
+	n := 8
+	g := buildComplete(n)
+	got := NormalizedAlgebraicConnectivity(g, rng)
+	want := float64(n) / float64(n-1)
+	if !approxEqual(got, want, 1e-8) {
+		t.Fatalf("normalized λ₂(K_%d) = %v, want %v", n, got, want)
+	}
+}
+
+func TestFiedlerVectorSplitsPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := buildPath(9)
+	vec, nodes := FiedlerVector(g, rng)
+	if vec == nil {
+		t.Fatal("nil Fiedler vector")
+	}
+	// The Fiedler vector of a path is monotone: signs split the path in two
+	// contiguous halves.
+	changes := 0
+	for i := 0; i+1 < len(nodes); i++ {
+		if (vec[i] < 0) != (vec[i+1] < 0) {
+			changes++
+		}
+	}
+	if changes != 1 {
+		t.Fatalf("Fiedler vector sign changes along path = %d, want 1 (vec=%v)", changes, vec)
+	}
+}
+
+func TestTridiagEigenvalues(t *testing.T) {
+	// Tridiagonal with diag=2, off=-1 (Dirichlet Laplacian) has eigenvalues
+	// 2-2cos(kπ/(m+1)).
+	m := 7
+	alphas := make([]float64, m)
+	betas := make([]float64, m-1)
+	for i := range alphas {
+		alphas[i] = 2
+	}
+	for i := range betas {
+		betas[i] = -1
+	}
+	eig := TridiagEigenvalues(alphas, betas)
+	for k := 1; k <= m; k++ {
+		want := 2 - 2*math.Cos(float64(k)*math.Pi/float64(m+1))
+		if !approxEqual(eig[k-1], want, 1e-9) {
+			t.Fatalf("eig[%d] = %v, want %v", k-1, eig[k-1], want)
+		}
+	}
+}
+
+func TestTridiagConstant(t *testing.T) {
+	eig := TridiagEigenvalues([]float64{5, 5, 5}, []float64{0, 0})
+	for _, v := range eig {
+		if !approxEqual(v, 5, 1e-9) {
+			t.Fatalf("eig = %v, want all 5", eig)
+		}
+	}
+}
+
+func TestCheegerBoundsOrdering(t *testing.T) {
+	for _, lam := range []float64{0.01, 0.4, 1, 1.7} {
+		lo, hi := CheegerLower(lam), CheegerUpper(lam)
+		if lo > hi {
+			t.Fatalf("Cheeger bounds inverted for λ=%v: lo=%v hi=%v", lam, lo, hi)
+		}
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	v := []float64{3, 4}
+	if !approxEqual(Norm2(v), 5, 1e-12) {
+		t.Fatalf("Norm2 = %v, want 5", Norm2(v))
+	}
+	if !Normalize(v) {
+		t.Fatal("Normalize returned false for nonzero vector")
+	}
+	if !approxEqual(Norm2(v), 1, 1e-12) {
+		t.Fatalf("normalized norm = %v, want 1", Norm2(v))
+	}
+	zero := []float64{0, 0}
+	if Normalize(zero) {
+		t.Fatal("Normalize returned true for zero vector")
+	}
+	y := []float64{1, 1}
+	AXPY(y, 2, []float64{1, 2})
+	if y[0] != 3 || y[1] != 5 {
+		t.Fatalf("AXPY result = %v, want [3 5]", y)
+	}
+}
+
+func TestMulVecDimensionError(t *testing.T) {
+	s := NewSym(3)
+	if err := s.MulVec(make([]float64, 2), make([]float64, 3)); err == nil {
+		t.Fatal("MulVec with wrong dst length should error")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := buildComplete(5)
+	s := Summarize(g, rng)
+	if !approxEqual(s.Lambda2, 5, 1e-8) {
+		t.Fatalf("Lambda2 = %v, want 5", s.Lambda2)
+	}
+	if !approxEqual(s.LambdaMax, 5, 1e-8) {
+		t.Fatalf("LambdaMax = %v, want 5", s.LambdaMax)
+	}
+	if !approxEqual(s.Lambda2Normalized, 1.25, 1e-8) {
+		t.Fatalf("Lambda2Normalized = %v, want 1.25", s.Lambda2Normalized)
+	}
+}
+
+func TestMixingTimeBound(t *testing.T) {
+	if !math.IsInf(MixingTimeBound(0, 10), 1) {
+		t.Fatal("zero gap should give infinite mixing bound")
+	}
+	if !math.IsInf(MixingTimeBound(0.5, 1), 1) {
+		t.Fatal("trivial graph should give infinite mixing bound")
+	}
+	got := MixingTimeBound(0.5, 100)
+	want := math.Log(100) / 0.5
+	if !approxEqual(got, want, 1e-12) {
+		t.Fatalf("MixingTimeBound = %v, want %v", got, want)
+	}
+	// Expanders mix fast: bound decreases as the gap grows.
+	if MixingTimeBound(1.0, 100) >= MixingTimeBound(0.1, 100) {
+		t.Fatal("mixing bound should shrink with a larger gap")
+	}
+}
+
+func TestFiedlerVectorLargeGraphPowerIteration(t *testing.T) {
+	// n > jacobiCutoff exercises the shifted-power-iteration branch.
+	rng := rand.New(rand.NewSource(6))
+	n := jacobiCutoff + 30
+	g := buildCycle(n)
+	extra := rand.New(rand.NewSource(8))
+	for k := 0; k < 3*n; k++ {
+		g.EnsureEdge(graph.NodeID(extra.Intn(n)), graph.NodeID(extra.Intn(n)))
+	}
+	vec, nodes := FiedlerVector(g, rng)
+	if vec == nil || len(vec) != n || len(nodes) != n {
+		t.Fatalf("FiedlerVector sizes: vec=%d nodes=%d", len(vec), len(nodes))
+	}
+	// The Fiedler vector is orthogonal to the all-ones vector.
+	sum := 0.0
+	for _, v := range vec {
+		sum += v
+	}
+	if math.Abs(sum) > 1e-6 {
+		t.Fatalf("Fiedler vector not orthogonal to 1: sum=%v", sum)
+	}
+	// And it is (approximately) unit norm.
+	if !approxEqual(Norm2(vec), 1, 1e-6) {
+		t.Fatalf("Fiedler vector norm = %v, want 1", Norm2(vec))
+	}
+}
+
+func TestLanczosFullSpectrumSmall(t *testing.T) {
+	// With k = n and no deflation, Lanczos recovers the entire spectrum of a
+	// small symmetric matrix.
+	rng := rand.New(rand.NewSource(14))
+	n := 8
+	s := NewSym(n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			s.Set(i, j, rng.NormFloat64())
+		}
+	}
+	want := JacobiEigenvalues(s, 0)
+	got, err := Lanczos(n, n, func(dst, x []float64) { _ = s.MulVec(dst, x) }, nil, rng)
+	if err != nil {
+		t.Fatalf("Lanczos: %v", err)
+	}
+	if len(got) != n {
+		t.Fatalf("ritz values = %d, want %d", len(got), n)
+	}
+	for i := range want {
+		if !approxEqual(got[i], want[i], 1e-6) {
+			t.Fatalf("eig[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLanczosZeroDimension(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	out, err := Lanczos(0, 5, func(dst, x []float64) {}, nil, rng)
+	if err != nil || out != nil {
+		t.Fatalf("Lanczos(0) = %v, %v; want nil, nil", out, err)
+	}
+}

@@ -1,0 +1,36 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoad ensures the trace decoder never panics and that anything it
+// accepts round-trips through Save/Load unchanged.
+func FuzzLoad(f *testing.F) {
+	f.Add(`{"version":1,"events":[{"kind":"delete","node":3}]}`)
+	f.Add(`{"version":1,"nodes":[1,2],"edges":[{"U":1,"V":2}],"events":[]}`)
+	f.Add(`{"version":2}`)
+	f.Add(`not json at all`)
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := Load(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := tr.Save(&buf); err != nil {
+			t.Fatalf("Save of accepted trace failed: %v", err)
+		}
+		again, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("round-trip Load failed: %v", err)
+		}
+		if len(again.Events) != len(tr.Events) {
+			t.Fatalf("events changed in round trip: %d != %d", len(again.Events), len(tr.Events))
+		}
+		if !again.Initial().Equal(tr.Initial()) {
+			t.Fatal("initial graph changed in round trip")
+		}
+	})
+}

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/xheal/xheal/internal/adversary"
+	"github.com/xheal/xheal/internal/core"
+)
+
+// TestGoldenTraceRegression replays a committed 80-event churn trace
+// (star-16 start) and pins the exact healed outcome: any behavioral change
+// in the healing algorithm shows up as a diff against these numbers, which
+// were produced by the same implementation that passed the full invariant
+// suite. Update them deliberately when the algorithm changes.
+func TestGoldenTraceRegression(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "golden-star16-churn80.json"))
+	if err != nil {
+		t.Fatalf("open golden trace: %v", err)
+	}
+	defer f.Close()
+	tr, err := Load(f)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(tr.Events) != 80 {
+		t.Fatalf("golden trace has %d events, want 80", len(tr.Events))
+	}
+
+	s, err := core.NewState(core.Config{Kappa: 4, Seed: 99}, tr.Initial())
+	if err != nil {
+		t.Fatalf("NewState: %v", err)
+	}
+	adv, err := tr.Adversary()
+	if err != nil {
+		t.Fatalf("Adversary: %v", err)
+	}
+	for {
+		ev, ok := adv.Next(s.Graph())
+		if !ok {
+			break
+		}
+		switch ev.Kind {
+		case adversary.Insert:
+			err = s.InsertNode(ev.Node, ev.Neighbors)
+		case adversary.Delete:
+			err = s.DeleteNode(ev.Node)
+		}
+		if err != nil {
+			t.Fatalf("replay: %v", err)
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("invariants during replay: %v", err)
+		}
+	}
+
+	// Golden outcome (see file header comment for provenance).
+	if got := s.Graph().NumNodes(); got != 11 {
+		t.Fatalf("final nodes = %d, want 11", got)
+	}
+	if got := s.Graph().NumEdges(); got != 21 {
+		t.Fatalf("final edges = %d, want 21", got)
+	}
+	if !s.Graph().IsConnected() {
+		t.Fatal("final graph disconnected")
+	}
+	stats := s.Stats()
+	want := core.Stats{
+		Insertions: 37, Deletions: 43,
+		HealEdgesAdded: 133, HealEdgesRemoved: 48,
+		PrimaryClouds: 54, SecondaryClouds: 10,
+		Combines: 15, Shares: 5,
+	}
+	if stats != want {
+		t.Fatalf("stats = %+v, want %+v", stats, want)
+	}
+}

@@ -1,0 +1,143 @@
+// Package trace records and replays adversarial event sequences as JSON.
+// Recorded traces make runs reproducible across machines and make failures
+// shareable: xheal-sim can -record a run and -replay it later against any
+// healer, and the test suite replays golden traces as regression anchors.
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/xheal/xheal/internal/adversary"
+	"github.com/xheal/xheal/internal/graph"
+)
+
+// FormatVersion identifies the trace schema.
+const FormatVersion = 1
+
+// Sentinel errors.
+var (
+	ErrBadVersion = errors.New("trace: unsupported format version")
+	ErrBadEvent   = errors.New("trace: malformed event")
+)
+
+// Event is the serialized form of one adversarial action.
+type Event struct {
+	// Kind is "insert" or "delete".
+	Kind string `json:"kind"`
+	// Node is the inserted or deleted node.
+	Node graph.NodeID `json:"node"`
+	// Neighbors are the insertion attachments (insert only).
+	Neighbors []graph.NodeID `json:"neighbors,omitempty"`
+}
+
+// Trace is a replayable adversarial run: the initial topology and the event
+// sequence applied to it.
+type Trace struct {
+	Version int            `json:"version"`
+	Nodes   []graph.NodeID `json:"nodes"`
+	Edges   []graph.Edge   `json:"edges"`
+	Events  []Event        `json:"events"`
+}
+
+// New starts a trace over the given initial graph.
+func New(g0 *graph.Graph) *Trace {
+	return &Trace{
+		Version: FormatVersion,
+		Nodes:   g0.Nodes(),
+		Edges:   g0.Edges(),
+	}
+}
+
+// Record appends one adversary event.
+func (t *Trace) Record(ev adversary.Event) {
+	out := Event{Node: ev.Node}
+	switch ev.Kind {
+	case adversary.Insert:
+		out.Kind = "insert"
+		out.Neighbors = append([]graph.NodeID(nil), ev.Neighbors...)
+	case adversary.Delete:
+		out.Kind = "delete"
+	}
+	t.Events = append(t.Events, out)
+}
+
+// Initial reconstructs the initial graph.
+func (t *Trace) Initial() *graph.Graph {
+	g := graph.New()
+	for _, n := range t.Nodes {
+		g.EnsureNode(n)
+	}
+	for _, e := range t.Edges {
+		g.EnsureEdge(e.U, e.V)
+	}
+	return g
+}
+
+// Adversary returns a scripted adversary replaying the recorded events.
+func (t *Trace) Adversary() (adversary.Adversary, error) {
+	events := make([]adversary.Event, 0, len(t.Events))
+	for i, ev := range t.Events {
+		var kind adversary.EventKind
+		switch ev.Kind {
+		case "insert":
+			kind = adversary.Insert
+		case "delete":
+			kind = adversary.Delete
+		default:
+			return nil, fmt.Errorf("event %d has kind %q: %w", i, ev.Kind, ErrBadEvent)
+		}
+		events = append(events, adversary.Event{
+			Kind:      kind,
+			Node:      ev.Node,
+			Neighbors: append([]graph.NodeID(nil), ev.Neighbors...),
+		})
+	}
+	return &adversary.Scripted{Events: events}, nil
+}
+
+// Save writes the trace as indented JSON.
+func (t *Trace) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(t); err != nil {
+		return fmt.Errorf("trace: encode: %w", err)
+	}
+	return nil
+}
+
+// Load reads a trace written by Save.
+func Load(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if t.Version != FormatVersion {
+		return nil, fmt.Errorf("version %d: %w", t.Version, ErrBadVersion)
+	}
+	for i, ev := range t.Events {
+		if ev.Kind != "insert" && ev.Kind != "delete" {
+			return nil, fmt.Errorf("event %d has kind %q: %w", i, ev.Kind, ErrBadEvent)
+		}
+	}
+	return &t, nil
+}
+
+// Recording wraps an adversary, recording every event it emits.
+type Recording struct {
+	Inner adversary.Adversary
+	Trace *Trace
+}
+
+var _ adversary.Adversary = (*Recording)(nil)
+
+// Next implements adversary.Adversary.
+func (r *Recording) Next(view *graph.Graph) (adversary.Event, bool) {
+	ev, ok := r.Inner.Next(view)
+	if ok {
+		r.Trace.Record(ev)
+	}
+	return ev, ok
+}

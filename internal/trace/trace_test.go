@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/xheal/xheal/internal/adversary"
+	"github.com/xheal/xheal/internal/core"
+	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/workload"
+)
+
+func buildStar(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g, err := workload.Star(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRoundTrip(t *testing.T) {
+	g0 := buildStar(t, 6)
+	tr := New(g0)
+	tr.Record(adversary.Event{Kind: adversary.Delete, Node: 0})
+	tr.Record(adversary.Event{Kind: adversary.Insert, Node: 100, Neighbors: []graph.NodeID{1, 2}})
+
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if !loaded.Initial().Equal(g0) {
+		t.Fatal("initial graph did not round-trip")
+	}
+	if len(loaded.Events) != 2 {
+		t.Fatalf("events = %d, want 2", len(loaded.Events))
+	}
+	if loaded.Events[0].Kind != "delete" || loaded.Events[1].Kind != "insert" {
+		t.Fatalf("event kinds = %+v", loaded.Events)
+	}
+	if len(loaded.Events[1].Neighbors) != 2 {
+		t.Fatal("insert neighbors lost")
+	}
+}
+
+func TestLoadRejectsBadVersion(t *testing.T) {
+	_, err := Load(strings.NewReader(`{"version": 99, "events": []}`))
+	if !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("error = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestLoadRejectsBadKind(t *testing.T) {
+	_, err := Load(strings.NewReader(`{"version": 1, "events": [{"kind": "explode", "node": 1}]}`))
+	if !errors.Is(err, ErrBadEvent) {
+		t.Fatalf("error = %v, want ErrBadEvent", err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{{{`)); err == nil {
+		t.Fatal("garbage should fail to load")
+	}
+}
+
+func TestAdversaryReplay(t *testing.T) {
+	g0 := buildStar(t, 6)
+	tr := New(g0)
+	tr.Record(adversary.Event{Kind: adversary.Delete, Node: 0})
+	adv, err := tr.Adversary()
+	if err != nil {
+		t.Fatalf("Adversary: %v", err)
+	}
+	ev, ok := adv.Next(g0)
+	if !ok || ev.Kind != adversary.Delete || ev.Node != 0 {
+		t.Fatalf("replayed event = %+v ok=%v", ev, ok)
+	}
+	if _, ok := adv.Next(g0); ok {
+		t.Fatal("script should be exhausted")
+	}
+}
+
+func TestAdversaryRejectsBadKind(t *testing.T) {
+	tr := &Trace{Version: FormatVersion, Events: []Event{{Kind: "nope"}}}
+	if _, err := tr.Adversary(); !errors.Is(err, ErrBadEvent) {
+		t.Fatalf("error = %v, want ErrBadEvent", err)
+	}
+}
+
+// TestRecordedReplayIsIdentical runs a random adversary while recording,
+// then replays the trace against a fresh healer with the same seed: the
+// healed graphs must be identical.
+func TestRecordedReplayIsIdentical(t *testing.T) {
+	g0 := buildStar(t, 12)
+	tr := New(g0)
+	rec := &Recording{
+		Inner: adversary.NewRandomChurn(60, 0.5, 2, 7),
+		Trace: tr,
+	}
+
+	run := func(adv adversary.Adversary) *graph.Graph {
+		s, err := core.NewState(core.Config{Kappa: 4, Seed: 3}, g0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			ev, ok := adv.Next(s.Graph())
+			if !ok {
+				break
+			}
+			switch ev.Kind {
+			case adversary.Insert:
+				err = s.InsertNode(ev.Node, ev.Neighbors)
+			case adversary.Delete:
+				err = s.DeleteNode(ev.Node)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s.CloneGraph()
+	}
+
+	live := run(rec)
+
+	// Round-trip through JSON, then replay.
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, err := loaded.Adversary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := run(adv)
+
+	if !live.Equal(replayed) {
+		t.Fatal("replay diverged from recorded run")
+	}
+}

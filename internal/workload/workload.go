@@ -1,0 +1,291 @@
+// Package workload generates the initial topologies the experiments start
+// from: the adversarial shapes the paper's analysis highlights (stars,
+// paths) and the realistic substrates its introduction motivates
+// (peer-to-peer/mesh-like random graphs, expanders, power-law graphs).
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/hgraph"
+)
+
+// Sentinel errors.
+var (
+	ErrBadSize  = errors.New("workload: invalid size parameter")
+	ErrBadParam = errors.New("workload: invalid generator parameter")
+	ErrGaveUp   = errors.New("workload: generator failed to produce a connected graph")
+)
+
+// Star returns K_{1,leaves}: center node 0 with the given number of leaves.
+func Star(leaves int) (*graph.Graph, error) {
+	if leaves < 1 {
+		return nil, fmt.Errorf("star with %d leaves: %w", leaves, ErrBadSize)
+	}
+	g := graph.New()
+	g.EnsureNode(0)
+	for i := 1; i <= leaves; i++ {
+		g.EnsureEdge(0, graph.NodeID(i))
+	}
+	return g, nil
+}
+
+// Path returns the path graph P_n on nodes 0..n-1.
+func Path(n int) (*graph.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("path of %d nodes: %w", n, ErrBadSize)
+	}
+	g := graph.New()
+	g.EnsureNode(0)
+	for i := 0; i+1 < n; i++ {
+		g.EnsureEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	return g, nil
+}
+
+// Cycle returns the cycle graph C_n.
+func Cycle(n int) (*graph.Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("cycle of %d nodes: %w", n, ErrBadSize)
+	}
+	g, err := Path(n)
+	if err != nil {
+		return nil, err
+	}
+	g.EnsureEdge(0, graph.NodeID(n-1))
+	return g, nil
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) (*graph.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("complete graph of %d nodes: %w", n, ErrBadSize)
+	}
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.EnsureNode(graph.NodeID(i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.EnsureEdge(graph.NodeID(i), graph.NodeID(j))
+		}
+	}
+	return g, nil
+}
+
+// Grid returns the rows×cols grid graph.
+func Grid(rows, cols int) (*graph.Graph, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("grid %dx%d: %w", rows, cols, ErrBadSize)
+	}
+	g := graph.New()
+	id := func(r, c int) graph.NodeID { return graph.NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.EnsureNode(id(r, c))
+			if r > 0 {
+				g.EnsureEdge(id(r-1, c), id(r, c))
+			}
+			if c > 0 {
+				g.EnsureEdge(id(r, c-1), id(r, c))
+			}
+		}
+	}
+	return g, nil
+}
+
+// Hypercube returns the dim-dimensional hypercube (2^dim nodes).
+func Hypercube(dim int) (*graph.Graph, error) {
+	if dim < 1 || dim > 20 {
+		return nil, fmt.Errorf("hypercube of dimension %d: %w", dim, ErrBadSize)
+	}
+	g := graph.New()
+	n := 1 << uint(dim)
+	for i := 0; i < n; i++ {
+		g.EnsureNode(graph.NodeID(i))
+		for b := 0; b < dim; b++ {
+			j := i ^ (1 << uint(b))
+			if j < i {
+				g.EnsureEdge(graph.NodeID(j), graph.NodeID(i))
+			}
+		}
+	}
+	return g, nil
+}
+
+// ErdosRenyi returns a connected G(n, p) sample: edges drawn independently
+// with probability p, retried until connected (up to a bounded number of
+// attempts).
+func ErdosRenyi(n int, p float64, rng *rand.Rand) (*graph.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("G(%d, %v): %w", n, p, ErrBadSize)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("G(%d, %v): %w", n, p, ErrBadParam)
+	}
+	for attempt := 0; attempt < 200; attempt++ {
+		g := graph.New()
+		for i := 0; i < n; i++ {
+			g.EnsureNode(graph.NodeID(i))
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < p {
+					g.EnsureEdge(graph.NodeID(i), graph.NodeID(j))
+				}
+			}
+		}
+		if g.IsConnected() {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("G(%d, %v): %w", n, p, ErrGaveUp)
+}
+
+// RandomRegular returns a connected random 2d-regular graph built as a
+// Law–Siu H-graph (d Hamilton cycles) — the paper's own expander
+// construction, so it doubles as the "G′ is an expander" workload of
+// Corollary 1.
+func RandomRegular(n, halfDegree int, rng *rand.Rand) (*graph.Graph, error) {
+	if n < hgraph.MinSize {
+		return nil, fmt.Errorf("random regular on %d nodes: %w", n, ErrBadSize)
+	}
+	if halfDegree < 1 {
+		return nil, fmt.Errorf("random regular with d=%d: %w", halfDegree, ErrBadParam)
+	}
+	vertices := make([]graph.NodeID, n)
+	for i := range vertices {
+		vertices[i] = graph.NodeID(i)
+	}
+	h, err := hgraph.New(halfDegree, vertices, rng)
+	if err != nil {
+		return nil, err
+	}
+	return h.Graph(), nil
+}
+
+// PreferentialAttachment returns a Barabási–Albert-style power-law graph:
+// nodes arrive one at a time and attach m edges to existing nodes chosen
+// proportionally to degree. The result is connected by construction.
+func PreferentialAttachment(n, m int, rng *rand.Rand) (*graph.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("preferential attachment on %d nodes: %w", n, ErrBadSize)
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("preferential attachment with m=%d: %w", m, ErrBadParam)
+	}
+	g := graph.New()
+	g.EnsureEdge(0, 1)
+	// endpoints holds each edge endpoint once per incidence: sampling an
+	// element uniformly is degree-proportional sampling.
+	endpoints := []graph.NodeID{0, 1}
+	for i := 2; i < n; i++ {
+		u := graph.NodeID(i)
+		g.EnsureNode(u)
+		attach := m
+		if i < m {
+			attach = i
+		}
+		chosen := make(map[graph.NodeID]struct{}, attach)
+		order := make([]graph.NodeID, 0, attach) // deterministic edge order
+		for len(chosen) < attach {
+			w := endpoints[rng.Intn(len(endpoints))]
+			if w == u {
+				continue
+			}
+			if _, dup := chosen[w]; dup {
+				continue
+			}
+			chosen[w] = struct{}{}
+			order = append(order, w)
+		}
+		for _, w := range order {
+			g.EnsureEdge(u, w)
+			endpoints = append(endpoints, u, w)
+		}
+	}
+	return g, nil
+}
+
+// TwoCliquesBridge returns two k-cliques joined by a single edge — the
+// paper's §1.1 example of a graph with constant expansion per side but
+// conductance O(1/n).
+func TwoCliquesBridge(k int) (*graph.Graph, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("two cliques of %d: %w", k, ErrBadSize)
+	}
+	g := graph.New()
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			g.EnsureEdge(graph.NodeID(i), graph.NodeID(j))
+			g.EnsureEdge(graph.NodeID(1000+i), graph.NodeID(1000+j))
+		}
+	}
+	g.EnsureEdge(0, 1000)
+	return g, nil
+}
+
+// Generator names accepted by ByName, for CLIs.
+const (
+	NameStar       = "star"
+	NamePath       = "path"
+	NameCycle      = "cycle"
+	NameComplete   = "complete"
+	NameGrid       = "grid"
+	NameHypercube  = "hypercube"
+	NameErdosRenyi = "er"
+	NameRegular    = "regular"
+	NamePowerLaw   = "powerlaw"
+)
+
+// Names returns the generator names supported by ByName, sorted.
+func Names() []string {
+	names := []string{
+		NameStar, NamePath, NameCycle, NameComplete, NameGrid,
+		NameHypercube, NameErdosRenyi, NameRegular, NamePowerLaw,
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName builds a named topology of roughly n nodes with default shape
+// parameters; used by the CLIs.
+func ByName(name string, n int, rng *rand.Rand) (*graph.Graph, error) {
+	switch name {
+	case NameStar:
+		return Star(n - 1)
+	case NamePath:
+		return Path(n)
+	case NameCycle:
+		return Cycle(n)
+	case NameComplete:
+		return Complete(n)
+	case NameGrid:
+		side := 1
+		for (side+1)*(side+1) <= n {
+			side++
+		}
+		return Grid(side, side)
+	case NameHypercube:
+		dim := 1
+		for 1<<uint(dim+1) <= n {
+			dim++
+		}
+		return Hypercube(dim)
+	case NameErdosRenyi:
+		p := 4.0 / float64(n) // average degree ~4, usually connected after retries
+		if n <= 8 {
+			p = 0.5
+		}
+		return ErdosRenyi(n, p, rng)
+	case NameRegular:
+		return RandomRegular(n, 2, rng)
+	case NamePowerLaw:
+		return PreferentialAttachment(n, 2, rng)
+	}
+	return nil, fmt.Errorf("unknown generator %q: %w", name, ErrBadParam)
+}

@@ -1,0 +1,211 @@
+package workload
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/xheal/xheal/internal/graph"
+)
+
+func TestStar(t *testing.T) {
+	g, err := Star(5)
+	if err != nil {
+		t.Fatalf("Star: %v", err)
+	}
+	if g.NumNodes() != 6 || g.NumEdges() != 5 {
+		t.Fatalf("star = %v, want 6 nodes 5 edges", g)
+	}
+	if g.Degree(0) != 5 {
+		t.Fatalf("center degree = %d, want 5", g.Degree(0))
+	}
+	if _, err := Star(0); !errors.Is(err, ErrBadSize) {
+		t.Fatalf("Star(0) error = %v", err)
+	}
+}
+
+func TestPathAndCycle(t *testing.T) {
+	p, err := Path(5)
+	if err != nil {
+		t.Fatalf("Path: %v", err)
+	}
+	if p.NumEdges() != 4 {
+		t.Fatalf("path edges = %d, want 4", p.NumEdges())
+	}
+	c, err := Cycle(5)
+	if err != nil {
+		t.Fatalf("Cycle: %v", err)
+	}
+	if c.NumEdges() != 5 {
+		t.Fatalf("cycle edges = %d, want 5", c.NumEdges())
+	}
+	for _, n := range c.Nodes() {
+		if c.Degree(n) != 2 {
+			t.Fatalf("cycle degree of %d = %d, want 2", n, c.Degree(n))
+		}
+	}
+	if _, err := Cycle(2); !errors.Is(err, ErrBadSize) {
+		t.Fatalf("Cycle(2) error = %v", err)
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g, err := Complete(6)
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	if g.NumEdges() != 15 {
+		t.Fatalf("K_6 edges = %d, want 15", g.NumEdges())
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g, err := Grid(3, 4)
+	if err != nil {
+		t.Fatalf("Grid: %v", err)
+	}
+	if g.NumNodes() != 12 {
+		t.Fatalf("grid nodes = %d, want 12", g.NumNodes())
+	}
+	// Edges: 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8 = 17.
+	if g.NumEdges() != 17 {
+		t.Fatalf("grid edges = %d, want 17", g.NumEdges())
+	}
+	if !g.IsConnected() {
+		t.Fatal("grid not connected")
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	g, err := Hypercube(4)
+	if err != nil {
+		t.Fatalf("Hypercube: %v", err)
+	}
+	if g.NumNodes() != 16 {
+		t.Fatalf("Q4 nodes = %d, want 16", g.NumNodes())
+	}
+	for _, n := range g.Nodes() {
+		if g.Degree(n) != 4 {
+			t.Fatalf("Q4 degree of %d = %d, want 4", n, g.Degree(n))
+		}
+	}
+	if !g.IsConnected() {
+		t.Fatal("hypercube not connected")
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := ErdosRenyi(30, 0.3, rng)
+	if err != nil {
+		t.Fatalf("ErdosRenyi: %v", err)
+	}
+	if g.NumNodes() != 30 || !g.IsConnected() {
+		t.Fatalf("G(30,0.3) = %v connected=%v", g, g.IsConnected())
+	}
+	if _, err := ErdosRenyi(10, 1.5, rng); !errors.Is(err, ErrBadParam) {
+		t.Fatalf("bad p error = %v", err)
+	}
+	// p=0 with n>1 can never connect.
+	if _, err := ErdosRenyi(5, 0, rng); !errors.Is(err, ErrGaveUp) {
+		t.Fatalf("p=0 error = %v", err)
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, err := RandomRegular(40, 2, rng)
+	if err != nil {
+		t.Fatalf("RandomRegular: %v", err)
+	}
+	if !g.IsConnected() {
+		t.Fatal("regular graph not connected")
+	}
+	if g.MaxDegree() > 4 {
+		t.Fatalf("max degree = %d, want <= 4", g.MaxDegree())
+	}
+}
+
+func TestPreferentialAttachment(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := PreferentialAttachment(50, 2, rng)
+	if err != nil {
+		t.Fatalf("PreferentialAttachment: %v", err)
+	}
+	if g.NumNodes() != 50 || !g.IsConnected() {
+		t.Fatalf("PA graph = %v connected=%v", g, g.IsConnected())
+	}
+	// Power-law-ish: the max degree should dominate the minimum clearly.
+	if g.MaxDegree() < 3*g.MinDegree() {
+		t.Fatalf("degrees look uniform: max=%d min=%d", g.MaxDegree(), g.MinDegree())
+	}
+}
+
+func TestTwoCliquesBridge(t *testing.T) {
+	g, err := TwoCliquesBridge(5)
+	if err != nil {
+		t.Fatalf("TwoCliquesBridge: %v", err)
+	}
+	if g.NumNodes() != 10 {
+		t.Fatalf("nodes = %d, want 10", g.NumNodes())
+	}
+	if g.NumEdges() != 2*10+1 {
+		t.Fatalf("edges = %d, want 21", g.NumEdges())
+	}
+	if !g.IsConnected() {
+		t.Fatal("not connected")
+	}
+}
+
+func TestByNameAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, name := range Names() {
+		g, err := ByName(name, 20, rng)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if g.NumNodes() < 2 {
+			t.Fatalf("ByName(%q) produced %d nodes", name, g.NumNodes())
+		}
+		if !g.IsConnected() {
+			t.Fatalf("ByName(%q) not connected", name)
+		}
+	}
+	if _, err := ByName("nope", 10, rng); !errors.Is(err, ErrBadParam) {
+		t.Fatalf("unknown name error = %v", err)
+	}
+}
+
+func TestNodeIDsAreDense(t *testing.T) {
+	// Generators other than TwoCliquesBridge use dense IDs from 0.
+	g, err := Path(4)
+	if err != nil {
+		t.Fatalf("Path: %v", err)
+	}
+	want := []graph.NodeID{0, 1, 2, 3}
+	got := g.Nodes()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("nodes = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestGeneratorsDeterministic pins seed-determinism for every generator:
+// equal seeds must produce identical graphs (a map-iteration-order bug here
+// once made whole experiment tables wobble).
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		a, err := ByName(name, 24, rand.New(rand.NewSource(9)))
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		b, err := ByName(name, 24, rand.New(rand.NewSource(9)))
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if !a.Equal(b) {
+			t.Fatalf("generator %q is not seed-deterministic", name)
+		}
+	}
+}

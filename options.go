@@ -1,0 +1,41 @@
+package xheal
+
+import "github.com/xheal/xheal/internal/core"
+
+// config collects the functional options shared by the constructors.
+type config struct {
+	kappa int
+	seed  int64
+}
+
+func (c config) kappaOrDefault() int {
+	if c.kappa == 0 {
+		return core.DefaultKappa
+	}
+	return c.kappa
+}
+
+func buildConfig(opts []Option) config {
+	var cfg config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return cfg
+}
+
+// Option configures a Network, Distributed engine, or Healer.
+type Option func(*config)
+
+// WithKappa sets the expander degree parameter κ (an even integer ≥ 2; the
+// paper's "small parameter"). The default is 6 — three Hamilton cycles per
+// cloud. Constructors reject invalid values.
+func WithKappa(kappa int) Option {
+	return func(c *config) { c.kappa = kappa }
+}
+
+// WithSeed seeds the algorithm's private randomness (expander wiring, leader
+// ranks). Runs with equal seeds and event sequences are reproducible. The
+// paper's adversary is oblivious to this randomness.
+func WithSeed(seed int64) Option {
+	return func(c *config) { c.seed = seed }
+}

@@ -1,0 +1,245 @@
+package xheal_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/xheal/xheal"
+)
+
+func mustStar(t *testing.T, leaves int) *xheal.Graph {
+	t.Helper()
+	g, err := xheal.StarGraph(leaves)
+	if err != nil {
+		t.Fatalf("StarGraph: %v", err)
+	}
+	return g
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	g := mustStar(t, 8)
+	n, err := xheal.NewNetwork(g, xheal.WithKappa(4), xheal.WithSeed(42))
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	if n.Kappa() != 4 {
+		t.Fatalf("Kappa = %d, want 4", n.Kappa())
+	}
+	if err := n.Delete(0); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	snap := n.Measure()
+	if !snap.Connected {
+		t.Fatal("healed star disconnected")
+	}
+	if snap.ExpansionExact < 0.5 {
+		t.Fatalf("expansion = %v, want constant", snap.ExpansionExact)
+	}
+	if !n.Baseline().HasNode(0) {
+		t.Fatal("baseline lost the deleted hub")
+	}
+	if n.Alive(0) {
+		t.Fatal("deleted hub still alive")
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	g := mustStar(t, 4)
+	n, err := xheal.NewNetwork(g)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	if n.Kappa() != 6 {
+		t.Fatalf("default kappa = %d, want 6", n.Kappa())
+	}
+	if _, err := xheal.NewNetwork(g, xheal.WithKappa(3)); err == nil {
+		t.Fatal("odd kappa should be rejected")
+	}
+}
+
+func TestInsertAndStats(t *testing.T) {
+	g := mustStar(t, 5)
+	n, err := xheal.NewNetwork(g, xheal.WithSeed(7))
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	if err := n.Insert(100, []xheal.NodeID{1, 2}); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if err := n.Delete(0); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	st := n.Stats()
+	if st.Insertions != 1 || st.Deletions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if n.DegreeBound(1) <= 0 {
+		t.Fatal("DegreeBound not positive")
+	}
+	if n.MeasureFast().Nodes != n.Graph().NumNodes() {
+		t.Fatal("MeasureFast nodes mismatch")
+	}
+}
+
+func TestCompareStarAttack(t *testing.T) {
+	g := mustStar(t, 12)
+	snaps, err := xheal.Compare(g, 0,
+		[]string{xheal.HealerXheal, xheal.HealerForgivingTree},
+		xheal.WithKappa(4), xheal.WithSeed(3))
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	xh := snaps[xheal.HealerXheal]
+	tree := snaps[xheal.HealerForgivingTree]
+	if xh.ExpansionExact <= tree.ExpansionExact {
+		t.Fatalf("xheal h=%v should beat tree h=%v", xh.ExpansionExact, tree.ExpansionExact)
+	}
+}
+
+func TestHealerNames(t *testing.T) {
+	names := xheal.HealerNames()
+	if len(names) != 7 || names[0] != xheal.HealerXheal {
+		t.Fatalf("HealerNames = %v", names)
+	}
+	g := mustStar(t, 4)
+	for _, name := range names {
+		if _, err := xheal.NewHealer(name, g); err != nil {
+			t.Fatalf("NewHealer(%q): %v", name, err)
+		}
+	}
+	if _, err := xheal.NewHealer("bogus", g); err == nil {
+		t.Fatal("unknown healer should fail")
+	}
+}
+
+func TestDistributedFacade(t *testing.T) {
+	g, err := xheal.RandomRegularGraph(24, 3, 5)
+	if err != nil {
+		t.Fatalf("RandomRegularGraph: %v", err)
+	}
+	d, err := xheal.NewDistributed(g, xheal.WithKappa(4), xheal.WithSeed(9))
+	if err != nil {
+		t.Fatalf("NewDistributed: %v", err)
+	}
+	defer d.Close()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 6; i++ {
+		alive := d.State().AliveNodes()
+		if err := d.Delete(alive[rng.Intn(len(alive))]); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+	}
+	if err := d.ValidateLocalViews(); err != nil {
+		t.Fatalf("local views: %v", err)
+	}
+	if d.Totals().Deletions != 6 {
+		t.Fatalf("Deletions = %d, want 6", d.Totals().Deletions)
+	}
+	if !d.Graph().IsConnected() {
+		t.Fatal("distributed healed graph disconnected")
+	}
+}
+
+func TestGeneratorsFacade(t *testing.T) {
+	if g, err := xheal.PathGraph(5); err != nil || g.NumEdges() != 4 {
+		t.Fatalf("PathGraph: %v %v", g, err)
+	}
+	if g, err := xheal.CycleGraph(5); err != nil || g.NumEdges() != 5 {
+		t.Fatalf("CycleGraph: %v %v", g, err)
+	}
+	if g, err := xheal.CompleteGraph(5); err != nil || g.NumEdges() != 10 {
+		t.Fatalf("CompleteGraph: %v %v", g, err)
+	}
+	if g, err := xheal.GridGraph(2, 3); err != nil || g.NumNodes() != 6 {
+		t.Fatalf("GridGraph: %v %v", g, err)
+	}
+	if g, err := xheal.HypercubeGraph(3); err != nil || g.NumNodes() != 8 {
+		t.Fatalf("HypercubeGraph: %v %v", g, err)
+	}
+	if g, err := xheal.ErdosRenyiGraph(16, 0.4, 1); err != nil || !g.IsConnected() {
+		t.Fatalf("ErdosRenyiGraph: %v %v", g, err)
+	}
+	if g, err := xheal.PreferentialAttachmentGraph(16, 2, 1); err != nil || !g.IsConnected() {
+		t.Fatalf("PreferentialAttachmentGraph: %v %v", g, err)
+	}
+}
+
+func TestChurnThroughPublicAPI(t *testing.T) {
+	g, err := xheal.ErdosRenyiGraph(20, 0.3, 11)
+	if err != nil {
+		t.Fatalf("ErdosRenyiGraph: %v", err)
+	}
+	n, err := xheal.NewNetwork(g, xheal.WithKappa(4), xheal.WithSeed(13))
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	next := xheal.NodeID(1000)
+	for step := 0; step < 60; step++ {
+		alive := n.Graph().Nodes()
+		if len(alive) > 5 && rng.Intn(2) == 0 {
+			if err := n.Delete(alive[rng.Intn(len(alive))]); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		} else {
+			if err := n.Insert(next, []xheal.NodeID{alive[rng.Intn(len(alive))]}); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			next++
+		}
+		if err := n.CheckInvariants(); err != nil {
+			t.Fatalf("step %d invariants: %v", step, err)
+		}
+	}
+	if !n.Graph().IsConnected() {
+		t.Fatal("disconnected after churn")
+	}
+}
+
+func TestApplyBatchFacade(t *testing.T) {
+	g := mustStar(t, 8)
+	n, err := xheal.NewNetwork(g, xheal.WithKappa(4), xheal.WithSeed(2))
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	err = n.ApplyBatch(xheal.Batch{
+		Insertions: []xheal.BatchInsertion{{Node: 100, Neighbors: []xheal.NodeID{1}}},
+		Deletions:  []xheal.NodeID{0, 2},
+	})
+	if err != nil {
+		t.Fatalf("ApplyBatch: %v", err)
+	}
+	if !n.Graph().IsConnected() {
+		t.Fatal("disconnected after batch")
+	}
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	// Conflicting batch is rejected atomically.
+	err = n.ApplyBatch(xheal.Batch{Deletions: []xheal.NodeID{3, 3}})
+	if err == nil {
+		t.Fatal("conflicting batch should fail")
+	}
+}
+
+func TestWriteDOTFacade(t *testing.T) {
+	g := mustStar(t, 6)
+	n, err := xheal.NewNetwork(g, xheal.WithKappa(4), xheal.WithSeed(3))
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	if err := n.Delete(0); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	var b strings.Builder
+	if err := n.WriteDOT(&b); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	if !strings.Contains(b.String(), "graph xheal {") {
+		t.Fatalf("not DOT output:\n%s", b.String())
+	}
+}
