@@ -6,7 +6,7 @@
 // Usage:
 //
 //	xheal-bench -list          # show the experiment index
-//	xheal-bench -all           # run everything (E1..E12)
+//	xheal-bench -all           # run everything (E1..E14)
 //	xheal-bench -run E3,E9     # run a subset
 package main
 
@@ -45,10 +45,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	known := map[string]bool{}
+	for _, e := range experiments {
+		known[e.ID] = true
+	}
 	selected := map[string]bool{}
 	if *only != "" {
 		for _, id := range strings.Split(*only, ",") {
-			selected[strings.ToUpper(strings.TrimSpace(id))] = true
+			id = strings.ToUpper(strings.TrimSpace(id))
+			if id == "" {
+				continue
+			}
+			if !known[id] {
+				fmt.Fprintf(stderr, "unknown experiment %q (see -list)\n", id)
+				return 2
+			}
+			selected[id] = true
+		}
+		if len(selected) == 0 {
+			fmt.Fprintln(stderr, "-run selected no experiments (see -list)")
+			return 2
 		}
 	} else if !*all {
 		fs.Usage()

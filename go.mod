@@ -1,0 +1,3 @@
+module github.com/xheal/xheal
+
+go 1.24

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/workload"
+)
+
+// TestDeleteNodeDeltaMatchesGraphDiff checks, under churn, that the edge
+// delta reported by DeleteNodeDelta is exactly the net difference between
+// the pre- and post-repair graphs (excluding the victim's own edges) — the
+// contract the distributed engine's dissemination plan depends on.
+func TestDeleteNodeDeltaMatchesGraphDiff(t *testing.T) {
+	g0, err := workload.ErdosRenyi(28, 0.18, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatalf("ErdosRenyi: %v", err)
+	}
+	s, err := NewState(Config{Kappa: 4, Seed: 3}, g0)
+	if err != nil {
+		t.Fatalf("NewState: %v", err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for step := 0; step < 18; step++ {
+		alive := s.AliveNodes()
+		if len(alive) <= 5 {
+			break
+		}
+		v := alive[rng.Intn(len(alive))]
+		prev := s.CloneGraph()
+		delta, err := s.DeleteNodeDelta(v)
+		if err != nil {
+			t.Fatalf("step %d: DeleteNodeDelta(%d): %v", step, v, err)
+		}
+		cur := s.Graph()
+
+		want := make(map[graph.Edge]int8)
+		for _, e := range prev.Edges() {
+			if e.U == v || e.V == v {
+				continue
+			}
+			if !cur.HasEdge(e.U, e.V) {
+				want[e] = -1
+			}
+		}
+		for _, e := range cur.Edges() {
+			if !prev.HasEdge(e.U, e.V) {
+				want[e] = 1
+			}
+		}
+		got := make(map[graph.Edge]int8)
+		for _, e := range delta.Added {
+			got[e] = 1
+		}
+		for _, e := range delta.Removed {
+			got[e] = -1
+		}
+		if len(got) != len(want) {
+			t.Fatalf("step %d delete %d: delta has %d edges, graph diff has %d",
+				step, v, len(got), len(want))
+		}
+		for e, kind := range want {
+			if got[e] != kind {
+				t.Fatalf("step %d delete %d: edge %v delta %d, want %d",
+					step, v, e, got[e], kind)
+			}
+		}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after churn: %v", err)
+	}
+}

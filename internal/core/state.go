@@ -60,6 +60,10 @@ type State struct {
 
 	nextColor ColorID
 	stats     Stats
+
+	// deltaLog, when non-nil, accumulates the net physical edge changes of
+	// the current repair (see DeleteNodeDelta).
+	deltaLog map[graph.Edge]int8
 }
 
 // NewState builds a State over a copy of the initial graph g0, whose edges
@@ -260,6 +264,62 @@ func (s *State) DeleteNode(v graph.NodeID) error {
 	return nil
 }
 
+// EdgeDelta is the net physical edge change one healing repair made,
+// excluding the edges that died with the deleted node itself. Edges are in
+// canonical sorted order.
+type EdgeDelta struct {
+	Added, Removed []graph.Edge
+}
+
+const (
+	deltaAdded   int8 = 1
+	deltaRemoved int8 = -1
+)
+
+// logDelta nets one physical edge change into the active delta log: an add
+// cancels a pending remove of the same edge and vice versa, so an edge the
+// repair drops and re-wires contributes nothing.
+func (s *State) logDelta(e graph.Edge, kind int8) {
+	if s.deltaLog == nil {
+		return
+	}
+	if s.deltaLog[e] == -kind {
+		delete(s.deltaLog, e)
+		return
+	}
+	s.deltaLog[e] = kind
+}
+
+// DeleteNodeDelta is DeleteNode, additionally returning the net physical
+// edge changes the healing performed. It lets a driver (the distributed
+// engine) learn the repair in O(|wound| + |delta|) instead of diffing full
+// graph snapshots.
+func (s *State) DeleteNodeDelta(v graph.NodeID) (EdgeDelta, error) {
+	s.deltaLog = make(map[graph.Edge]int8)
+	err := s.DeleteNode(v)
+	var delta EdgeDelta
+	for e, kind := range s.deltaLog {
+		if kind == deltaAdded {
+			delta.Added = append(delta.Added, e)
+		} else {
+			delta.Removed = append(delta.Removed, e)
+		}
+	}
+	s.deltaLog = nil
+	sortEdges(delta.Added)
+	sortEdges(delta.Removed)
+	return delta, err
+}
+
+func sortEdges(edges []graph.Edge) {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+}
+
 // blackNeighborsOf returns the neighbors of v connected by black edges.
 func (s *State) blackNeighborsOf(v graph.NodeID) []graph.NodeID {
 	var out []graph.NodeID
@@ -282,6 +342,7 @@ func (s *State) addClaim(e graph.Edge, color ColorID) {
 		s.claims[e] = cl
 		s.g.EnsureEdge(e.U, e.V)
 		s.stats.HealEdgesAdded++
+		s.logDelta(e, deltaAdded)
 	}
 	if cl.colors == nil {
 		cl.colors = make(map[ColorID]struct{}, 1)
@@ -303,6 +364,7 @@ func (s *State) releaseClaim(e graph.Edge, color ColorID) {
 		if s.g.HasEdge(e.U, e.V) {
 			if err := s.g.RemoveEdge(e.U, e.V); err == nil {
 				s.stats.HealEdgesRemoved++
+				s.logDelta(e, deltaRemoved)
 			}
 		}
 	}

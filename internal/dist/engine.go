@@ -1,0 +1,333 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"github.com/xheal/xheal/internal/core"
+	"github.com/xheal/xheal/internal/graph"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Kappa is the expander degree parameter κ (even, ≥ 2); 0 selects
+	// core.DefaultKappa.
+	Kappa int
+	// Seed seeds the protocol's private randomness: the healing decisions
+	// (H-graph wiring, via internal/core) and the nodes' leader ranks.
+	Seed int64
+}
+
+// DeletionCost is one repair's measured cost, the empirical side of
+// Theorem 5 and Lemma 5.
+type DeletionCost struct {
+	// Node is the deleted node.
+	Node graph.NodeID
+	// BlackDegree is the number of black (original or adversary-inserted)
+	// edges incident to the node at deletion time — the deg_G′ term of
+	// Lemma 5's Θ(deg) lower bound.
+	BlackDegree int
+	// Rounds is the number of synchronous rounds the repair took.
+	Rounds int
+	// Messages is the number of protocol messages delivered for the repair.
+	Messages int
+}
+
+// Totals aggregates the protocol work performed so far.
+type Totals struct {
+	// Deletions is the number of repairs completed.
+	Deletions int
+	// Rounds and Messages count all protocol rounds and messages, including
+	// the one-round insertion greetings.
+	Rounds   int
+	Messages int
+}
+
+// ErrClosed is returned by mutating calls after Close.
+var ErrClosed = errors.New("dist: engine is closed")
+
+// Engine runs the distributed Xheal protocol: one goroutine per alive node,
+// coordinating exclusively by messages over channels in synchronous rounds.
+//
+// The zero value is not usable; call NewEngine. Not safe for concurrent use.
+type Engine struct {
+	st  *core.State
+	rng *rand.Rand
+
+	nodes map[graph.NodeID]*node
+	wg    sync.WaitGroup
+
+	costs       []DeletionCost
+	totals      Totals
+	blackDegSum int
+
+	// plan is the current wound's repair outcome, computed by the reference
+	// implementation and read by the elected leader when it "runs" Algorithm
+	// 3.1 on the gathered state. Written strictly before the protocol rounds
+	// start, so the channel synchronization orders the accesses.
+	plan *repairPlan
+
+	closed bool
+}
+
+// NewEngine builds the engine over a copy of the initial topology and spawns
+// one goroutine per node. Every node starts knowing exactly its own
+// neighbors (the initial topology is common knowledge in the paper's model).
+// Close the engine when done.
+func NewEngine(cfg Config, g0 *graph.Graph) (*Engine, error) {
+	st, err := core.NewState(core.Config{Kappa: cfg.Kappa, Seed: cfg.Seed}, g0)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		st:    st,
+		rng:   rand.New(rand.NewSource(cfg.Seed ^ 0x5f3759df)),
+		nodes: make(map[graph.NodeID]*node, g0.NumNodes()),
+	}
+	for _, id := range st.Graph().Nodes() {
+		nd := e.spawn(id)
+		for _, w := range st.Graph().Neighbors(id) {
+			nd.view[w] = struct{}{}
+		}
+	}
+	return e, nil
+}
+
+// spawn creates and starts the goroutine for a new alive node.
+func (e *Engine) spawn(id graph.NodeID) *node {
+	nd := newNode(id, e.rng.Int63(), e)
+	e.nodes[id] = nd
+	e.wg.Add(1)
+	go nd.run()
+	return nd
+}
+
+// stop terminates one node's goroutine (it was deleted).
+func (e *Engine) stop(id graph.NodeID) {
+	if nd, ok := e.nodes[id]; ok {
+		close(nd.inbox)
+		delete(e.nodes, id)
+	}
+}
+
+// Graph returns the healed graph G. Live view — do not modify.
+func (e *Engine) Graph() *graph.Graph { return e.st.Graph() }
+
+// State returns the underlying reference state (alive nodes, baseline G′,
+// cloud bookkeeping). Live view — do not modify through it.
+func (e *Engine) State() *core.State { return e.st }
+
+// Costs returns a copy of the per-deletion cost ledger, in deletion order.
+func (e *Engine) Costs() []DeletionCost {
+	out := make([]DeletionCost, len(e.costs))
+	copy(out, e.costs)
+	return out
+}
+
+// Totals returns the aggregate protocol work counters.
+func (e *Engine) Totals() Totals { return e.totals }
+
+// AmortizedLowerBound returns A(p): the amortized Lemma 5 message lower
+// bound over the deletions so far — the mean black degree of the deleted
+// nodes. Zero before the first deletion.
+func (e *Engine) AmortizedLowerBound() float64 {
+	if len(e.costs) == 0 {
+		return 0
+	}
+	return float64(e.blackDegSum) / float64(len(e.costs))
+}
+
+// Insert applies an adversarial insertion: u joins with black edges to the
+// given alive nodes. The joining node knows the neighbors it dialed; each of
+// them learns of u by a greeting message (one round, len(nbrs) messages).
+func (e *Engine) Insert(u graph.NodeID, nbrs []graph.NodeID) error {
+	if e.closed {
+		return ErrClosed
+	}
+	if err := e.st.InsertNode(u, nbrs); err != nil {
+		return err
+	}
+	nd := e.spawn(u)
+	pending := make([]message, 0, len(nbrs))
+	for _, w := range nbrs {
+		nd.view[w] = struct{}{}
+		pending = append(pending, message{from: u, to: w, kind: msgHello, subject: u})
+	}
+	rounds, msgs := e.runProtocol(pending)
+	e.totals.Rounds += rounds
+	e.totals.Messages += msgs
+	return nil
+}
+
+// Delete applies an adversarial deletion of v and heals the wound through
+// the message protocol: detection, leader election over the wound, and
+// dissemination of the κ-regular cloud wiring. The repair's rounds and
+// messages are appended to the cost ledger.
+func (e *Engine) Delete(v graph.NodeID) error {
+	if e.closed {
+		return ErrClosed
+	}
+	if !e.st.Alive(v) {
+		return fmt.Errorf("dist: delete %d: %w", v, core.ErrNodeMissing)
+	}
+	wound := e.st.Graph().Neighbors(v) // sorted
+	blackDeg := 0
+	for _, w := range wound {
+		if colors, ok := e.st.EdgeColors(v, w); ok && len(colors) == 0 {
+			blackDeg++
+		}
+	}
+	delta, err := e.st.DeleteNodeDelta(v)
+	if err != nil {
+		return err
+	}
+	e.stop(v)
+	e.plan = buildPlan(v, delta)
+
+	pending := make([]message, 0, len(wound))
+	for _, w := range wound {
+		pending = append(pending, message{
+			from: v, to: w, kind: msgDown, subject: v, roster: wound,
+		})
+	}
+	rounds, msgs := e.runProtocol(pending)
+	e.plan = nil
+	// The wound is closed: release every member's election state so the
+	// gathered reports don't accumulate for the engine's lifetime and a
+	// stray cross-wound aggregate or grant fails fast. The engine is
+	// synchronized with every node here (runProtocol collected all
+	// outboxes), so the direct write is ordered.
+	for _, w := range wound {
+		if nd, ok := e.nodes[w]; ok {
+			nd.wound = nil
+		}
+	}
+
+	e.costs = append(e.costs, DeletionCost{
+		Node: v, BlackDegree: blackDeg, Rounds: rounds, Messages: msgs,
+	})
+	e.blackDegSum += blackDeg
+	e.totals.Deletions++
+	e.totals.Rounds += rounds
+	e.totals.Messages += msgs
+	return nil
+}
+
+// planFor hands the current wound's repair plan to the elected leader. It is
+// called from a node goroutine; the engine wrote the plan before starting
+// the rounds, so the inbox send orders the accesses.
+func (e *Engine) planFor(victim graph.NodeID) *repairPlan {
+	if e.plan == nil || e.plan.victim != victim {
+		// A leader can only be elected inside the wound the engine opened.
+		panic(fmt.Sprintf("dist: no repair plan for victim %d", victim))
+	}
+	return e.plan
+}
+
+// buildPlan slices the repair's net edge delta per affected node. The delta
+// already excludes edges incident to the victim: their loss is learned from
+// the failure notification itself.
+func buildPlan(victim graph.NodeID, delta core.EdgeDelta) *repairPlan {
+	plan := &repairPlan{victim: victim, updates: make(map[graph.NodeID]*edgeUpdate)}
+	at := func(id graph.NodeID) *edgeUpdate {
+		up, ok := plan.updates[id]
+		if !ok {
+			up = &edgeUpdate{}
+			plan.updates[id] = up
+		}
+		return up
+	}
+	for _, edge := range delta.Removed {
+		at(edge.U).drop = append(at(edge.U).drop, edge.V)
+		at(edge.V).drop = append(at(edge.V).drop, edge.U)
+	}
+	for _, edge := range delta.Added {
+		at(edge.U).add = append(at(edge.U).add, edge.V)
+		at(edge.V).add = append(at(edge.V).add, edge.U)
+	}
+	return plan
+}
+
+// runProtocol drives synchronous rounds until no messages remain in flight:
+// deliver every pending message to its recipient's inbox, let the node
+// goroutines process the batches concurrently, and collect their replies as
+// the next round's traffic. Returns the rounds executed and messages
+// delivered.
+func (e *Engine) runProtocol(pending []message) (rounds, msgs int) {
+	for len(pending) > 0 {
+		byDst := make(map[graph.NodeID][]message)
+		for _, m := range pending {
+			if _, alive := e.nodes[m.to]; !alive {
+				continue // recipient died; the transport drops the message
+			}
+			byDst[m.to] = append(byDst[m.to], m)
+		}
+		if len(byDst) == 0 {
+			break
+		}
+		order := make([]graph.NodeID, 0, len(byDst))
+		for id := range byDst {
+			order = append(order, id)
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+		for _, id := range order {
+			e.nodes[id].inbox <- byDst[id]
+			msgs += len(byDst[id])
+		}
+		pending = pending[:0]
+		for _, id := range order {
+			pending = append(pending, <-e.nodes[id].outbox...)
+		}
+		rounds++
+	}
+	return rounds, msgs
+}
+
+// ValidateLocalViews checks the protocol's decisive conformance property:
+// the neighbor set every alive node believes it has — built purely from the
+// messages it received — must be exactly its neighbor set in the healed
+// graph. It returns nil when every view agrees.
+func (e *Engine) ValidateLocalViews() error {
+	if e.closed {
+		return ErrClosed
+	}
+	g := e.st.Graph()
+	alive := g.Nodes()
+	if len(e.nodes) != len(alive) {
+		return fmt.Errorf("dist: %d node goroutines for %d alive nodes", len(e.nodes), len(alive))
+	}
+	for _, id := range alive {
+		nd, ok := e.nodes[id]
+		if !ok {
+			return fmt.Errorf("dist: alive node %d has no goroutine", id)
+		}
+		nbrs := g.Neighbors(id)
+		if len(nd.view) != len(nbrs) {
+			return fmt.Errorf("dist: node %d local view has %d neighbors, healed graph has %d",
+				id, len(nd.view), len(nbrs))
+		}
+		for _, w := range nbrs {
+			if _, seen := nd.view[w]; !seen {
+				return fmt.Errorf("dist: node %d is missing neighbor %d from its local view", id, w)
+			}
+		}
+	}
+	return nil
+}
+
+// Close stops every node goroutine and waits for them to exit. Idempotent;
+// mutating calls after Close return ErrClosed.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for id := range e.nodes {
+		close(e.nodes[id].inbox)
+	}
+	e.nodes = map[graph.NodeID]*node{}
+	e.wg.Wait()
+}

@@ -1,0 +1,82 @@
+package dist
+
+import (
+	"fmt"
+
+	"github.com/xheal/xheal/internal/graph"
+)
+
+// msgKind enumerates the protocol's message types.
+type msgKind int
+
+const (
+	// msgDown notifies a neighbor of v that v was deleted. Carries the wound
+	// roster (the alive neighbors of v), which every member of a cloud knows
+	// for its cloud-mates and black neighbors in the paper's model.
+	msgDown msgKind = iota + 1
+	// msgHello introduces a freshly inserted node to a chosen neighbor.
+	msgHello
+	// msgAggregate convergecasts (best rank, neighborhood reports) one step
+	// up the election bracket.
+	msgAggregate
+	// msgGrant transfers leadership from the bracket root to the best-ranked
+	// wound member, forwarding the gathered reports.
+	msgGrant
+	// msgEdgeUpdate tells a node which incident edges the repair added and
+	// removed.
+	msgEdgeUpdate
+)
+
+// String implements fmt.Stringer, for test failures and tracing.
+func (k msgKind) String() string {
+	switch k {
+	case msgDown:
+		return "down"
+	case msgHello:
+		return "hello"
+	case msgAggregate:
+		return "aggregate"
+	case msgGrant:
+		return "grant"
+	case msgEdgeUpdate:
+		return "edge-update"
+	}
+	return fmt.Sprintf("msgKind(%d)", int(k))
+}
+
+// report is one wound member's neighborhood, gathered for the leader.
+type report struct {
+	node graph.NodeID
+	nbrs []graph.NodeID
+}
+
+// message is one protocol message. Exactly the fields for its kind are set.
+type message struct {
+	from, to graph.NodeID
+	kind     msgKind
+
+	// subject is the node the message is about: the deleted node (msgDown),
+	// the joining node (msgHello), or the best-ranked candidate so far
+	// (msgAggregate).
+	subject graph.NodeID
+	// roster is the sorted wound membership (msgDown).
+	roster []graph.NodeID
+	// rank is the best leader rank seen in the sender's subtree (msgAggregate).
+	rank int64
+	// reports are the gathered neighborhoods (msgAggregate, msgGrant).
+	reports []report
+	// add and drop are the incident-edge changes to apply (msgEdgeUpdate).
+	add, drop []graph.NodeID
+}
+
+// edgeUpdate is the per-recipient slice of a repair plan.
+type edgeUpdate struct {
+	add, drop []graph.NodeID
+}
+
+// repairPlan is the outcome of the leader's healing computation: for every
+// node whose incident edge set changed, the adds and drops to apply.
+type repairPlan struct {
+	victim  graph.NodeID
+	updates map[graph.NodeID]*edgeUpdate
+}

@@ -150,7 +150,9 @@ func (g *Graph) Diameter() (int, error) {
 }
 
 // ShortestPath returns one shortest path from src to dst inclusive, or nil if
-// unreachable.
+// unreachable. Neighbors are explored in ascending order, so among the equal
+// shortest paths the same one is returned on every run (callers like the
+// path-dismantling adversary and route repair rely on reproducibility).
 func (g *Graph) ShortestPath(src, dst NodeID) []NodeID {
 	if !g.HasNode(src) || !g.HasNode(dst) {
 		return nil
@@ -163,7 +165,7 @@ func (g *Graph) ShortestPath(src, dst NodeID) []NodeID {
 	for len(queue) > 0 {
 		n := queue[0]
 		queue = queue[1:]
-		for w := range g.adj[n] {
+		for _, w := range g.Neighbors(n) {
 			if _, seen := parent[w]; seen {
 				continue
 			}

@@ -1,0 +1,74 @@
+//go:build ignore
+
+// Generates testdata/golden-star16-churn80.json, the regression anchor
+// replayed by TestGoldenTraceRegression: a star-16 initial topology under 80
+// random-churn events (delete bias 0.55, ≤3 attachments, adversary seed 99).
+// After regenerating, replay it (kappa=4, seed=99) and update the pinned
+// outcome in golden_test.go deliberately.
+//
+// Run from internal/trace: go run gen_golden.go
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"github.com/xheal/xheal/internal/adversary"
+	"github.com/xheal/xheal/internal/core"
+	"github.com/xheal/xheal/internal/trace"
+	"github.com/xheal/xheal/internal/workload"
+)
+
+func main() {
+	g0, err := workload.Star(16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := trace.New(g0)
+	rec := &trace.Recording{Inner: adversary.NewRandomChurn(80, 0.55, 3, 99), Trace: tr}
+
+	s, err := core.NewState(core.Config{Kappa: 4, Seed: 99}, g0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for {
+		ev, ok := rec.Next(s.Graph())
+		if !ok {
+			break
+		}
+		switch ev.Kind {
+		case adversary.Insert:
+			err = s.InsertNode(ev.Node, ev.Neighbors)
+		case adversary.Delete:
+			err = s.DeleteNode(ev.Node)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := s.CheckInvariants(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	path := filepath.Join("testdata", "golden-star16-churn80.json")
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tr.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("wrote %s: %d events\n", path, len(tr.Events))
+	fmt.Printf("final: nodes=%d edges=%d connected=%v\n",
+		s.Graph().NumNodes(), s.Graph().NumEdges(), s.Graph().IsConnected())
+	fmt.Printf("stats: %+v\n", s.Stats())
+}
