@@ -1,16 +1,12 @@
 package xheal_test
 
 import (
-	"math/rand"
 	"testing"
 
 	"github.com/xheal/xheal"
+	"github.com/xheal/xheal/internal/benchcases"
 	"github.com/xheal/xheal/internal/cuts"
-	"github.com/xheal/xheal/internal/graph"
 	"github.com/xheal/xheal/internal/harness"
-	"github.com/xheal/xheal/internal/hgraph"
-	"github.com/xheal/xheal/internal/metrics"
-	"github.com/xheal/xheal/internal/spectral"
 )
 
 // --- experiment regeneration benches ----------------------------------------
@@ -59,123 +55,16 @@ func BenchmarkE13Mixing(b *testing.B)              { benchExperiment(b, "E13") }
 func BenchmarkE14Congestion(b *testing.B)          { benchExperiment(b, "E14") }
 
 // --- micro benches on the core primitives -----------------------------------
+//
+// Bodies shared with `xheal-bench -benchjson` live in internal/benchcases so
+// the committed BENCH_*.json trajectory measures exactly this code.
 
-// BenchmarkHealDeletion measures one sequential Xheal repair in steady state
-// (delete + re-insert on a churned network).
-func BenchmarkHealDeletion(b *testing.B) {
-	g, err := xheal.RandomRegularGraph(256, 3, 1)
-	if err != nil {
-		b.Fatal(err)
-	}
-	n, err := xheal.NewNetwork(g, xheal.WithKappa(4), xheal.WithSeed(2))
-	if err != nil {
-		b.Fatal(err)
-	}
-	rng := rand.New(rand.NewSource(3))
-	next := xheal.NodeID(1 << 20)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		alive := n.Graph().Nodes()
-		if err := n.Delete(alive[rng.Intn(len(alive))]); err != nil {
-			b.Fatal(err)
-		}
-		alive = n.Graph().Nodes()
-		if err := n.Insert(next, []xheal.NodeID{alive[rng.Intn(len(alive))], alive[rng.Intn(len(alive)-1)]}); err != nil {
-			// Duplicate neighbor draws are possible; retry with one.
-			if err := n.Insert(next, []xheal.NodeID{alive[0]}); err != nil {
-				b.Fatal(err)
-			}
-		}
-		next++
-	}
-}
-
-// BenchmarkDistributedDeletion measures one full message-passing repair.
-func BenchmarkDistributedDeletion(b *testing.B) {
-	g, err := xheal.RandomRegularGraph(512, 3, 4)
-	if err != nil {
-		b.Fatal(err)
-	}
-	d, err := xheal.NewDistributed(g, xheal.WithKappa(4), xheal.WithSeed(5))
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer d.Close()
-	rng := rand.New(rand.NewSource(6))
-	next := xheal.NodeID(1 << 20)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		alive := d.State().AliveNodes()
-		if err := d.Delete(alive[rng.Intn(len(alive))]); err != nil {
-			b.Fatal(err)
-		}
-		alive = d.State().AliveNodes()
-		if err := d.Insert(next, []xheal.NodeID{alive[rng.Intn(len(alive))]}); err != nil {
-			b.Fatal(err)
-		}
-		next++
-	}
-}
-
-// BenchmarkHGraphChurn measures the expander substrate's incremental ops.
-func BenchmarkHGraphChurn(b *testing.B) {
-	rng := rand.New(rand.NewSource(7))
-	ids := make([]graph.NodeID, 128)
-	for i := range ids {
-		ids[i] = graph.NodeID(i)
-	}
-	h, err := hgraph.New(3, ids, rng)
-	if err != nil {
-		b.Fatal(err)
-	}
-	next := graph.NodeID(1 << 20)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		members := h.Members()
-		if err := h.Delete(members[rng.Intn(len(members))]); err != nil {
-			b.Fatal(err)
-		}
-		if err := h.Insert(next); err != nil {
-			b.Fatal(err)
-		}
-		next++
-	}
-}
-
-// BenchmarkLambda2Jacobi measures the dense eigensolver path (n <= 220).
-func BenchmarkLambda2Jacobi(b *testing.B) {
-	g, err := xheal.RandomRegularGraph(128, 3, 8)
-	if err != nil {
-		b.Fatal(err)
-	}
-	rng := rand.New(rand.NewSource(9))
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if lam := spectral.AlgebraicConnectivity(g, rng); lam <= 0 {
-			b.Fatal("non-positive lambda2")
-		}
-	}
-}
-
-// BenchmarkLambda2Lanczos measures the sparse eigensolver path (n > 220).
-func BenchmarkLambda2Lanczos(b *testing.B) {
-	g, err := xheal.RandomRegularGraph(512, 3, 10)
-	if err != nil {
-		b.Fatal(err)
-	}
-	rng := rand.New(rand.NewSource(11))
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if lam := spectral.AlgebraicConnectivity(g, rng); lam <= 0 {
-			b.Fatal("non-positive lambda2")
-		}
-	}
-}
+func BenchmarkHealDeletion(b *testing.B)        { benchcases.HealDeletion(b) }
+func BenchmarkDistributedDeletion(b *testing.B) { benchcases.DistributedDeletion(b) }
+func BenchmarkHGraphChurn(b *testing.B)         { benchcases.HGraphChurn(b) }
+func BenchmarkLambda2Jacobi(b *testing.B)       { benchcases.Lambda2Jacobi(b) }
+func BenchmarkLambda2Lanczos(b *testing.B)      { benchcases.Lambda2Lanczos(b) }
+func BenchmarkMixingTime(b *testing.B)          { benchcases.MixingTime(b) }
 
 // BenchmarkExactExpansion measures the exhaustive cut enumerator at its
 // size limit.
@@ -189,23 +78,6 @@ func BenchmarkExactExpansion(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := cuts.EdgeExpansion(g); err != nil {
 			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkMixingTime measures the exact lazy-walk mixing estimator.
-func BenchmarkMixingTime(b *testing.B) {
-	g, err := xheal.RandomRegularGraph(96, 3, 12)
-	if err != nil {
-		b.Fatal(err)
-	}
-	rng := rand.New(rand.NewSource(13))
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		res := metrics.MixingTime(g, 0.05, 2000, 2, rng)
-		if res.Steps > 2000 {
-			b.Fatal("walk failed to mix")
 		}
 	}
 }

@@ -5,16 +5,26 @@
 //
 // Usage:
 //
-//	xheal-bench -list          # show the experiment index
-//	xheal-bench -all           # run everything (E1..E14)
-//	xheal-bench -run E3,E9     # run a subset
+//	xheal-bench -list                 # show the experiment index
+//	xheal-bench -all                  # run everything (E1..E14)
+//	xheal-bench -run E3,E9            # run a subset
+//	xheal-bench -all -benchjson out.json   # also record wall times + micro benches
+//	xheal-bench -all -cpuprofile cpu.prof  # hot-path investigation
+//
+// Experiments run concurrently on a bounded worker pool; tables are
+// rendered to stdout in experiment order regardless of completion order, so
+// `xheal-bench -all > EXPERIMENTS.md` is byte-reproducible. Timing lines go
+// to stderr (they are the one non-deterministic output).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -29,9 +39,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("xheal-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		list = fs.Bool("list", false, "list experiments and exit")
-		all  = fs.Bool("all", false, "run every experiment")
-		only = fs.String("run", "", "comma-separated experiment IDs (e.g. E3,E9)")
+		list       = fs.Bool("list", false, "list experiments and exit")
+		all        = fs.Bool("all", false, "run every experiment")
+		only       = fs.String("run", "", "comma-separated experiment IDs (e.g. E3,E9)")
+		benchJSON  = fs.String("benchjson", "", "write per-experiment wall times and micro-benchmarks to this JSON file")
+		micro      = fs.Bool("micro", true, "include the core micro-benchmarks in the -benchjson output")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file (taken at exit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -72,23 +86,117 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	failures := 0
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "cpuprofile: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "cpuprofile: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	var todo []harness.Experiment
 	for _, e := range experiments {
 		if len(selected) > 0 && !selected[e.ID] {
 			continue
 		}
+		todo = append(todo, e)
+	}
+
+	// Run experiments concurrently, render in experiment order: stdout stays
+	// byte-identical no matter how the pool schedules. When wall times are
+	// being recorded (-benchjson), run them one at a time instead — a timing
+	// taken while other experiments compete for cores measures contention,
+	// not experiment cost, and the BENCH_*.json trajectory must stay
+	// comparable across machines.
+	type outcome struct {
+		table *harness.Table
+		dur   time.Duration
+		err   error
+	}
+	results := make([]outcome, len(todo))
+	runOne := func(i int) error {
 		start := time.Now()
-		table, err := e.Run()
-		if err != nil {
-			fmt.Fprintf(stderr, "%s: %v\n", e.ID, err)
+		table, err := todo[i].Run()
+		results[i] = outcome{table: table, dur: time.Since(start), err: err}
+		return nil // errors are reported per experiment below
+	}
+	if *benchJSON != "" {
+		for i := range todo {
+			_ = runOne(i)
+		}
+	} else {
+		_ = harness.ForEachIndex(len(todo), runOne)
+	}
+
+	failures := 0
+	report := benchReport{GoMaxProcs: runtime.GOMAXPROCS(0)}
+	for i, e := range todo {
+		res := results[i]
+		if res.err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", e.ID, res.err)
 			failures++
 			continue
 		}
-		table.Render(stdout)
-		fmt.Fprintf(stdout, "(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		res.table.Render(stdout)
+		fmt.Fprintf(stderr, "(%s completed in %v)\n", e.ID, res.dur.Round(time.Millisecond))
+		report.Experiments = append(report.Experiments, experimentTiming{
+			ID:     e.ID,
+			WallMS: float64(res.dur.Microseconds()) / 1000,
+		})
 	}
 	if failures > 0 {
 		return 1
 	}
+
+	if *benchJSON != "" {
+		if *micro {
+			fmt.Fprintln(stderr, "running micro-benchmarks...")
+			report.Micro = runMicroBenches()
+		}
+		if err := writeJSON(*benchJSON, report); err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "wrote %s\n", *benchJSON)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "memprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(stderr, "memprofile: %v\n", err)
+			return 1
+		}
+	}
 	return 0
+}
+
+// benchReport is the schema of the -benchjson output (see BENCH_*.json).
+type benchReport struct {
+	GoMaxProcs  int                `json:"go_max_procs"`
+	Experiments []experimentTiming `json:"experiments"`
+	Micro       []microResult      `json:"micro"`
+}
+
+type experimentTiming struct {
+	ID     string  `json:"id"`
+	WallMS float64 `json:"wall_ms"`
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

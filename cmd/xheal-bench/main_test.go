@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -54,5 +57,70 @@ func TestNoSelectionShowsUsage(t *testing.T) {
 func TestBadFlag(t *testing.T) {
 	if code, _, _ := runCLI(t, "-bogus"); code != 2 {
 		t.Fatal("bad flag should return 2")
+	}
+}
+
+// The table output must be byte-identical across runs — that is what makes
+// `xheal-bench -all > EXPERIMENTS.md` reproducible — so timing lines must go
+// to stderr, not stdout, and repeated runs must render identical tables even
+// though experiments execute on a worker pool.
+func TestStdoutDeterministicAndTimingOnStderr(t *testing.T) {
+	code, out1, err1 := runCLI(t, "-run", "E3,E9,E11")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, err1)
+	}
+	code, out2, _ := runCLI(t, "-run", "E3,E9,E11")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if out1 != out2 {
+		t.Fatalf("stdout differs between identical runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", out1, out2)
+	}
+	if strings.Contains(out1, "completed in") {
+		t.Fatal("timing lines must not pollute deterministic stdout")
+	}
+	if !strings.Contains(err1, "completed in") {
+		t.Fatalf("timing lines missing from stderr:\n%s", err1)
+	}
+	// Tables render in experiment order regardless of completion order.
+	if strings.Index(out1, "E3 —") > strings.Index(out1, "E9 —") {
+		t.Fatal("tables rendered out of experiment order")
+	}
+}
+
+func TestBenchJSONWritesTimings(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	code, _, errOut := runCLI(t, "-run", "E3", "-benchjson", path, "-micro=false")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read benchjson: %v", err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("benchjson is not valid JSON: %v\n%s", err, data)
+	}
+	if len(report.Experiments) != 1 || report.Experiments[0].ID != "E3" {
+		t.Fatalf("experiments = %+v, want one E3 entry", report.Experiments)
+	}
+	if report.Experiments[0].WallMS <= 0 {
+		t.Fatalf("wall_ms = %v, want > 0", report.Experiments[0].WallMS)
+	}
+}
+
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	code, _, errOut := runCLI(t, "-run", "E3", "-cpuprofile", cpu, "-memprofile", mem)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, p := range []string{cpu, mem} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Fatalf("profile %s missing or empty (err=%v)", p, err)
+		}
 	}
 }

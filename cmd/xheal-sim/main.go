@@ -258,7 +258,9 @@ func runDistributed(stdout, stderr io.Writer, g0 *graph.Graph, adv adversary.Adv
 }
 
 func printFinal(stdout io.Writer, g, gp *graph.Graph, steps int) {
-	snap := metrics.Measure(g, gp, metrics.Config{StretchSources: 8})
+	// The summary prints sweep-cut witnesses on large graphs, so opt into
+	// their (expensive, eigenvector-carrying) computation here.
+	snap := metrics.Measure(g, gp, metrics.Config{StretchSources: 8, SweepCuts: true})
 	fmt.Fprintf(stdout, "after %d events: n=%d m=%d connected=%v maxdeg=%d lambda2=%.4f\n",
 		steps, snap.Nodes, snap.Edges, snap.Connected, snap.MaxDegree, snap.Lambda2)
 	if snap.ExpansionExact != metrics.Unavailable {

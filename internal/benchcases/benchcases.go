@@ -1,0 +1,170 @@
+// Package benchcases holds the core micro-benchmark bodies shared by the
+// repository's `go test -bench` suite (bench_test.go) and the
+// `xheal-bench -benchjson` trajectory recorder. A single implementation
+// keeps the committed BENCH_*.json numbers measuring exactly the code the
+// CI benchmark smoke job runs — two copies would silently drift apart.
+package benchcases
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/xheal/xheal"
+	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/hgraph"
+	"github.com/xheal/xheal/internal/metrics"
+	"github.com/xheal/xheal/internal/spectral"
+)
+
+// removeAt swap-deletes index i from ids, preserving the invariant that ids
+// tracks the alive set without re-listing the graph inside a timed loop.
+func removeAt(ids []graph.NodeID, i int) ([]graph.NodeID, graph.NodeID) {
+	v := ids[i]
+	ids[i] = ids[len(ids)-1]
+	return ids[:len(ids)-1], v
+}
+
+// HealDeletion measures one sequential Xheal repair in steady state
+// (delete + re-insert on a churned network). The alive-ID slice is
+// maintained incrementally so the measured region is the healing itself,
+// not node listing.
+func HealDeletion(b *testing.B) {
+	g, err := xheal.RandomRegularGraph(256, 3, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := xheal.NewNetwork(g, xheal.WithKappa(4), xheal.WithSeed(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	alive := append([]xheal.NodeID(nil), n.Graph().Nodes()...)
+	next := xheal.NodeID(1 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var victim xheal.NodeID
+		alive, victim = removeAt(alive, rng.Intn(len(alive)))
+		if err := n.Delete(victim); err != nil {
+			b.Fatal(err)
+		}
+		u, v := alive[rng.Intn(len(alive))], alive[rng.Intn(len(alive))]
+		nbrs := []xheal.NodeID{u, v}
+		if u == v {
+			nbrs = nbrs[:1]
+		}
+		if err := n.Insert(next, nbrs); err != nil {
+			b.Fatal(err)
+		}
+		alive = append(alive, next)
+		next++
+	}
+}
+
+// DistributedDeletion measures one full message-passing repair.
+func DistributedDeletion(b *testing.B) {
+	g, err := xheal.RandomRegularGraph(512, 3, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := xheal.NewDistributed(g, xheal.WithKappa(4), xheal.WithSeed(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	rng := rand.New(rand.NewSource(6))
+	alive := append([]xheal.NodeID(nil), d.State().AliveNodes()...)
+	next := xheal.NodeID(1 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var victim xheal.NodeID
+		alive, victim = removeAt(alive, rng.Intn(len(alive)))
+		if err := d.Delete(victim); err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Insert(next, []xheal.NodeID{alive[rng.Intn(len(alive))]}); err != nil {
+			b.Fatal(err)
+		}
+		alive = append(alive, next)
+		next++
+	}
+}
+
+// HGraphChurn measures the expander substrate's incremental ops.
+func HGraphChurn(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	ids := make([]graph.NodeID, 128)
+	for i := range ids {
+		ids[i] = graph.NodeID(i)
+	}
+	h, err := hgraph.New(3, ids, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	members := append([]graph.NodeID(nil), h.Members()...)
+	next := graph.NodeID(1 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var victim graph.NodeID
+		members, victim = removeAt(members, rng.Intn(len(members)))
+		if err := h.Delete(victim); err != nil {
+			b.Fatal(err)
+		}
+		if err := h.Insert(next); err != nil {
+			b.Fatal(err)
+		}
+		members = append(members, next)
+		next++
+	}
+}
+
+// Lambda2Jacobi measures the dense eigensolver path (n <= 220).
+func Lambda2Jacobi(b *testing.B) {
+	g, err := xheal.RandomRegularGraph(128, 3, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if lam := spectral.AlgebraicConnectivity(g, rng); lam <= 0 {
+			b.Fatal("non-positive lambda2")
+		}
+	}
+}
+
+// Lambda2Lanczos measures the sparse (matrix-free) eigensolver path (n > 220).
+func Lambda2Lanczos(b *testing.B) {
+	g, err := xheal.RandomRegularGraph(512, 3, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if lam := spectral.AlgebraicConnectivity(g, rng); lam <= 0 {
+			b.Fatal("non-positive lambda2")
+		}
+	}
+}
+
+// MixingTime measures the exact lazy-walk mixing estimator.
+func MixingTime(b *testing.B) {
+	g, err := xheal.RandomRegularGraph(96, 3, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := metrics.MixingTime(g, 0.05, 2000, 2, rng)
+		if res.Steps > 2000 {
+			b.Fatal("walk failed to mix")
+		}
+	}
+}

@@ -1,7 +1,8 @@
 package core
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"github.com/xheal/xheal/internal/expander"
 	"github.com/xheal/xheal/internal/graph"
@@ -358,7 +359,7 @@ func (s *State) combine(groups []*cloud) *cloud {
 	for n := range memberSet {
 		members = append(members, n)
 	}
-	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	slices.Sort(members)
 	d := s.makePrimaryCloud(members)
 	s.stats.Combines++
 
@@ -417,23 +418,20 @@ func (s *State) primariesAnchoredIn(f *cloud) []*cloud {
 			out = append(out, c)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	slices.SortFunc(out, func(a, b *cloud) int { return cmp.Compare(a.id, b.id) })
 	return out
 }
 
 // liveClouds filters groups down to clouds still present in the registry
-// with at least one member, preserving order and dropping duplicates.
+// with at least one member, preserving order and dropping duplicates. The
+// input slice is filtered in place (callers own it and never reuse the
+// unfiltered view); group lists are tiny, so dedup is a linear scan.
 func liveClouds(s *State, groups []*cloud) []*cloud {
-	seen := make(map[ColorID]struct{}, len(groups))
-	out := groups[:0:0]
+	out := groups[:0]
 	for _, c := range groups {
-		if c == nil {
+		if c == nil || containsCloud(out, c.id) {
 			continue
 		}
-		if _, dup := seen[c.id]; dup {
-			continue
-		}
-		seen[c.id] = struct{}{}
 		if live, ok := s.clouds[c.id]; ok && live == c && c.size() > 0 {
 			out = append(out, c)
 		}

@@ -34,7 +34,7 @@ func (s *State) WriteDOT(w io.Writer) error {
 			// Use the smallest claiming color for determinism.
 			var first ColorID
 			chosen := false
-			for c := range cl.colors {
+			for _, c := range cl.colors {
 				if !chosen || c < first {
 					first = c
 					chosen = true

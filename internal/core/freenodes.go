@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"github.com/xheal/xheal/internal/graph"
 )
@@ -15,8 +15,9 @@ func (s *State) isFree(n graph.NodeID) bool {
 
 // freeMembers returns c's free members, ascending.
 func (s *State) freeMembers(c *cloud) []graph.NodeID {
-	var out []graph.NodeID
-	for _, n := range c.members() {
+	members := c.members()
+	out := make([]graph.NodeID, 0, len(members))
+	for _, n := range members {
 		if s.isFree(n) {
 			out = append(out, n)
 		}
@@ -24,13 +25,15 @@ func (s *State) freeMembers(c *cloud) []graph.NodeID {
 	return out
 }
 
-// pickFreeNode returns the smallest free member of c, if any.
+// pickFreeNode returns the smallest free member of c, if any. It scans the
+// (sorted) member view directly instead of materializing the free list.
 func (s *State) pickFreeNode(c *cloud) (graph.NodeID, bool) {
-	free := s.freeMembers(c)
-	if len(free) == 0 {
-		return 0, false
+	for _, n := range c.members() {
+		if s.isFree(n) {
+			return n, true
+		}
 	}
-	return free[0], true
+	return 0, false
 }
 
 // pickShareable returns a free node from the donor clouds that can be shared
@@ -46,8 +49,8 @@ func (s *State) pickShareable(donors []*cloud, target *cloud) (graph.NodeID, boo
 		if donor.id == target.id {
 			continue
 		}
-		for _, w := range s.freeMembers(donor) {
-			if target.contains(w) {
+		for _, w := range donor.members() {
+			if !s.isFree(w) || target.contains(w) {
 				continue
 			}
 			if _, shared := s.sharedOnce[w]; shared {
@@ -133,7 +136,7 @@ func (s *State) assignFreeNodes(groups []*cloud) ([]assignment, bool) {
 			leftovers = append(leftovers, w)
 		}
 	}
-	sort.Slice(leftovers, func(i, j int) bool { return leftovers[i] < leftovers[j] })
+	slices.Sort(leftovers)
 
 	out := make([]assignment, 0, len(groups))
 	li := 0

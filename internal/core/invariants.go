@@ -55,7 +55,7 @@ func (s *State) checkClaims() error {
 		if cl.black && len(cl.colors) > 0 {
 			return violation("edge %v is both black and colored", e)
 		}
-		for color := range cl.colors {
+		for _, color := range cl.colors {
 			c, live := s.clouds[color]
 			if !live {
 				return violation("edge %v claimed by dead cloud %d", e, color)
@@ -104,7 +104,7 @@ func (s *State) checkClouds() error {
 			if !ok {
 				return violation("cloud %d edge %v has no physical claim", id, e)
 			}
-			if _, colored := cl.colors[id]; !colored {
+			if !cl.hasColor(id) {
 				return violation("cloud %d edge %v claim does not list the cloud", id, e)
 			}
 		}

@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"github.com/xheal/xheal/internal/graph"
 )
@@ -46,7 +46,7 @@ type State struct {
 	gp      *graph.Graph // G′: original + insertions, deletions ignored
 	deleted map[graph.NodeID]struct{}
 
-	claims map[graph.Edge]*edgeClaim
+	claims map[graph.Edge]edgeClaim
 	clouds map[ColorID]*cloud
 
 	// nodePrimaries[n] is the set of primary clouds n belongs to;
@@ -60,6 +60,11 @@ type State struct {
 
 	nextColor ColorID
 	stats     Stats
+
+	// colorSlab is a chunked arena handing out the capacity-1 color slices
+	// single-color claims hold — the overwhelmingly common case — so claim
+	// churn costs one allocation per chunk instead of one per claimed edge.
+	colorSlab []ColorID
 
 	// deltaLog, when non-nil, accumulates the net physical edge changes of
 	// the current repair (see DeleteNodeDelta).
@@ -88,7 +93,7 @@ func NewState(cfg Config, g0 *graph.Graph) (*State, error) {
 		g:              g0.Clone(),
 		gp:             g0.Clone(),
 		deleted:        make(map[graph.NodeID]struct{}),
-		claims:         make(map[graph.Edge]*edgeClaim, g0.NumEdges()),
+		claims:         make(map[graph.Edge]edgeClaim, g0.NumEdges()),
 		clouds:         make(map[ColorID]*cloud),
 		nodePrimaries:  make(map[graph.NodeID]map[ColorID]struct{}),
 		bridgeLinks:    make(map[graph.NodeID]bridgeLink),
@@ -96,7 +101,7 @@ func NewState(cfg Config, g0 *graph.Graph) (*State, error) {
 		nextColor:      1,
 	}
 	for _, e := range g0.Edges() {
-		s.claims[e] = &edgeClaim{black: true}
+		s.claims[e] = edgeClaim{black: true}
 	}
 	return s, nil
 }
@@ -119,7 +124,9 @@ func (s *State) Baseline() *graph.Graph { return s.gp }
 // Alive reports whether n exists in the healed graph.
 func (s *State) Alive(n graph.NodeID) bool { return s.g.HasNode(n) }
 
-// AliveNodes returns the nodes of the healed graph, ascending.
+// AliveNodes returns the nodes of the healed graph, ascending. The slice is
+// the graph's cached read-only view (see graph.Graph.Nodes): do not modify
+// it; copy to shuffle or retain a mutable list.
 func (s *State) AliveNodes() []graph.NodeID { return s.g.Nodes() }
 
 // Stats returns a copy of the healing-work counters.
@@ -127,7 +134,8 @@ func (s *State) Stats() Stats { return s.stats }
 
 // EdgeColors returns the colors claiming the physical edge {u, v}: nil with
 // ok=false if the edge is absent, an empty slice for a black edge, and the
-// sorted cloud colors otherwise.
+// sorted cloud colors otherwise. The result is a fresh slice the caller may
+// keep; hot paths that only test blackness should use IsBlackEdge.
 func (s *State) EdgeColors(u, v graph.NodeID) (colors []ColorID, ok bool) {
 	cl, present := s.claims[graph.NewEdge(u, v)]
 	if !present {
@@ -136,12 +144,14 @@ func (s *State) EdgeColors(u, v graph.NodeID) (colors []ColorID, ok bool) {
 	if cl.black {
 		return []ColorID{}, true
 	}
-	out := make([]ColorID, 0, len(cl.colors))
-	for c := range cl.colors {
-		out = append(out, c)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out, true
+	return append(make([]ColorID, 0, len(cl.colors)), cl.colors...), true
+}
+
+// IsBlackEdge reports whether the physical edge {u, v} exists and carries
+// the black claim, without allocating.
+func (s *State) IsBlackEdge(u, v graph.NodeID) (black, ok bool) {
+	cl, present := s.claims[graph.NewEdge(u, v)]
+	return cl.black, present
 }
 
 // PrimariesOf returns the primary clouds containing n, ascending.
@@ -151,7 +161,7 @@ func (s *State) PrimariesOf(n graph.NodeID) []ColorID {
 	for c := range set {
 		out = append(out, c)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -165,12 +175,13 @@ func (s *State) SecondaryOf(n graph.NodeID) (ColorID, bool) {
 }
 
 // CloudMembers returns the member set of cloud id (ascending) and its kind.
+// The slice is a fresh copy the caller may keep and modify.
 func (s *State) CloudMembers(id ColorID) ([]graph.NodeID, CloudKind, bool) {
 	c, ok := s.clouds[id]
 	if !ok {
 		return nil, 0, false
 	}
-	return c.members(), c.kind, true
+	return append([]graph.NodeID(nil), c.members()...), c.kind, true
 }
 
 // Clouds returns all live cloud colors, ascending.
@@ -179,7 +190,7 @@ func (s *State) Clouds() []ColorID {
 	for id := range s.clouds {
 		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -221,7 +232,7 @@ func (s *State) InsertNode(u graph.NodeID, nbrs []graph.NodeID) error {
 		if err := s.gp.AddEdge(u, w); err != nil {
 			return err
 		}
-		s.claims[graph.NewEdge(u, w)] = &edgeClaim{black: true}
+		s.claims[graph.NewEdge(u, w)] = edgeClaim{black: true}
 	}
 	s.stats.Insertions++
 	return nil
@@ -312,12 +323,7 @@ func (s *State) DeleteNodeDelta(v graph.NodeID) (EdgeDelta, error) {
 }
 
 func sortEdges(edges []graph.Edge) {
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].U != edges[j].U {
-			return edges[i].U < edges[j].U
-		}
-		return edges[i].V < edges[j].V
-	})
+	slices.SortFunc(edges, graph.CompareEdges)
 }
 
 // blackNeighborsOf returns the neighbors of v connected by black edges.
@@ -338,17 +344,28 @@ func (s *State) blackNeighborsOf(v graph.NodeID) []graph.NodeID {
 func (s *State) addClaim(e graph.Edge, color ColorID) {
 	cl, ok := s.claims[e]
 	if !ok {
-		cl = &edgeClaim{colors: make(map[ColorID]struct{}, 1)}
-		s.claims[e] = cl
 		s.g.EnsureEdge(e.U, e.V)
 		s.stats.HealEdgesAdded++
 		s.logDelta(e, deltaAdded)
 	}
-	if cl.colors == nil {
-		cl.colors = make(map[ColorID]struct{}, 1)
+	if len(cl.colors) == 0 {
+		cl = edgeClaim{colors: s.singleColor(color)}
+	} else {
+		cl = cl.withColor(color)
 	}
-	cl.black = false
-	cl.colors[color] = struct{}{}
+	s.claims[e] = cl
+}
+
+// singleColor returns a capacity-1 slice holding color, carved from the
+// arena. Growing past one color (rare) reallocates through slices.Insert.
+func (s *State) singleColor(color ColorID) []ColorID {
+	if len(s.colorSlab) == 0 {
+		s.colorSlab = make([]ColorID, 512)
+	}
+	out := s.colorSlab[:1:1]
+	out[0] = color
+	s.colorSlab = s.colorSlab[1:]
+	return out
 }
 
 // releaseClaim drops color's claim on e, removing the physical edge when no
@@ -358,33 +375,42 @@ func (s *State) releaseClaim(e graph.Edge, color ColorID) {
 	if !ok {
 		return
 	}
-	delete(cl.colors, color)
-	if cl.empty() {
-		delete(s.claims, e)
-		if s.g.HasEdge(e.U, e.V) {
-			if err := s.g.RemoveEdge(e.U, e.V); err == nil {
-				s.stats.HealEdgesRemoved++
-				s.logDelta(e, deltaRemoved)
-			}
+	cl = cl.withoutColor(color)
+	if !cl.empty() {
+		s.claims[e] = cl
+		return
+	}
+	delete(s.claims, e)
+	if s.g.HasEdge(e.U, e.V) {
+		if err := s.g.RemoveEdge(e.U, e.V); err == nil {
+			s.stats.HealEdgesRemoved++
+			s.logDelta(e, deltaRemoved)
 		}
 	}
 }
 
 // reconcileCloud synchronizes the physical claims of c with its maintainer's
-// logical edge set.
+// logical edge set. The diff runs against the maintainer's sorted edge list
+// (binary search for stale claims, map lookup for new ones) and updates
+// c.edges in place, so a repair allocates no per-reconcile set.
 func (s *State) reconcileCloud(c *cloud) {
-	want := c.m.EdgeSet()
+	want := c.m.Edges() // canonical sorted order (see expander.Edges)
+	inWant := func(e graph.Edge) bool {
+		_, found := slices.BinarySearchFunc(want, e, graph.CompareEdges)
+		return found
+	}
 	for e := range c.edges {
-		if _, keep := want[e]; !keep {
+		if !inWant(e) {
 			s.releaseClaim(e, c.id)
+			delete(c.edges, e)
 		}
 	}
-	for e := range want {
+	for _, e := range want {
 		if _, have := c.edges[e]; !have {
 			s.addClaim(e, c.id)
+			c.edges[e] = struct{}{}
 		}
 	}
-	c.edges = want
 }
 
 // dropCloud releases all of c's claims and removes it from the registry.

@@ -24,6 +24,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"slices"
 
 	"github.com/xheal/xheal/internal/expander"
 	"github.com/xheal/xheal/internal/graph"
@@ -101,12 +102,41 @@ type bridgeLink struct {
 // edgeClaim is the ownership record of one physical edge. Exactly one of
 // black / non-empty colors holds: a cloud claim absorbs the black claim
 // (paper's re-coloring), and the edge is removed when all claims are gone.
+//
+// Claims are stored by value in the claims map and colors is a small sorted
+// slice: an edge rarely carries more than two colors, so this costs one
+// allocation per claimed edge where a per-claim map cost three — claim churn
+// is the allocation hot spot of every repair.
 type edgeClaim struct {
 	black  bool
-	colors map[ColorID]struct{}
+	colors []ColorID // ascending; nil while black
 }
 
-func (c *edgeClaim) empty() bool { return !c.black && len(c.colors) == 0 }
+func (c edgeClaim) empty() bool { return !c.black && len(c.colors) == 0 }
+
+// hasColor reports whether the claim lists the given cloud color.
+func (c edgeClaim) hasColor(color ColorID) bool {
+	_, found := slices.BinarySearch(c.colors, color)
+	return found
+}
+
+// withColor returns the claim with color added (absorbing any black claim).
+func (c edgeClaim) withColor(color ColorID) edgeClaim {
+	i, found := slices.BinarySearch(c.colors, color)
+	if !found {
+		c.colors = slices.Insert(c.colors, i, color)
+	}
+	c.black = false
+	return c
+}
+
+// withoutColor returns the claim with color removed.
+func (c edgeClaim) withoutColor(color ColorID) edgeClaim {
+	if i, found := slices.BinarySearch(c.colors, color); found {
+		c.colors = slices.Delete(c.colors, i, i+1)
+	}
+	return c
+}
 
 // Stats counts the healing work performed, for the cost experiments.
 type Stats struct {

@@ -145,14 +145,15 @@ func enumerateCuts(g *graph.Graph, nodes []graph.NodeID, visit func(mask uint32,
 	for i, node := range nodes {
 		idx[node] = i
 	}
-	// Precompute adjacency bitmasks and degrees.
+	// Precompute adjacency bitmasks and degrees (ForEachNeighbor: order is
+	// irrelevant for mask building, and it allocates nothing).
 	adj := make([]uint32, n)
 	deg := make([]int, n)
 	for i, node := range nodes {
 		deg[i] = g.Degree(node)
-		for _, w := range g.Neighbors(node) {
+		g.ForEachNeighbor(node, func(w graph.NodeID) {
 			adj[i] |= 1 << uint(idx[w])
-		}
+		})
 	}
 	// Subsets of {1..n-1}: node 0 always on the complement side.
 	limit := uint32(1) << uint(n-1)

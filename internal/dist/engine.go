@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 	"sync"
 
 	"github.com/xheal/xheal/internal/core"
@@ -176,7 +176,7 @@ func (e *Engine) Delete(v graph.NodeID) error {
 	wound := e.st.Graph().Neighbors(v) // sorted
 	blackDeg := 0
 	for _, w := range wound {
-		if colors, ok := e.st.EdgeColors(v, w); ok && len(colors) == 0 {
+		if black, ok := e.st.IsBlackEdge(v, w); ok && black {
 			blackDeg++
 		}
 	}
@@ -272,7 +272,7 @@ func (e *Engine) runProtocol(pending []message) (rounds, msgs int) {
 		for id := range byDst {
 			order = append(order, id)
 		}
-		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+		slices.Sort(order)
 		for _, id := range order {
 			e.nodes[id].inbox <- byDst[id]
 			msgs += len(byDst[id])

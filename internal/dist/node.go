@@ -2,7 +2,7 @@ package dist
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/xheal/xheal/internal/graph"
 )
@@ -187,7 +187,7 @@ func (n *node) lead() []message {
 	for id := range plan.updates {
 		recipients = append(recipients, id)
 	}
-	sort.Slice(recipients, func(i, j int) bool { return recipients[i] < recipients[j] })
+	slices.Sort(recipients)
 	var out []message
 	for _, id := range recipients {
 		up := plan.updates[id]
@@ -219,6 +219,6 @@ func (n *node) viewList() []graph.NodeID {
 	for w := range n.view {
 		out = append(out, w)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }

@@ -18,7 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"github.com/xheal/xheal/internal/graph"
 	"github.com/xheal/xheal/internal/hgraph"
@@ -68,6 +68,10 @@ type Maintainer struct {
 	h       *hgraph.H // nil in clique mode
 	rng     *rand.Rand
 	peak    int // peak size since last full H-graph rebuild
+
+	// view caches the sorted member slice served by Members; nil when a
+	// membership change has invalidated it.
+	view []graph.NodeID
 }
 
 // NewMaintainer builds the initial wiring over members (at least one node).
@@ -117,14 +121,19 @@ func (m *Maintainer) Contains(v graph.NodeID) bool {
 	return ok
 }
 
-// Members returns the member set in ascending order.
+// Members returns the member set in ascending order. The slice is a cached
+// read-only view: callers must not modify it, and it is only valid until the
+// next Add/Remove/Rebuild (copy to retain).
 func (m *Maintainer) Members() []graph.NodeID {
-	out := make([]graph.NodeID, 0, len(m.members))
-	for v := range m.members {
-		out = append(out, v)
+	if m.view == nil {
+		view := make([]graph.NodeID, 0, len(m.members))
+		for v := range m.members {
+			view = append(view, v)
+		}
+		slices.Sort(view)
+		m.view = view
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return m.view
 }
 
 // Add inserts a new member and rewires incrementally (H-graph INSERT) or by
@@ -134,6 +143,7 @@ func (m *Maintainer) Add(v graph.NodeID) error {
 		return fmt.Errorf("add %d: %w", v, ErrMember)
 	}
 	m.members[v] = struct{}{}
+	m.view = nil
 	if len(m.members) > m.peak {
 		m.peak = len(m.members)
 	}
@@ -154,6 +164,7 @@ func (m *Maintainer) Remove(v graph.NodeID) error {
 		return fmt.Errorf("remove %d: %w", v, ErrNotMember)
 	}
 	delete(m.members, v)
+	m.view = nil
 	if m.h == nil {
 		return nil
 	}

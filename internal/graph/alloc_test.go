@@ -1,0 +1,78 @@
+package graph
+
+import "testing"
+
+// The allocation guarantees below are part of the package API (see the
+// package comment and README "Performance"): hot-path accessors must stay
+// allocation-free and the cached views must be free in steady state, so the
+// perf wins of the caching layer cannot silently rot.
+
+func allocGraph(tb testing.TB) *Graph {
+	tb.Helper()
+	g := New()
+	for i := 0; i < 64; i++ {
+		g.EnsureNode(NodeID(i))
+	}
+	for i := 0; i < 64; i++ {
+		g.EnsureEdge(NodeID(i), NodeID((i+1)%64))
+		g.EnsureEdge(NodeID(i), NodeID((i+7)%64))
+	}
+	return g
+}
+
+func assertZeroAllocs(t *testing.T, name string, fn func()) {
+	t.Helper()
+	if avg := testing.AllocsPerRun(100, fn); avg != 0 {
+		t.Errorf("%s allocates %.1f times per call, want 0", name, avg)
+	}
+}
+
+func TestZeroAllocAccessors(t *testing.T) {
+	g := allocGraph(t)
+	sink := 0
+	assertZeroAllocs(t, "Degree", func() { sink += g.Degree(7) })
+	assertZeroAllocs(t, "HasEdge", func() {
+		if g.HasEdge(3, 4) {
+			sink++
+		}
+	})
+	assertZeroAllocs(t, "HasNode", func() {
+		if g.HasNode(3) {
+			sink++
+		}
+	})
+	fn := func(w NodeID) { sink += int(w) }
+	assertZeroAllocs(t, "ForEachNeighbor", func() { g.ForEachNeighbor(5, fn) })
+	assertZeroAllocs(t, "ForEachNode", func() { g.ForEachNode(fn) })
+	_ = sink
+}
+
+func TestZeroAllocCachedViewsSteadyState(t *testing.T) {
+	g := allocGraph(t)
+	// Warm the caches once; steady-state reads must then be free.
+	g.Nodes()
+	g.Edges()
+	g.Neighbors(5)
+	var n int
+	assertZeroAllocs(t, "Nodes (cached)", func() { n += len(g.Nodes()) })
+	assertZeroAllocs(t, "Edges (cached)", func() { n += len(g.Edges()) })
+	assertZeroAllocs(t, "Neighbors (cached)", func() { n += len(g.Neighbors(5)) })
+	_ = n
+}
+
+func TestZeroAllocAppendWithCapacity(t *testing.T) {
+	g := allocGraph(t)
+	nodeBuf := make([]NodeID, 0, g.NumNodes())
+	nbrBuf := make([]NodeID, 0, g.MaxDegree())
+	var n int
+	assertZeroAllocs(t, "AppendNodes", func() { n += len(g.AppendNodes(nodeBuf[:0])) })
+	assertZeroAllocs(t, "AppendNeighbors", func() { n += len(g.AppendNeighbors(nbrBuf[:0], 5)) })
+
+	// The Append APIs must stay allocation-free even when the caches are
+	// cold (that is their whole point on mutation-heavy paths).
+	g.EnsureEdge(0, 32) // invalidate
+	assertZeroAllocs(t, "AppendNodes (cold cache)", func() {
+		n += len(g.AppendNodes(nodeBuf[:0]))
+	})
+	_ = n
+}

@@ -5,13 +5,29 @@
 // components, diameter, degree summaries) needed by the Xheal algorithm, the
 // distributed simulator, and the measurement tooling.
 //
-// The graph is not safe for concurrent mutation; concurrent reads are safe.
+// # Cached views and the read-only contract
+//
+// Nodes, Neighbors, and Edges return sorted views served from internal
+// caches keyed by a mutation counter: the first call after a mutation builds
+// and sorts the view (one allocation), every further call until the next
+// mutation returns the same slice with zero allocations. The returned slices
+// are read-only — callers must not modify them. A retained slice stays valid
+// as a snapshot even across later mutations (rebuilds allocate fresh
+// backing arrays), but it no longer reflects the graph once a mutation
+// happens. Callers that need to modify the result must copy it; callers that
+// want to avoid the cache entirely can use the zero-allocation iteration
+// APIs (ForEachNode, ForEachNeighbor, AppendNodes, AppendNeighbors).
+//
+// Because even read methods may materialize a cached view, the graph is not
+// safe for any concurrent use — including concurrent reads — without
+// external synchronization.
 package graph
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // NodeID identifies a node. IDs are assigned by callers (the harness uses
@@ -46,6 +62,17 @@ func (e Edge) Other(n NodeID) NodeID {
 // String implements fmt.Stringer.
 func (e Edge) String() string { return fmt.Sprintf("(%d,%d)", e.U, e.V) }
 
+// CompareEdges orders edges by (U, V), the canonical table order — the one
+// comparator every sorted edge list in the repository uses. cmp.Compare is
+// overflow-safe for the full caller-assigned NodeID range (a subtraction
+// would wrap for far-apart IDs).
+func CompareEdges(a, b Edge) int {
+	if c := cmp.Compare(a.U, b.U); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.V, b.V)
+}
+
 // Sentinel errors returned by mutating operations.
 var (
 	ErrNodeExists   = errors.New("graph: node already exists")
@@ -57,24 +84,43 @@ var (
 	ErrDisconnected = errors.New("graph: graph is not connected")
 )
 
+// nbrView is one node's cached sorted neighbor slice, valid while its gen
+// matches the graph's mutation counter.
+type nbrView struct {
+	gen uint64
+	ids []NodeID
+}
+
 // Graph is a dynamic undirected simple graph.
 //
 // The zero value is not usable; call New.
 type Graph struct {
 	adj   map[NodeID]map[NodeID]struct{}
 	edges int
+
+	// gen counts mutations. Cached views record the gen they were built at
+	// and are served only while it still matches. It starts at 1 so the
+	// zero-valued cache gens are never mistaken for fresh.
+	gen      uint64
+	nodesGen uint64
+	nodes    []NodeID
+	edgesGen uint64
+	edgeList []Edge
+	nbrs     map[NodeID]nbrView
 }
 
 // New returns an empty graph.
 func New() *Graph {
-	return &Graph{adj: make(map[NodeID]map[NodeID]struct{})}
+	return &Graph{adj: make(map[NodeID]map[NodeID]struct{}), gen: 1}
 }
 
-// Clone returns a deep copy of g.
+// Clone returns a deep copy of g. Caches are not copied; the clone
+// materializes its own views on demand.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
 		adj:   make(map[NodeID]map[NodeID]struct{}, len(g.adj)),
 		edges: g.edges,
+		gen:   1,
 	}
 	for n, nbrs := range g.adj {
 		m := make(map[NodeID]struct{}, len(nbrs))
@@ -117,6 +163,7 @@ func (g *Graph) AddNode(n NodeID) error {
 		return fmt.Errorf("add node %d: %w", n, ErrNodeExists)
 	}
 	g.adj[n] = make(map[NodeID]struct{})
+	g.gen++
 	return nil
 }
 
@@ -126,24 +173,37 @@ func (g *Graph) EnsureNode(n NodeID) bool {
 		return false
 	}
 	g.adj[n] = make(map[NodeID]struct{})
+	g.gen++
 	return true
 }
 
 // RemoveNode deletes n and all incident edges, returning the neighbors it had
-// (sorted). It returns ErrNodeMissing if n is absent.
+// (sorted). It returns ErrNodeMissing if n is absent. When n's neighbor view
+// is cached the cached slice is returned instead of re-sorting; like every
+// other view it is read-only — it may alias a slice an earlier Neighbors
+// call handed out, so treat it as a frozen snapshot and copy to mutate.
 func (g *Graph) RemoveNode(n NodeID) ([]NodeID, error) {
-	nbrs, ok := g.adj[n]
+	set, ok := g.adj[n]
 	if !ok {
 		return nil, fmt.Errorf("remove node %d: %w", n, ErrNodeMissing)
 	}
-	out := make([]NodeID, 0, len(nbrs))
-	for w := range nbrs {
+	var out []NodeID
+	if v, cached := g.nbrs[n]; cached && v.gen == g.gen {
+		out = v.ids
+	} else {
+		out = make([]NodeID, 0, len(set))
+		for w := range set {
+			out = append(out, w)
+		}
+		slices.Sort(out)
+	}
+	for _, w := range out {
 		delete(g.adj[w], n)
-		out = append(out, w)
 		g.edges--
 	}
 	delete(g.adj, n)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	delete(g.nbrs, n)
+	g.gen++
 	return out, nil
 }
 
@@ -165,6 +225,7 @@ func (g *Graph) AddEdge(u, v NodeID) error {
 	g.adj[u][v] = struct{}{}
 	g.adj[v][u] = struct{}{}
 	g.edges++
+	g.gen++
 	return nil
 }
 
@@ -182,6 +243,7 @@ func (g *Graph) EnsureEdge(u, v NodeID) bool {
 	g.adj[u][v] = struct{}{}
 	g.adj[v][u] = struct{}{}
 	g.edges++
+	g.gen++
 	return true
 }
 
@@ -193,32 +255,89 @@ func (g *Graph) RemoveEdge(u, v NodeID) error {
 	delete(g.adj[u], v)
 	delete(g.adj[v], u)
 	g.edges--
+	g.gen++
 	return nil
 }
 
-// Nodes returns all node IDs in ascending order.
+// Nodes returns all node IDs in ascending order. The slice is a cached
+// read-only view: it must not be modified, and it stops tracking the graph
+// at the next mutation (see the package comment).
 func (g *Graph) Nodes() []NodeID {
-	out := make([]NodeID, 0, len(g.adj))
-	for n := range g.adj {
-		out = append(out, n)
+	if g.nodesGen != g.gen {
+		nodes := make([]NodeID, 0, len(g.adj))
+		for n := range g.adj {
+			nodes = append(nodes, n)
+		}
+		slices.Sort(nodes)
+		g.nodes, g.nodesGen = nodes, g.gen
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return g.nodes
 }
 
-// Neighbors returns the neighbors of n in ascending order. The slice is a
-// copy; mutating it does not affect the graph. Returns nil if n is absent.
+// AppendNodes appends all node IDs in ascending order to buf and returns the
+// extended slice. It allocates nothing when buf has sufficient capacity,
+// regardless of cache state — the zero-allocation alternative to Nodes for
+// callers that own a reusable buffer.
+func (g *Graph) AppendNodes(buf []NodeID) []NodeID {
+	if g.nodesGen == g.gen {
+		return append(buf, g.nodes...)
+	}
+	start := len(buf)
+	for n := range g.adj {
+		buf = append(buf, n)
+	}
+	slices.Sort(buf[start:])
+	return buf
+}
+
+// ForEachNode calls fn for every node in unspecified order, with zero
+// allocations.
+func (g *Graph) ForEachNode(fn func(NodeID)) {
+	for n := range g.adj {
+		fn(n)
+	}
+}
+
+// Neighbors returns the neighbors of n in ascending order, or nil if n is
+// absent. The slice is a cached read-only view: it must not be modified, and
+// it stops tracking the graph at the next mutation (see the package comment).
 func (g *Graph) Neighbors(n NodeID) []NodeID {
-	nbrs, ok := g.adj[n]
+	set, ok := g.adj[n]
 	if !ok {
 		return nil
 	}
-	out := make([]NodeID, 0, len(nbrs))
-	for w := range nbrs {
-		out = append(out, w)
+	if v, cached := g.nbrs[n]; cached && v.gen == g.gen {
+		return v.ids
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	ids := make([]NodeID, 0, len(set))
+	for w := range set {
+		ids = append(ids, w)
+	}
+	slices.Sort(ids)
+	if g.nbrs == nil {
+		g.nbrs = make(map[NodeID]nbrView, len(g.adj))
+	}
+	g.nbrs[n] = nbrView{gen: g.gen, ids: ids}
+	return ids
+}
+
+// AppendNeighbors appends the neighbors of n in ascending order to buf and
+// returns the extended slice (unchanged if n is absent). It allocates
+// nothing when buf has sufficient capacity, regardless of cache state.
+func (g *Graph) AppendNeighbors(buf []NodeID, n NodeID) []NodeID {
+	set, ok := g.adj[n]
+	if !ok {
+		return buf
+	}
+	if v, cached := g.nbrs[n]; cached && v.gen == g.gen {
+		return append(buf, v.ids...)
+	}
+	start := len(buf)
+	for w := range set {
+		buf = append(buf, w)
+	}
+	slices.Sort(buf[start:])
+	return buf
 }
 
 // ForEachNeighbor calls fn for every neighbor of n in unspecified order.
@@ -229,23 +348,23 @@ func (g *Graph) ForEachNeighbor(n NodeID, fn func(NodeID)) {
 	}
 }
 
-// Edges returns every edge once, in canonical sorted order.
+// Edges returns every edge once, in canonical sorted order. The slice is a
+// cached read-only view: it must not be modified, and it stops tracking the
+// graph at the next mutation (see the package comment).
 func (g *Graph) Edges() []Edge {
-	out := make([]Edge, 0, g.edges)
-	for u, nbrs := range g.adj {
-		for v := range nbrs {
-			if u < v {
-				out = append(out, Edge{U: u, V: v})
+	if g.edgesGen != g.gen {
+		out := make([]Edge, 0, g.edges)
+		for u, nbrs := range g.adj {
+			for v := range nbrs {
+				if u < v {
+					out = append(out, Edge{U: u, V: v})
+				}
 			}
 		}
+		slices.SortFunc(out, CompareEdges)
+		g.edgeList, g.edgesGen = out, g.gen
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].U != out[j].U {
-			return out[i].U < out[j].U
-		}
-		return out[i].V < out[j].V
-	})
-	return out
+	return g.edgeList
 }
 
 // MaxDegree returns the maximum degree, or 0 for an empty graph.

@@ -119,7 +119,7 @@ func TestEnsureEdge(t *testing.T) {
 	}
 }
 
-func TestNeighborsSortedAndCopied(t *testing.T) {
+func TestNeighborsSortedView(t *testing.T) {
 	g := New()
 	mustAddNodes(t, g, 1, 5, 3, 2)
 	mustAddEdges(t, g, [2]NodeID{1, 5}, [2]NodeID{1, 3}, [2]NodeID{1, 2})
@@ -133,12 +133,93 @@ func TestNeighborsSortedAndCopied(t *testing.T) {
 			t.Fatalf("Neighbors = %v, want %v", nbrs, want)
 		}
 	}
-	nbrs[0] = 99 // must not corrupt the graph
-	if !g.HasEdge(1, 2) {
-		t.Fatal("mutating Neighbors result affected graph")
-	}
 	if g.Neighbors(42) != nil {
 		t.Fatal("Neighbors of absent node should be nil")
+	}
+}
+
+func TestCachedViewsInvalidatedByMutation(t *testing.T) {
+	g := New()
+	mustAddNodes(t, g, 1, 2, 3)
+	mustAddEdges(t, g, [2]NodeID{1, 2})
+
+	nodes := g.Nodes()
+	nbrs := g.Neighbors(1)
+	edges := g.Edges()
+
+	// A retained view is a frozen snapshot: later mutations must not write
+	// into it (rebuilds allocate fresh arrays).
+	mustAddNodes(t, g, 4)
+	mustAddEdges(t, g, [2]NodeID{1, 4})
+	if len(nodes) != 3 || nodes[2] != 3 {
+		t.Fatalf("retained Nodes view changed: %v", nodes)
+	}
+	if len(nbrs) != 1 || nbrs[0] != 2 {
+		t.Fatalf("retained Neighbors view changed: %v", nbrs)
+	}
+	if len(edges) != 1 {
+		t.Fatalf("retained Edges view changed: %v", edges)
+	}
+
+	// Fresh calls reflect the mutation.
+	if got := g.Nodes(); len(got) != 4 || got[3] != 4 {
+		t.Fatalf("Nodes after mutation = %v", got)
+	}
+	if got := g.Neighbors(1); len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Fatalf("Neighbors after mutation = %v", got)
+	}
+	if got := g.Edges(); len(got) != 2 {
+		t.Fatalf("Edges after mutation = %v", got)
+	}
+
+	// Steady state: repeated calls return the identical cached slice.
+	a, b := g.Nodes(), g.Nodes()
+	if &a[0] != &b[0] {
+		t.Fatal("steady-state Nodes calls returned different backing arrays")
+	}
+}
+
+func TestAppendIterationAPIs(t *testing.T) {
+	g := New()
+	mustAddNodes(t, g, 3, 1, 2)
+	mustAddEdges(t, g, [2]NodeID{1, 2}, [2]NodeID{1, 3})
+
+	buf := g.AppendNodes(nil)
+	if len(buf) != 3 || buf[0] != 1 || buf[2] != 3 {
+		t.Fatalf("AppendNodes = %v", buf)
+	}
+	buf = g.AppendNodes(buf[:0]) // reuse must re-fill, not duplicate
+	if len(buf) != 3 {
+		t.Fatalf("AppendNodes reuse = %v", buf)
+	}
+	nb := g.AppendNeighbors([]NodeID{99}, 1)
+	if len(nb) != 3 || nb[0] != 99 || nb[1] != 2 || nb[2] != 3 {
+		t.Fatalf("AppendNeighbors = %v", nb)
+	}
+	if got := g.AppendNeighbors(nil, 42); got != nil {
+		t.Fatalf("AppendNeighbors of absent node = %v", got)
+	}
+	seen := map[NodeID]bool{}
+	g.ForEachNode(func(n NodeID) { seen[n] = true })
+	if len(seen) != 3 {
+		t.Fatalf("ForEachNode visited %v", seen)
+	}
+}
+
+func TestRemoveNodeReusesCachedNeighbors(t *testing.T) {
+	g := New()
+	mustAddNodes(t, g, 1, 2, 3)
+	mustAddEdges(t, g, [2]NodeID{2, 1}, [2]NodeID{2, 3})
+	cached := g.Neighbors(2) // warm the cache
+	nbrs, err := g.RemoveNode(2)
+	if err != nil {
+		t.Fatalf("RemoveNode: %v", err)
+	}
+	if len(nbrs) != 2 || nbrs[0] != 1 || nbrs[1] != 3 {
+		t.Fatalf("RemoveNode neighbors = %v, want [1 3]", nbrs)
+	}
+	if &cached[0] != &nbrs[0] {
+		t.Fatal("RemoveNode did not hand over the cached sorted slice")
 	}
 }
 

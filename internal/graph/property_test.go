@@ -59,7 +59,8 @@ func TestPropertyRemoveNodeKeepsSymmetry(t *testing.T) {
 	f := func(seed int64) bool {
 		g := randomGraphFromSeed(seed)
 		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
-		nodes := g.Nodes()
+		// Nodes returns a read-only cached view; copy before shuffling.
+		nodes := append([]NodeID(nil), g.Nodes()...)
 		// Remove half the nodes in random order.
 		rng.Shuffle(len(nodes), func(i, j int) { nodes[i], nodes[j] = nodes[j], nodes[i] })
 		for _, n := range nodes[:len(nodes)/2] {

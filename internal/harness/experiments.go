@@ -69,7 +69,8 @@ func E1Degree() (*Table, error) {
 		{workload.NameRegular, 96, 6, 128},
 		{workload.NameStar, 48, 4, 64},
 	}
-	for i, c := range cases {
+	err := t.fillRows(len(cases), func(i int) ([]string, error) {
+		c := cases[i]
 		g0, err := buildInitial(c.wl, c.n, int64(100+i))
 		if err != nil {
 			return nil, err
@@ -96,9 +97,9 @@ func E1Degree() (*Table, error) {
 			}
 		}
 		bound := metrics.DegreeBoundRatio(c.kappa)
-		t.AddRow(c.wl, I(c.n), I(c.kappa), I(res.Steps), F(worst), F1(bound), B(worst <= bound))
-	}
-	return t, nil
+		return []string{c.wl, I(c.n), I(c.kappa), I(res.Steps), F(worst), F1(bound), B(worst <= bound)}, nil
+	})
+	return t, err
 }
 
 // E2Stretch measures pairwise stretch against G′ under stretch-hostile
@@ -122,7 +123,8 @@ func E2Stretch() (*Table, error) {
 		{workload.NameErdosRenyi, 64, "churn", 64},
 		{workload.NameCycle, 48, "sequential", 16},
 	}
-	for i, c := range cases {
+	err := t.fillRows(len(cases), func(i int) ([]string, error) {
+		c := cases[i]
 		g0, err := buildInitial(c.wl, c.n, int64(400+i))
 		if err != nil {
 			return nil, err
@@ -158,9 +160,9 @@ func E2Stretch() (*Table, error) {
 			}
 		}
 		envelope := metrics.StretchBound(res.Baseline.NumNodes(), 4)
-		t.AddRow(c.wl, I(c.n), c.attack, I(res.Steps), F(worst), F1(envelope), B(worst <= envelope))
-	}
-	return t, nil
+		return []string{c.wl, I(c.n), c.attack, I(res.Steps), F(worst), F1(envelope), B(worst <= envelope)}, nil
+	})
+	return t, err
 }
 
 // E3Expansion verifies Theorem 2.3 exactly on small graphs: after
@@ -184,7 +186,8 @@ func E3Expansion() (*Table, error) {
 		{workload.NameErdosRenyi, 14, 5},
 		{workload.NameHypercube, 16, 6},
 	}
-	for i, c := range cases {
+	err := t.fillRows(len(cases), func(i int) ([]string, error) {
+		c := cases[i]
 		g0, err := buildInitial(c.wl, c.n, int64(700+i))
 		if err != nil {
 			return nil, err
@@ -210,9 +213,9 @@ func E3Expansion() (*Table, error) {
 		final := res.Series[0].Final()
 		bound := math.Min(1, hGp)
 		ok := final.ExpansionExact >= bound-1e-9
-		t.AddRow(c.wl, I(c.n), I(res.Steps), F(hGp), F(final.ExpansionExact), F(bound), B(ok))
-	}
-	return t, nil
+		return []string{c.wl, I(c.n), I(res.Steps), F(hGp), F(final.ExpansionExact), F(bound), B(ok)}, nil
+	})
+	return t, err
 }
 
 // E4Spectral verifies Theorem 2.4's λ₂ floor after heavy deletions.
@@ -233,8 +236,9 @@ func E4Spectral() (*Table, error) {
 		{workload.NameRegular, 64, 6, 32},
 		{workload.NameHypercube, 64, 4, 24},
 	}
-	rng := rand.New(rand.NewSource(9))
-	for i, c := range cases {
+	err := t.fillRows(len(cases), func(i int) ([]string, error) {
+		c := cases[i]
+		rng := rand.New(rand.NewSource(int64(950 + i)))
 		g0, err := buildInitial(c.wl, c.n, int64(900+i))
 		if err != nil {
 			return nil, err
@@ -257,10 +261,10 @@ func E4Spectral() (*Table, error) {
 		final := res.Series[0].Final()
 		floor := metrics.SpectralFloor(lamGp, res.Baseline.MinDegree(), res.Baseline.MaxDegree(), c.kappa)
 		ok := final.Lambda2 >= floor && final.Connected
-		t.AddRow(c.wl, I(c.n), I(c.kappa), F(lamGp), I(res.Baseline.MinDegree()),
-			I(res.Baseline.MaxDegree()), F(floor), F(final.Lambda2), B(ok))
-	}
-	return t, nil
+		return []string{c.wl, I(c.n), I(c.kappa), F(lamGp), I(res.Baseline.MinDegree()),
+			I(res.Baseline.MaxDegree()), F(floor), F(final.Lambda2), B(ok)}, nil
+	})
+	return t, err
 }
 
 // E5ExpanderPreservation is Corollary 1: start from a bounded-degree
@@ -276,8 +280,10 @@ func E5ExpanderPreservation() (*Table, error) {
 			"lam2n = normalized algebraic connectivity; initial graph is a random 6-regular H-graph",
 		},
 	}
-	rng := rand.New(rand.NewSource(17))
-	for i, n := range []int{64, 128, 256} {
+	sizes := []int{64, 128, 256}
+	err := t.fillRows(len(sizes), func(i int) ([]string, error) {
+		n := sizes[i]
+		rng := rand.New(rand.NewSource(int64(1250 + i)))
 		g0, err := workload.RandomRegular(n, 3, rand.New(rand.NewSource(int64(1200+i))))
 		if err != nil {
 			return nil, err
@@ -308,10 +314,10 @@ func E5ExpanderPreservation() (*Table, error) {
 			ratio = xhFinal.Lambda2Norm / treeFinal.Lambda2Norm
 		}
 		ok := xhFinal.Lambda2Norm >= 0.05 && ratio > 1
-		t.AddRow(I(n), F(lam0), I(res.Steps), F(xhFinal.Lambda2Norm),
-			F(treeFinal.Lambda2Norm), F1(ratio), B(ok))
-	}
-	return t, nil
+		return []string{I(n), F(lam0), I(res.Steps), F(xhFinal.Lambda2Norm),
+			F(treeFinal.Lambda2Norm), F1(ratio), B(ok)}, nil
+	})
+	return t, err
 }
 
 // E6DistributedCost measures the distributed protocol's repair cost
@@ -329,7 +335,9 @@ func E6DistributedCost() (*Table, error) {
 		},
 	}
 	const kappa = 4
-	for i, n := range []int{32, 64, 128, 256} {
+	sizes := []int{32, 64, 128, 256}
+	err := t.fillRows(len(sizes), func(i int) ([]string, error) {
+		n := sizes[i]
 		g0, err := workload.RandomRegular(n, 3, rand.New(rand.NewSource(int64(1500+i))))
 		if err != nil {
 			return nil, err
@@ -338,17 +346,16 @@ func E6DistributedCost() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer e.Close()
 		rng := rand.New(rand.NewSource(int64(1700 + i)))
 		dels := n / 4
 		for d := 0; d < dels; d++ {
 			alive := e.State().AliveNodes()
 			if err := e.Delete(alive[rng.Intn(len(alive))]); err != nil {
-				e.Close()
 				return nil, err
 			}
 		}
 		if err := e.ValidateLocalViews(); err != nil {
-			e.Close()
 			return nil, err
 		}
 		costs := e.Costs()
@@ -364,11 +371,10 @@ func E6DistributedCost() (*Table, error) {
 		ap := e.AmortizedLowerBound()
 		envelope := float64(kappa) * math.Log2(float64(n)) * ap
 		ok := amort <= 4*envelope
-		t.AddRow(I(n), I(dels), F1(meanRounds), I(maxRounds), F1(math.Log2(float64(n))),
-			F1(amort), F1(ap), F1(envelope), B(ok))
-		e.Close()
-	}
-	return t, nil
+		return []string{I(n), I(dels), F1(meanRounds), I(maxRounds), F1(math.Log2(float64(n))),
+			F1(amort), F1(ap), F1(envelope), B(ok)}, nil
+	})
+	return t, err
 }
 
 // expansionExact wraps cuts for initial-graph measurements.

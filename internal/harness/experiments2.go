@@ -31,36 +31,42 @@ func E7HGraphExpansion() (*Table, error) {
 			"expander threshold: normalized lam2 >= 0.1; d=1 rows are the negative control (a bare cycle)",
 		},
 	}
-	rng := rand.New(rand.NewSource(23))
 	const samples = 20
+	type cell struct{ n, d int }
+	var cells []cell
 	for _, n := range []int{16, 64, 256} {
 		for _, d := range []int{1, 2, 3} {
-			mean, minLam := 0.0, math.Inf(1)
-			good := 0
-			for s := 0; s < samples; s++ {
-				g, err := workload.RandomRegular(n, d, rand.New(rand.NewSource(int64(n*1000+d*100+s))))
-				if err != nil {
-					return nil, err
-				}
-				lam := spectral.NormalizedAlgebraicConnectivity(g, rng)
-				mean += lam
-				if lam < minLam {
-					minLam = lam
-				}
-				if lam >= 0.1 {
-					good++
-				}
-			}
-			mean /= samples
-			frac := float64(good) / samples
-			ok := frac >= 0.9
-			if d == 1 {
-				ok = true // negative control: no expansion expected at large n
-			}
-			t.AddRow(I(n), I(d), F(mean), F(minLam), F(frac), B(ok))
+			cells = append(cells, cell{n, d})
 		}
 	}
-	return t, nil
+	err := t.fillRows(len(cells), func(i int) ([]string, error) {
+		n, d := cells[i].n, cells[i].d
+		rng := rand.New(rand.NewSource(int64(23000 + i)))
+		mean, minLam := 0.0, math.Inf(1)
+		good := 0
+		for s := 0; s < samples; s++ {
+			g, err := workload.RandomRegular(n, d, rand.New(rand.NewSource(int64(n*1000+d*100+s))))
+			if err != nil {
+				return nil, err
+			}
+			lam := spectral.NormalizedAlgebraicConnectivity(g, rng)
+			mean += lam
+			if lam < minLam {
+				minLam = lam
+			}
+			if lam >= 0.1 {
+				good++
+			}
+		}
+		mean /= samples
+		frac := float64(good) / samples
+		ok := frac >= 0.9
+		if d == 1 {
+			ok = true // negative control: no expansion expected at large n
+		}
+		return []string{I(n), I(d), F(mean), F(minLam), F(frac), B(ok)}, nil
+	})
+	return t, err
 }
 
 // E8HGraphStationarity tests Theorem 3: the H-graph distribution is
@@ -166,12 +172,14 @@ func E9StarAttack() (*Table, error) {
 			"paper: tree-like repairs pull expansion down to O(1/n); Xheal keeps >= min(alpha, h(G'))",
 		},
 	}
-	g0, err := workload.Star(leaves)
-	if err != nil {
-		return nil, err
-	}
-	rng := rand.New(rand.NewSource(33))
-	for _, name := range baseline.Names() {
+	names := baseline.Names()
+	err := t.fillRows(len(names), func(i int) ([]string, error) {
+		name := names[i]
+		rng := rand.New(rand.NewSource(int64(3300 + i)))
+		g0, err := workload.Star(leaves)
+		if err != nil {
+			return nil, err
+		}
 		h, err := baseline.New(name, g0, 4, 77)
 		if err != nil {
 			return nil, err
@@ -196,10 +204,10 @@ func E9StarAttack() (*Table, error) {
 		if !healed.IsConnected() {
 			connected = "no" // expected for the do-nothing baseline
 		}
-		t.AddRow(name, F(hExact), F(phiExact), F(lam), I(healed.MaxDegree()),
-			diam, connected)
-	}
-	return t, nil
+		return []string{name, F(hExact), F(phiExact), F(lam), I(healed.MaxDegree()),
+			diam, connected}, nil
+	})
+	return t, err
 }
 
 // E10LowerBound compares per-deletion message cost against Lemma 5's
@@ -225,7 +233,8 @@ func E10LowerBound() (*Table, error) {
 		{workload.NameRegular, 128},
 		{workload.NamePowerLaw, 96},
 	}
-	for i, c := range cases {
+	err := t.fillRows(len(cases), func(i int) ([]string, error) {
+		c := cases[i]
 		g0, err := buildInitial(c.wl, c.n, int64(1800+i))
 		if err != nil {
 			return nil, err
@@ -234,11 +243,11 @@ func E10LowerBound() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer e.Close()
 		rng := rand.New(rand.NewSource(int64(2000 + i)))
 		for d := 0; d < c.n/4; d++ {
 			alive := e.State().AliveNodes()
 			if err := e.Delete(alive[rng.Intn(len(alive))]); err != nil {
-				e.Close()
 				return nil, err
 			}
 		}
@@ -261,10 +270,9 @@ func E10LowerBound() (*Table, error) {
 		mean := sumR / float64(count)
 		factor := float64(kappa) * math.Log2(float64(c.n))
 		ok := minR >= 0.9 && mean <= 4*factor
-		t.AddRow(c.wl, I(c.n), I(count), F1(minR), F1(mean), F1(maxR), F1(factor), B(ok))
-		e.Close()
-	}
-	return t, nil
+		return []string{c.wl, I(c.n), I(count), F1(minR), F1(mean), F1(maxR), F1(factor), B(ok)}, nil
+	})
+	return t, err
 }
 
 // E11Invariants runs long adversarial mixes and checks, after every event,
@@ -288,7 +296,8 @@ func E11Invariants() (*Table, error) {
 		{workload.NameErdosRenyi, 32, 6, 200, 0.5},
 		{workload.NameComplete, 16, 2, 200, 0.6},
 	}
-	for i, c := range cases {
+	err := t.fillRows(len(cases), func(i int) ([]string, error) {
+		c := cases[i]
 		g0, err := buildInitial(c.wl, c.n, int64(2100+i))
 		if err != nil {
 			return nil, err
@@ -322,10 +331,10 @@ func E11Invariants() (*Table, error) {
 			}
 		}
 		ok := violations == 0 && disconnects == 0
-		t.AddRow(c.wl, I(c.n), I(c.kappa), I(steps), I(violations), I(disconnects),
-			I(st.Graph().NumNodes()), I(len(st.Clouds())), B(ok))
-	}
-	return t, nil
+		return []string{c.wl, I(c.n), I(c.kappa), I(steps), I(violations), I(disconnects),
+			I(st.Graph().NumNodes()), I(len(st.Clouds())), B(ok)}, nil
+	})
+	return t, err
 }
 
 // E12Ablations quantifies the design choices the paper argues for: the κ
@@ -352,8 +361,9 @@ func E12Ablations() (*Table, error) {
 		{"always-combine k=4", core.Config{Kappa: 4, Seed: 1, AlwaysCombine: true}},
 		{"no-sharing k=4", core.Config{Kappa: 4, Seed: 1, DisableSharing: true}},
 	}
-	rng := rand.New(rand.NewSource(55))
-	for _, v := range variants {
+	err := t.fillRows(len(variants), func(i int) ([]string, error) {
+		v := variants[i]
+		rng := rand.New(rand.NewSource(int64(5500 + i)))
 		g0, err := workload.Star(24)
 		if err != nil {
 			return nil, err
@@ -381,8 +391,8 @@ func E12Ablations() (*Table, error) {
 		stats := st.Stats()
 		lam := spectral.NormalizedAlgebraicConnectivity(st.Graph(), rng)
 		ratio := metrics.DegreeRatio(st.Graph(), st.Baseline())
-		t.AddRow(v.name, I(stats.Combines), I(stats.Shares), I(stats.SecondaryClouds),
-			I(stats.HealEdgesAdded), F(ratio), F(lam))
-	}
-	return t, nil
+		return []string{v.name, I(stats.Combines), I(stats.Shares), I(stats.SecondaryClouds),
+			I(stats.HealEdgesAdded), F(ratio), F(lam)}, nil
+	})
+	return t, err
 }

@@ -29,7 +29,6 @@ func E13Mixing() (*Table, error) {
 			"ok: xheal's healed network mixes within 4x its spectral prediction",
 		},
 	}
-	rng := rand.New(rand.NewSource(61))
 	cases := []struct {
 		wl   string
 		n    int
@@ -40,7 +39,9 @@ func E13Mixing() (*Table, error) {
 		{workload.NameStar, 32, 1},
 		{workload.NameStar, 64, 1},
 	}
-	for i, c := range cases {
+	err := t.fillRows(len(cases), func(i int) ([]string, error) {
+		c := cases[i]
+		rng := rand.New(rand.NewSource(int64(6100 + i)))
 		g0, err := buildInitial(c.wl, c.n, int64(2600+i))
 		if err != nil {
 			return nil, err
@@ -73,10 +74,10 @@ func E13Mixing() (*Table, error) {
 			ratio = float64(treeMix.Steps) / float64(xhMix.Steps)
 		}
 		ok := xhMix.Steps <= maxSteps && float64(xhMix.Steps) <= 4*xhPred
-		t.AddRow(c.wl, I(c.n), attackLabel(c.wl, c.dels), I(xhMix.Steps), F1(xhPred),
-			I(treeMix.Steps), F1(ratio), B(ok))
-	}
-	return t, nil
+		return []string{c.wl, I(c.n), attackLabel(c.wl, c.dels), I(xhMix.Steps), F1(xhPred),
+			I(treeMix.Steps), F1(ratio), B(ok)}, nil
+	})
+	return t, err
 }
 
 func attackLabel(wl string, dels int) string {

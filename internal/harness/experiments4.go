@@ -35,7 +35,8 @@ func E14Congestion() (*Table, error) {
 		{workload.NameStar, 64, 1, "hub delete"},
 		{workload.NameRegular, 64, 20, "cutvertex x20"},
 	}
-	for i, c := range cases {
+	err := t.fillRows(len(cases), func(i int) ([]string, error) {
+		c := cases[i]
 		g0, err := buildInitial(c.wl, c.n, int64(2800+i))
 		if err != nil {
 			return nil, err
@@ -76,8 +77,8 @@ func E14Congestion() (*Table, error) {
 		// Diameter inflates total load linearly; allow the O(log n) healed
 		// diameter on top of the 4x spread slack.
 		ok := g.IsConnected() && xhMax <= 4*ideal*math.Log2(nAlive)
-		t.AddRow(c.wl, I(c.n), c.label, F1(xhMax), F1(xhMean), F1(trMax), F1(trMean),
-			F1(ratio), B(ok))
-	}
-	return t, nil
+		return []string{c.wl, I(c.n), c.label, F1(xhMax), F1(xhMean), F1(trMax), F1(trMean),
+			F1(ratio), B(ok)}, nil
+	})
+	return t, err
 }

@@ -3,6 +3,7 @@ package harness
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -153,6 +154,84 @@ func TestExperimentsPass(t *testing.T) {
 				t.Fatalf("%s produced no rows", e.ID)
 			}
 		})
+	}
+}
+
+func TestForEachIndexOrderAndErrors(t *testing.T) {
+	// Results land by index regardless of scheduling.
+	out := make([]int, 50)
+	if err := ForEachIndex(50, func(i int) error {
+		out[i] = i * i
+		return nil
+	}); err != nil {
+		t.Fatalf("ForEachIndex: %v", err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+	// The lowest failing index wins, deterministically.
+	wantErr := errors.New("boom")
+	err := ForEachIndex(50, func(i int) error {
+		if i == 7 || i == 31 {
+			return fmt.Errorf("index %d: %w", i, wantErr)
+		}
+		return nil
+	})
+	if err == nil || !errors.Is(err, wantErr) || !strings.Contains(err.Error(), "index 7") {
+		t.Fatalf("error = %v, want the index-7 failure", err)
+	}
+	if err := ForEachIndex(0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatalf("empty ForEachIndex: %v", err)
+	}
+}
+
+func TestFillRowsDeterministicOrder(t *testing.T) {
+	tab := &Table{ID: "T1", Title: "order", Columns: []string{"i"}}
+	if err := tab.fillRows(20, func(i int) ([]string, error) {
+		return []string{I(i)}, nil
+	}); err != nil {
+		t.Fatalf("fillRows: %v", err)
+	}
+	if len(tab.Rows) != 20 {
+		t.Fatalf("rows = %d, want 20", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		if row[0] != I(i) {
+			t.Fatalf("row %d = %v, want %d", i, row, i)
+		}
+	}
+}
+
+// TestExperimentDeterminism re-runs a representative subset (including a
+// dist-engine experiment and a spectral one) and requires byte-identical
+// rendered tables: the parallel row pool must not leak scheduling into
+// results. The full-suite equivalent is TestRunSubset's double run in
+// cmd/xheal-bench.
+func TestExperimentDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs experiments twice")
+	}
+	for _, id := range []string{"E1", "E6", "E13"} {
+		var exp Experiment
+		for _, e := range All() {
+			if e.ID == id {
+				exp = e
+			}
+		}
+		render := func() string {
+			tab, err := exp.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			var buf bytes.Buffer
+			tab.Render(&buf)
+			return buf.String()
+		}
+		if a, b := render(), render(); a != b {
+			t.Fatalf("%s is not deterministic:\n--- first ---\n%s--- second ---\n%s", id, a, b)
+		}
 	}
 }
 

@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+)
+
+// tokens is the global worker budget shared by every ForEachIndex call, so
+// nested fan-outs (experiments × their rows) stay bounded by GOMAXPROCS
+// overall instead of multiplying per level.
+var tokens = make(chan struct{}, runtime.GOMAXPROCS(0))
+
+// ForEachIndex runs fn(0), …, fn(n-1) on a bounded worker pool and blocks
+// until all calls finish. It returns the error of the lowest failing index
+// (not the first to fail in wall-clock order), so error reporting is
+// deterministic under any scheduling.
+//
+// The bound is global: all ForEachIndex calls (including nested ones) share
+// one GOMAXPROCS-sized token budget. A call that finds the budget exhausted
+// runs the task inline on the calling goroutine — that keeps nested pools
+// deadlock-free (no one blocks waiting for a token while holding one) and
+// caps true parallelism instead of oversubscribing CPUs level × level.
+//
+// Every fn call must be self-contained — own rand sources, own graphs, no
+// shared mutable state — so results are independent of execution order.
+// Callers assemble outputs by index afterwards; that is what keeps the
+// rendered tables (and EXPERIMENTS.md) byte-identical no matter how many
+// workers run.
+func ForEachIndex(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		select {
+		case tokens <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-tokens }()
+				errs[i] = fn(i)
+			}(i)
+		default:
+			errs[i] = fn(i)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fillRows builds one table row per case on the worker pool and appends them
+// to t in case order. build(i) must be self-contained (see ForEachIndex);
+// the deterministic append order is what keeps parallel experiments
+// byte-reproducible.
+func (t *Table) fillRows(cases int, build func(i int) ([]string, error)) error {
+	rows := make([][]string, cases)
+	if err := ForEachIndex(cases, func(i int) error {
+		row, err := build(i)
+		rows[i] = row
+		return err
+	}); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
+	}
+	return nil
+}

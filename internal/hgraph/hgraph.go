@@ -14,7 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"github.com/xheal/xheal/internal/graph"
 )
@@ -102,7 +102,7 @@ func (h *H) Contains(v graph.NodeID) bool {
 func (h *H) Members() []graph.NodeID {
 	out := make([]graph.NodeID, len(h.order))
 	copy(out, h.order)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -169,7 +169,7 @@ func (h *H) Neighbors(v graph.NodeID) []graph.NodeID {
 	for w := range set {
 		out = append(out, w)
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	slices.Sort(out)
 	return out
 }
 
@@ -186,12 +186,7 @@ func (h *H) Edges() []graph.Edge {
 	for e := range set {
 		out = append(out, e)
 	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].U != out[b].U {
-			return out[a].U < out[b].U
-		}
-		return out[a].V < out[b].V
-	})
+	slices.SortFunc(out, graph.CompareEdges)
 	return out
 }
 

@@ -25,6 +25,11 @@ type Config struct {
 	StretchSources int
 	// SkipSpectral disables λ₂ and sweep-cut computation.
 	SkipSpectral bool
+	// SweepCuts additionally computes Fiedler sweep-cut witnesses
+	// (SweepExpansion / SweepConductance). Off by default: the sweep needs
+	// the full eigenvector — by far the most expensive spectral quantity —
+	// and most consumers only read λ₂.
+	SweepCuts bool
 	// Rng seeds the spectral estimators; nil uses a fixed seed.
 	Rng *rand.Rand
 }
@@ -48,7 +53,8 @@ type Snapshot struct {
 	ExpansionExact float64
 	// ConductanceExact is φ(G) when exactly computable, else Unavailable.
 	ConductanceExact float64
-	// SweepExpansion / SweepConductance are witness-cut upper bounds.
+	// SweepExpansion / SweepConductance are witness-cut upper bounds,
+	// populated only when Config.SweepCuts is set (Unavailable otherwise).
 	SweepExpansion   float64
 	SweepConductance float64
 	// Lambda2 is λ₂ of the combinatorial Laplacian of G.
@@ -87,7 +93,7 @@ func Measure(g, gp *graph.Graph, cfg Config) Snapshot {
 	if !cfg.SkipSpectral && g.NumNodes() >= 2 {
 		snap.Lambda2 = spectral.AlgebraicConnectivity(g, rng)
 		snap.Lambda2Norm = spectral.NormalizedAlgebraicConnectivity(g, rng)
-		if snap.Connected {
+		if cfg.SweepCuts && snap.Connected {
 			phi, h := cuts.SweepCut(g, rng)
 			snap.SweepConductance = phi
 			snap.SweepExpansion = h
@@ -100,7 +106,7 @@ func Measure(g, gp *graph.Graph, cfg Config) Snapshot {
 // deg_g(x) / max(1, deg_gp(x)).
 func DegreeRatio(g, gp *graph.Graph) float64 {
 	worst := 0.0
-	for _, n := range g.Nodes() {
+	g.ForEachNode(func(n graph.NodeID) {
 		base := gp.Degree(n)
 		if base < 1 {
 			base = 1
@@ -108,7 +114,7 @@ func DegreeRatio(g, gp *graph.Graph) float64 {
 		if r := float64(g.Degree(n)) / float64(base); r > worst {
 			worst = r
 		}
-	}
+	})
 	return worst
 }
 

@@ -108,15 +108,26 @@ func TestMeasureSmallGraphExactPath(t *testing.T) {
 
 func TestMeasureLargeGraphSkipsExact(t *testing.T) {
 	g := mustGraph(workload.Cycle(40))
-	snap := Measure(g, g, Config{StretchSources: 4})
+	snap := Measure(g, g, Config{StretchSources: 4, SweepCuts: true})
 	if snap.ExpansionExact != Unavailable {
 		t.Fatal("exact expansion should be unavailable for n=40")
 	}
 	if snap.SweepConductance == Unavailable {
-		t.Fatal("sweep cut should be available")
+		t.Fatal("sweep cut should be available when requested")
 	}
 	if snap.Lambda2 <= 0 {
 		t.Fatalf("λ₂ = %v, want > 0", snap.Lambda2)
+	}
+}
+
+func TestMeasureSweepCutsOptIn(t *testing.T) {
+	g := mustGraph(workload.Cycle(40))
+	snap := Measure(g, g, Config{StretchSources: 4})
+	if snap.SweepConductance != Unavailable || snap.SweepExpansion != Unavailable {
+		t.Fatalf("sweep cuts should be off by default: %+v", snap)
+	}
+	if snap.Lambda2 <= 0 {
+		t.Fatalf("λ₂ should still be measured, got %v", snap.Lambda2)
 	}
 }
 

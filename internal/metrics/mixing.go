@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/spectral"
 )
 
 // The paper (§1.1) motivates the spectral quantities it preserves by what
@@ -35,16 +36,15 @@ func MixingTime(g *graph.Graph, threshold float64, maxSteps, starts int, rng *ra
 	if n < 2 || !g.IsConnected() || g.NumEdges() == 0 {
 		return MixingResult{Steps: maxSteps + 1, FinalTV: 1}
 	}
-	nodes := g.Nodes()
-	idx := make(map[graph.NodeID]int, n)
-	for i, node := range nodes {
-		idx[node] = i
-	}
+	// Snapshot the adjacency once in compressed-sparse-row form (shared with
+	// the spectral package): the walk evolution then runs on flat arrays
+	// instead of per-step map iteration.
+	csr := spectral.NewCSR(g)
 	// Stationary distribution of the walk: π(v) = deg(v)/2m.
 	pi := make([]float64, n)
 	twoM := float64(2 * g.NumEdges())
-	for i, node := range nodes {
-		pi[i] = float64(g.Degree(node)) / twoM
+	for i := range pi {
+		pi[i] = csr.Deg[i] / twoM
 	}
 
 	if starts < 1 {
@@ -53,7 +53,7 @@ func MixingTime(g *graph.Graph, threshold float64, maxSteps, starts int, rng *ra
 	worst := MixingResult{}
 	for s := 0; s < starts; s++ {
 		start := rng.Intn(n)
-		res := mixFrom(g, nodes, idx, pi, start, threshold, maxSteps)
+		res := mixFrom(csr, pi, start, threshold, maxSteps)
 		if res.Steps > worst.Steps {
 			worst = res
 		}
@@ -61,10 +61,8 @@ func MixingTime(g *graph.Graph, threshold float64, maxSteps, starts int, rng *ra
 	return worst
 }
 
-func mixFrom(g *graph.Graph, nodes []graph.NodeID, idx map[graph.NodeID]int,
-	pi []float64, start int, threshold float64, maxSteps int) MixingResult {
-
-	n := len(nodes)
+func mixFrom(csr *spectral.CSR, pi []float64, start int, threshold float64, maxSteps int) MixingResult {
+	n := len(pi)
 	p := make([]float64, n)
 	next := make([]float64, n)
 	p[start] = 1
@@ -73,17 +71,17 @@ func mixFrom(g *graph.Graph, nodes []graph.NodeID, idx map[graph.NodeID]int,
 		for i := range next {
 			next[i] = 0
 		}
-		for i, node := range nodes {
-			if p[i] == 0 {
+		for i, pv := range p {
+			if pv == 0 {
 				continue
 			}
 			// Lazy step: half stays, half spreads over neighbors.
-			next[i] += p[i] / 2
-			deg := float64(g.Degree(node))
-			share := p[i] / 2 / deg
-			g.ForEachNeighbor(node, func(w graph.NodeID) {
-				next[idx[w]] += share
-			})
+			next[i] += pv / 2
+			row := csr.Row(i)
+			share := pv / 2 / float64(len(row))
+			for _, j := range row {
+				next[j] += share
+			}
 		}
 		p, next = next, p
 		tv = tvDistance(p, pi)

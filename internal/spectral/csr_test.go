@@ -1,0 +1,98 @@
+package spectral
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/xheal/xheal/internal/graph"
+)
+
+func randomTestGraph(n int, p float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.EnsureNode(graph.NodeID(i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.EnsureEdge(graph.NodeID(i), graph.NodeID(j))
+			}
+		}
+	}
+	return g
+}
+
+// The matrix-free CSR operators must agree with the dense matrices they
+// replace: same operator, different storage.
+func TestCSRMatchesDenseLaplacian(t *testing.T) {
+	g := randomTestGraph(40, 0.15, 7)
+	rng := rand.New(rand.NewSource(8))
+	n := g.NumNodes()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+
+	dense, _ := Laplacian(g)
+	want := make([]float64, n)
+	if err := dense.MulVec(want, x); err != nil {
+		t.Fatalf("dense MulVec: %v", err)
+	}
+	op := NewCSR(g)
+	got := make([]float64, n)
+	op.MulLaplacian(got, x)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("Laplacian matvec row %d: csr=%g dense=%g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCSRMatchesDenseNormalizedLaplacian(t *testing.T) {
+	g := randomTestGraph(40, 0.15, 9)
+	g.EnsureNode(1000) // isolated node: zero row in both representations
+	rng := rand.New(rand.NewSource(10))
+	n := g.NumNodes()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+
+	dense, _ := NormalizedLaplacian(g)
+	want := make([]float64, n)
+	if err := dense.MulVec(want, x); err != nil {
+		t.Fatalf("dense MulVec: %v", err)
+	}
+	op := newNormCSR(g)
+	got := make([]float64, n)
+	op.MulNormalized(got, x)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("normalized matvec row %d: csr=%g dense=%g", i, got[i], want[i])
+		}
+	}
+}
+
+// The large-graph (Lanczos / power-iteration) paths must keep returning the
+// same spectral quantities they did with the dense backend. A circulant
+// graph over the cutoff has a closed-form λ₂ to compare against.
+func TestMatrixFreeLambda2OnCirculant(t *testing.T) {
+	n := jacobiCutoff + 30
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.EnsureNode(graph.NodeID(i))
+	}
+	for i := 0; i < n; i++ {
+		g.EnsureEdge(graph.NodeID(i), graph.NodeID((i+1)%n))
+		g.EnsureEdge(graph.NodeID(i), graph.NodeID((i+2)%n))
+	}
+	// Circulant C_n(1,2): λ₂ = (2−2cos θ) + (2−2cos 2θ), θ = 2π/n.
+	theta := 2 * math.Pi / float64(n)
+	want := (2 - 2*math.Cos(theta)) + (2 - 2*math.Cos(2*theta))
+	got := AlgebraicConnectivity(g, rand.New(rand.NewSource(11)))
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("lambda2 = %g, want %g", got, want)
+	}
+}

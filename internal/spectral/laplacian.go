@@ -77,16 +77,17 @@ func AlgebraicConnectivity(g *graph.Graph, rng *rand.Rand) float64 {
 	if !g.IsConnected() {
 		return 0
 	}
-	l, _ := Laplacian(g)
 	if n <= jacobiCutoff {
+		l, _ := Laplacian(g)
 		eig := JacobiEigenvalues(l, 0)
 		return clampTiny(eig[1])
 	}
+	// Matrix-free Lanczos: the Laplacian is applied straight from the
+	// adjacency snapshot, O(n+m) memory instead of the dense O(n²) build.
 	// Deflate the kernel: the all-ones vector.
+	op := NewCSR(g)
 	ones := constUnit(n)
-	ritz, err := Lanczos(n, lanczosSteps, func(dst, x []float64) {
-		_ = l.MulVec(dst, x) // dimensions are correct by construction
-	}, [][]float64{ones}, rng)
+	ritz, err := Lanczos(n, lanczosSteps, op.MulLaplacian, [][]float64{ones}, rng)
 	if err != nil || len(ritz) == 0 {
 		return 0
 	}
@@ -104,20 +105,19 @@ func NormalizedAlgebraicConnectivity(g *graph.Graph, rng *rand.Rand) float64 {
 	if !g.IsConnected() {
 		return 0
 	}
-	l, nodes := NormalizedLaplacian(g)
 	if n <= jacobiCutoff {
+		l, _ := NormalizedLaplacian(g)
 		eig := JacobiEigenvalues(l, 0)
 		return clampTiny(eig[1])
 	}
-	// Kernel of the normalized Laplacian is D^{1/2}·1.
+	// Matrix-free Lanczos; kernel of the normalized Laplacian is D^{1/2}·1.
+	op := newNormCSR(g)
 	kern := make([]float64, n)
-	for i, node := range nodes {
-		kern[i] = math.Sqrt(float64(g.Degree(node)))
+	for i, d := range op.Deg {
+		kern[i] = math.Sqrt(d)
 	}
 	Normalize(kern)
-	ritz, err := Lanczos(n, lanczosSteps, func(dst, x []float64) {
-		_ = l.MulVec(dst, x)
-	}, [][]float64{kern}, rng)
+	ritz, err := Lanczos(n, lanczosSteps, op.MulNormalized, [][]float64{kern}, rng)
 	if err != nil || len(ritz) == 0 {
 		return 0
 	}
@@ -133,13 +133,16 @@ func FiedlerVector(g *graph.Graph, rng *rand.Rand) ([]float64, []graph.NodeID) {
 	if n < 2 {
 		return nil, nil
 	}
-	l, nodes := Laplacian(g)
 	if n <= jacobiCutoff {
+		l, nodes := Laplacian(g)
 		_, vecs := JacobiEigen(l, 0)
 		return vecs[1], nodes
 	}
 	// Power iteration on B = cI − L within span{1}^⊥: the dominant
-	// eigenvector of B there corresponds to λ₂(L).
+	// eigenvector of B there corresponds to λ₂(L). The Laplacian is applied
+	// matrix-free from the adjacency snapshot.
+	op := NewCSR(g)
+	nodes := op.Nodes
 	c := 2*float64(g.MaxDegree()) + 1
 	ones := constUnit(n)
 	v := randUnit(n, rng, [][]float64{ones})
@@ -148,7 +151,7 @@ func FiedlerVector(g *graph.Graph, rng *rand.Rand) ([]float64, []graph.NodeID) {
 	}
 	w := make([]float64, n)
 	for iter := 0; iter < 600; iter++ {
-		_ = l.MulVec(w, v)
+		op.MulLaplacian(w, v)
 		for i := range w {
 			w[i] = c*v[i] - w[i]
 		}

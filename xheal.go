@@ -93,10 +93,11 @@ func (n *Network) CheckInvariants() error { return n.state.CheckInvariants() }
 
 // Measure computes the paper's metrics for the current healed graph against
 // G′: degree ratio, stretch, expansion/conductance (exact on small graphs),
-// and spectral gaps.
+// spectral gaps, and sweep-cut witness bounds.
 func (n *Network) Measure() Snapshot {
 	return metrics.Measure(n.state.Graph(), n.state.Baseline(), metrics.Config{
-		Rng: rand.New(rand.NewSource(1)),
+		SweepCuts: true,
+		Rng:       rand.New(rand.NewSource(1)),
 	})
 }
 
@@ -154,7 +155,8 @@ func Compare(g0 *Graph, delete NodeID, names []string, opts ...Option) (map[stri
 			return nil, err
 		}
 		out[name] = metrics.Measure(h.Graph(), g0, metrics.Config{
-			Rng: rand.New(rand.NewSource(1)),
+			SweepCuts: true,
+			Rng:       rand.New(rand.NewSource(1)),
 		})
 	}
 	return out, nil
