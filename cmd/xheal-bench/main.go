@@ -10,6 +10,7 @@
 //	xheal-bench -run E3,E9            # run a subset
 //	xheal-bench -all -benchjson out.json   # also record wall times + micro benches
 //	xheal-bench -all -cpuprofile cpu.prof  # hot-path investigation
+//	xheal-bench -conformance               # lockstep centralized-vs-distributed soak
 //
 // Experiments run concurrently on a bounded worker pool; tables are
 // rendered to stdout in experiment order regardless of completion order, so
@@ -46,9 +47,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		micro      = fs.Bool("micro", true, "include the core micro-benchmarks in the -benchjson output")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file (taken at exit)")
+
+		conf       = fs.Bool("conformance", false, "run the lockstep centralized-vs-distributed conformance matrix instead of experiments")
+		confN      = fs.Int("conf-n", 64, "conformance: initial topology size per cell")
+		confSteps  = fs.Int("conf-steps", 34, "conformance: adversarial events per cell")
+		confSeed   = fs.Int64("conf-seed", 1000, "conformance: base seed (each cell derives its own; with -conf-replay, the exact run seed)")
+		confKappa  = fs.Int("conf-kappa", 4, "conformance: expander degree parameter κ")
+		confReplay = fs.String("conf-replay", "", "conformance: replay a trace artifact through the lockstep checker instead of the matrix")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *confReplay != "" {
+		return replayConformance(stdout, stderr, *confReplay, *confSeed, *confKappa)
+	}
+	if *conf {
+		return runConformance(stdout, stderr, *confN, *confSteps, *confSeed, *confKappa)
 	}
 
 	experiments := harness.All()

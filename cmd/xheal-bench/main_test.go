@@ -3,10 +3,14 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/xheal/xheal/internal/adversary"
+	"github.com/xheal/xheal/internal/workload"
 )
 
 func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
@@ -41,6 +45,56 @@ func TestRunSubset(t *testing.T) {
 	}
 	if strings.Contains(out, "FAIL") {
 		t.Fatalf("experiment reported FAIL:\n%s", out)
+	}
+}
+
+// TestConformanceMode smoke-runs the soak matrix at a small size: every
+// cell must pass and the summary must account for the full cross-product.
+func TestConformanceMode(t *testing.T) {
+	code, out, errOut := runCLI(t, "-conformance", "-conf-n", "16", "-conf-steps", "6")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Fatalf("conformance cell failed:\n%s\n%s", out, errOut)
+	}
+	want := len(workload.Names()) * len(adversary.Names())
+	if !strings.Contains(out, fmt.Sprintf("conformance: %d/%d cells ok", want, want)) {
+		t.Fatalf("missing full-matrix summary:\n%s", out)
+	}
+}
+
+// TestConformanceReplay: the repro path — a saved artifact replays through
+// the lockstep checker, and a clean fixture reports ok.
+func TestConformanceReplay(t *testing.T) {
+	code, out, errOut := runCLI(t,
+		"-conf-replay", filepath.Join("..", "..", "internal", "conformance", "testdata", "shrunk-er-n32-s7-churn-delete.json"),
+		"-conf-seed", "7", "-conf-kappa", "4")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "conformance: ok") {
+		t.Fatalf("missing ok verdict:\n%s", out)
+	}
+	if code, _, _ := runCLI(t, "-conf-replay", "/does/not/exist.json"); code == 0 {
+		t.Fatal("missing artifact should fail")
+	}
+}
+
+// TestConformanceModeDeterministicStdout: the soak output is rendered in
+// cell order off the worker pool, so equal seeds give identical bytes.
+func TestConformanceModeDeterministicStdout(t *testing.T) {
+	args := []string{"-conformance", "-conf-n", "12", "-conf-steps", "4", "-conf-seed", "9"}
+	code, first, errOut := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	code, second, errOut := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("rerun exit %d, stderr: %s", code, errOut)
+	}
+	if first != second {
+		t.Fatalf("stdout not deterministic:\n--- first\n%s\n--- second\n%s", first, second)
 	}
 }
 

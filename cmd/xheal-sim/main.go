@@ -39,7 +39,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		wl          = fs.String("workload", "star", "initial topology: "+fmt.Sprint(workload.Names()))
 		n           = fs.Int("n", 24, "initial node count")
 		healer      = fs.String("healer", baseline.NameXheal, "healer: "+fmt.Sprint(baseline.Names()))
-		advName     = fs.String("adversary", "churn", "adversary: churn|maxdeg|sequential|dismantle|cutvertex|growth")
+		advName     = fs.String("adversary", "churn", "adversary: "+fmt.Sprint(adversary.Names()))
 		steps       = fs.Int("steps", 40, "adversarial events")
 		kappa       = fs.Int("kappa", 4, "expander degree parameter (even)")
 		seed        = fs.Int64("seed", 1, "randomness seed")
@@ -70,7 +70,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
-		adv, err = makeAdversary(*advName, *steps, *seed)
+		adv, err = adversary.ByName(*advName, *steps, *seed)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
@@ -128,24 +128,6 @@ func saveTrace(path string, tr *trace.Trace) error {
 		return err
 	}
 	return f.Close()
-}
-
-func makeAdversary(name string, steps int, seed int64) (adversary.Adversary, error) {
-	switch name {
-	case "churn":
-		return adversary.NewRandomChurn(steps, 0.55, 3, seed), nil
-	case "maxdeg":
-		return adversary.NewMaxDegree(steps), nil
-	case "sequential":
-		return adversary.NewSequential(steps), nil
-	case "dismantle":
-		return adversary.NewPathDismantler(steps), nil
-	case "cutvertex":
-		return adversary.NewCutVertex(steps), nil
-	case "growth":
-		return adversary.NewInsertBurst(steps, 2, seed), nil
-	}
-	return nil, fmt.Errorf("unknown adversary %q", name)
 }
 
 func runSequential(stdout, stderr io.Writer, g0 *graph.Graph, adv adversary.Adversary, healer string, kappa int, seed int64, verbose bool, dotOut string) int {

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/xheal/xheal/internal/adversary"
 )
 
 func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
@@ -77,10 +79,61 @@ func TestRecordReplayAndDot(t *testing.T) {
 	}
 }
 
-func TestBadFlags(t *testing.T) {
-	if code, _, _ := runCLI(t, "-adversary", "nuke"); code == 0 {
-		t.Fatal("unknown adversary should fail")
+// TestDeterministicStdout pins the CLI's reproducibility contract: equal
+// flags and seed produce byte-identical stdout, in both the sequential and
+// the distributed mode (trace repros and the conformance corpus depend on
+// it).
+func TestDeterministicStdout(t *testing.T) {
+	for _, mode := range [][]string{
+		{"-workload", "er", "-n", "32", "-adversary", "churn", "-steps", "15", "-seed", "7", "-v"},
+		{"-workload", "regular", "-n", "24", "-adversary", "churn", "-steps", "10", "-seed", "7", "-distributed", "-v"},
+	} {
+		code, first, errOut := runCLI(t, mode...)
+		if code != 0 {
+			t.Fatalf("%v: exit %d, stderr: %s", mode, code, errOut)
+		}
+		code, second, errOut := runCLI(t, mode...)
+		if code != 0 {
+			t.Fatalf("%v: rerun exit %d, stderr: %s", mode, code, errOut)
+		}
+		if first != second {
+			t.Fatalf("%v: stdout not deterministic:\n--- first\n%s\n--- second\n%s", mode, first, second)
+		}
 	}
+}
+
+// TestAllAdversaryNamesRun: the -adversary flag accepts every registry name
+// (the CLI and the conformance matrix share adversary.ByName, so a name that
+// works here works there).
+func TestAllAdversaryNamesRun(t *testing.T) {
+	for _, name := range adversary.Names() {
+		code, out, errOut := runCLI(t, "-workload", "cycle", "-n", "12",
+			"-adversary", name, "-steps", "3", "-seed", "2")
+		if code != 0 {
+			t.Fatalf("adversary %q: exit %d, stderr: %s", name, code, errOut)
+		}
+		if !strings.Contains(out, "after ") {
+			t.Fatalf("adversary %q: missing summary:\n%s", name, out)
+		}
+	}
+}
+
+// TestUnknownAdversaryErrorNamesValidSet: the error is the discoverability
+// path, so it must list what would have worked.
+func TestUnknownAdversaryErrorNamesValidSet(t *testing.T) {
+	code, _, errOut := runCLI(t, "-adversary", "nuke")
+	if code == 0 {
+		t.Fatal("unknown adversary accepted")
+	}
+	for _, name := range adversary.Names() {
+		if !strings.Contains(errOut, name) {
+			t.Fatalf("stderr %q does not mention valid adversary %q", errOut, name)
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	// (unknown -adversary is covered by TestUnknownAdversaryErrorNamesValidSet)
 	if code, _, _ := runCLI(t, "-workload", "nope"); code == 0 {
 		t.Fatal("unknown workload should fail")
 	}

@@ -1,0 +1,163 @@
+package adversary
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/xheal/xheal/internal/graph"
+)
+
+// ErrBadScript wraps all script-parsing failures.
+var ErrBadScript = errors.New("adversary: malformed script")
+
+// NewScripted returns an adversary replaying exactly the given events, in
+// order. The events are copied, so the caller may keep mutating its slice —
+// the conformance shrinker relies on this while minimizing schedules.
+func NewScripted(events ...Event) *Scripted {
+	copied := make([]Event, len(events))
+	for i, ev := range events {
+		copied[i] = ev
+		copied[i].Neighbors = append([]graph.NodeID(nil), ev.Neighbors...)
+	}
+	return &Scripted{Events: copied}
+}
+
+// Script renders the remaining-plus-consumed event list in the line-based
+// text form accepted by ParseScript. It is the Scripted adversary's
+// round-trip encoding: ParseScript(s.Script()) reproduces s.Events.
+func (a *Scripted) Script() string { return EncodeScript(a.Events) }
+
+// EncodeScript renders events one per line:
+//
+//	insert <node> <nbr>,<nbr>,...
+//	delete <node>
+//
+// The encoding is the shrinker's and fuzzer's schedule representation: it is
+// trivially splittable by line, diffable, and survives a round trip through
+// ParseScript unchanged.
+func EncodeScript(events []Event) string {
+	var b strings.Builder
+	for _, ev := range events {
+		switch ev.Kind {
+		case Insert:
+			b.WriteString("insert ")
+			b.WriteString(strconv.FormatInt(int64(ev.Node), 10))
+			for i, w := range ev.Neighbors {
+				if i == 0 {
+					b.WriteByte(' ')
+				} else {
+					b.WriteByte(',')
+				}
+				b.WriteString(strconv.FormatInt(int64(w), 10))
+			}
+		case Delete:
+			b.WriteString("delete ")
+			b.WriteString(strconv.FormatInt(int64(ev.Node), 10))
+		default:
+			b.WriteString("unknown ")
+			b.WriteString(strconv.FormatInt(int64(ev.Node), 10))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ParseScript parses the EncodeScript text form. Blank lines and lines
+// starting with '#' are skipped, so scripts can carry comments.
+func ParseScript(s string) ([]Event, error) {
+	var events []Event
+	for lineNo, line := range strings.Split(s, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		ev, err := parseScriptLine(fields)
+		if err != nil {
+			return nil, fmt.Errorf("line %d %q: %w", lineNo+1, line, err)
+		}
+		events = append(events, ev)
+	}
+	return events, nil
+}
+
+func parseScriptLine(fields []string) (Event, error) {
+	if len(fields) < 2 {
+		return Event{}, fmt.Errorf("want `<kind> <node> [nbrs]`: %w", ErrBadScript)
+	}
+	node, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Event{}, fmt.Errorf("node %q: %w", fields[1], ErrBadScript)
+	}
+	switch fields[0] {
+	case "delete":
+		if len(fields) != 2 {
+			return Event{}, fmt.Errorf("delete takes no neighbors: %w", ErrBadScript)
+		}
+		return Event{Kind: Delete, Node: graph.NodeID(node)}, nil
+	case "insert":
+		if len(fields) > 3 {
+			return Event{}, fmt.Errorf("insert neighbors must be one comma-separated field: %w", ErrBadScript)
+		}
+		ev := Event{Kind: Insert, Node: graph.NodeID(node)}
+		if len(fields) == 3 {
+			for _, part := range strings.Split(fields[2], ",") {
+				if part == "" {
+					continue
+				}
+				w, err := strconv.ParseInt(part, 10, 64)
+				if err != nil {
+					return Event{}, fmt.Errorf("neighbor %q: %w", part, ErrBadScript)
+				}
+				ev.Neighbors = append(ev.Neighbors, graph.NodeID(w))
+			}
+		}
+		return ev, nil
+	}
+	return Event{}, fmt.Errorf("kind %q: %w", fields[0], ErrBadScript)
+}
+
+// Adversary names accepted by ByName, for CLIs and the conformance matrix.
+const (
+	NameChurn       = "churn"
+	NameMaxDegree   = "maxdeg"
+	NameSequential  = "sequential"
+	NameDismantle   = "dismantle"
+	NameCutVertex   = "cutvertex"
+	NameInsertBurst = "growth"
+)
+
+// Names returns the adversary names supported by ByName, sorted.
+func Names() []string {
+	names := []string{
+		NameChurn, NameMaxDegree, NameSequential,
+		NameDismantle, NameCutVertex, NameInsertBurst,
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName constructs the named adversary with the default shape parameters
+// the CLIs use (churn: 55% deletions, up to 3 attachments; growth: 2
+// attachments). Randomized adversaries consume seed; deterministic ones
+// ignore it.
+func ByName(name string, steps int, seed int64) (Adversary, error) {
+	switch name {
+	case NameChurn:
+		return NewRandomChurn(steps, 0.55, 3, seed), nil
+	case NameMaxDegree:
+		return NewMaxDegree(steps), nil
+	case NameSequential:
+		return NewSequential(steps), nil
+	case NameDismantle:
+		return NewPathDismantler(steps), nil
+	case NameCutVertex:
+		return NewCutVertex(steps), nil
+	case NameInsertBurst:
+		return NewInsertBurst(steps, 2, seed), nil
+	}
+	return nil, fmt.Errorf("unknown adversary %q (valid: %s)", name, strings.Join(Names(), " "))
+}

@@ -1,0 +1,121 @@
+package adversary
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/xheal/xheal/internal/graph"
+)
+
+func TestNewScriptedReplaysInOrder(t *testing.T) {
+	events := []Event{
+		{Kind: Insert, Node: 10, Neighbors: []graph.NodeID{0, 1}},
+		{Kind: Delete, Node: 0},
+		{Kind: Delete, Node: 10},
+	}
+	adv := NewScripted(events...)
+	g := graph.New()
+	for i, want := range events {
+		got, ok := adv.Next(g)
+		if !ok {
+			t.Fatalf("event %d: exhausted early", i)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("event %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, ok := adv.Next(g); ok {
+		t.Fatal("scripted adversary did not stop after its events")
+	}
+}
+
+func TestNewScriptedCopiesEvents(t *testing.T) {
+	nbrs := []graph.NodeID{0, 1}
+	events := []Event{{Kind: Insert, Node: 9, Neighbors: nbrs}}
+	adv := NewScripted(events...)
+	nbrs[0] = 99
+	events[0].Node = 77
+	ev, ok := adv.Next(graph.New())
+	if !ok || ev.Node != 9 || ev.Neighbors[0] != 0 {
+		t.Fatalf("scripted adversary aliased the caller's slices: %+v", ev)
+	}
+}
+
+func TestScriptRoundTrip(t *testing.T) {
+	events := []Event{
+		{Kind: Insert, Node: 1048576, Neighbors: []graph.NodeID{3, 7, 12}},
+		{Kind: Delete, Node: 3},
+		{Kind: Insert, Node: 1048577, Neighbors: []graph.NodeID{1048576}},
+		{Kind: Delete, Node: 1048577},
+	}
+	text := EncodeScript(events)
+	parsed, err := ParseScript(text)
+	if err != nil {
+		t.Fatalf("ParseScript: %v", err)
+	}
+	if !reflect.DeepEqual(parsed, events) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", parsed, events)
+	}
+	// And the adversary-level round trip.
+	again, err := ParseScript(NewScripted(events...).Script())
+	if err != nil {
+		t.Fatalf("ParseScript(Script()): %v", err)
+	}
+	if !reflect.DeepEqual(again, events) {
+		t.Fatalf("Script round trip:\n got %+v\nwant %+v", again, events)
+	}
+}
+
+func TestParseScriptSkipsCommentsAndBlanks(t *testing.T) {
+	events, err := ParseScript("# a comment\n\n  delete 4  \n# another\ninsert 5 1,2\n")
+	if err != nil {
+		t.Fatalf("ParseScript: %v", err)
+	}
+	want := []Event{
+		{Kind: Delete, Node: 4},
+		{Kind: Insert, Node: 5, Neighbors: []graph.NodeID{1, 2}},
+	}
+	if !reflect.DeepEqual(events, want) {
+		t.Fatalf("parsed %+v, want %+v", events, want)
+	}
+}
+
+func TestParseScriptRejectsMalformedLines(t *testing.T) {
+	for _, bad := range []string{
+		"explode 4",
+		"delete",
+		"delete 1 2",
+		"delete x",
+		"insert 5 1,y",
+		"insert 5 1 2",
+	} {
+		if _, err := ParseScript(bad); err == nil {
+			t.Errorf("ParseScript(%q) accepted a malformed line", bad)
+		}
+	}
+}
+
+func TestByNameCoversAllNames(t *testing.T) {
+	for _, name := range Names() {
+		adv, err := ByName(name, 5, 1)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if adv == nil {
+			t.Fatalf("ByName(%q) returned nil adversary", name)
+		}
+	}
+}
+
+func TestByNameUnknownMentionsValidSet(t *testing.T) {
+	_, err := ByName("nuke", 5, 1)
+	if err == nil {
+		t.Fatal("unknown adversary accepted")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not mention valid name %q", err, name)
+		}
+	}
+}

@@ -1,0 +1,316 @@
+package conformance
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/xheal/xheal/internal/adversary"
+	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/trace"
+	"github.com/xheal/xheal/internal/workload"
+)
+
+// shortWorkloads is the -short sample: one adversarially easy, one random,
+// and one power-law substrate; the full run covers every workload.Names()
+// entry. Every adversary runs in both modes.
+var shortWorkloads = map[string]bool{
+	workload.NameStar:     true,
+	workload.NameRegular:  true,
+	workload.NamePowerLaw: true,
+}
+
+// TestConformanceMatrix is the backbone: the full adversary × workload
+// cross-product, run in lockstep with every per-event check enabled. In
+// short mode it samples three workloads at n=24; the full run is exhaustive
+// at n=64 with 34 events per cell (the acceptance scale). A failing cell is
+// shrunk to a minimal schedule and saved as a replayable trace before the
+// test reports it.
+func TestConformanceMatrix(t *testing.T) {
+	n, steps := 64, 34
+	if testing.Short() {
+		n, steps = 24, 12
+	}
+	for _, c := range MatrixCells(n, steps, 1000) {
+		if testing.Short() && !shortWorkloads[c.Workload] {
+			continue
+		}
+		c := c
+		t.Run(c.String(), func(t *testing.T) {
+			t.Parallel()
+			// Seed is set explicitly (not left for RunCell to inherit) so a
+			// failure's shrink replays under the exact same randomness.
+			opts := Options{Kappa: 4, Seed: c.Seed, MetricsEvery: 10}
+			g0, res, err := RunCell(c, opts)
+			if err == nil {
+				if len(res.Events) == 0 {
+					t.Fatalf("cell applied no events")
+				}
+				return
+			}
+			var fail *Failure
+			if !errors.As(err, &fail) {
+				t.Fatalf("cell setup: %v", err)
+			}
+			reportShrunk(t, g0, res.Events, opts, fail)
+		})
+	}
+}
+
+// reportShrunk minimizes a failing schedule, saves the replayable artifact,
+// and fails the test with the one-command repro.
+func reportShrunk(t *testing.T, g0 *graph.Graph, events []adversary.Event, opts Options, fail *Failure) {
+	t.Helper()
+	minimal, minFail := Shrink(g0, events, opts)
+	f, err := os.CreateTemp("", "xheal-conformance-*.json")
+	if err != nil {
+		t.Fatalf("original failure %v; artifact: %v", fail, err)
+	}
+	path := f.Name()
+	f.Close()
+	if err := WriteArtifact(path, g0, minimal); err != nil {
+		t.Fatalf("original failure %v; artifact: %v", fail, err)
+	}
+	if minFail == nil {
+		// The failure only manifests under strict replay (sanitization masks
+		// it); the artifact holds the full schedule, and the repro command's
+		// strict lockstep replay still reproduces it.
+		t.Fatalf("conformance failure: %v\nnot reproducible under sanitized shrinking; full %d-event schedule saved\nrepro: %s",
+			fail, len(minimal), ReproCommand(path, opts))
+	}
+	t.Fatalf("conformance failure: %v\nshrunk to %d events (from %d): %v\nschedule:\n%srepro: %s",
+		fail, len(minimal), len(events), minFail,
+		adversary.EncodeScript(minimal), ReproCommand(path, opts))
+}
+
+// TestShrinkerInjectedBug seeds a synthetic divergence (a fault that fires
+// whenever one specific node is deleted) into a long churn schedule and
+// checks the shrinker collapses it to exactly that one deletion, with a
+// replayable trace artifact that still reproduces the failure.
+func TestShrinkerInjectedBug(t *testing.T) {
+	c := Cell{Workload: workload.NameErdosRenyi, Adversary: adversary.NameChurn, N: 32, Steps: 40, Seed: 7}
+	g0, adv, err := c.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// Record a clean run's schedule and pick a mid-schedule deleted node as
+	// the bug trigger.
+	clean, err := Run(g0, adv, Options{Kappa: 4, Seed: c.Seed})
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	var victim graph.NodeID
+	deletes := 0
+	for _, ev := range clean.Events {
+		if ev.Kind == adversary.Delete {
+			if deletes++; deletes == clean.Deletions/2 {
+				victim = ev.Node
+			}
+		}
+	}
+	if deletes < 4 {
+		t.Fatalf("schedule too tame for the experiment: %d deletions", deletes)
+	}
+	opts := Options{
+		Kappa: 4,
+		Seed:  c.Seed,
+		Fault: func(_ int, ev adversary.Event, _ *graph.Graph) error {
+			if ev.Kind == adversary.Delete && ev.Node == victim {
+				return fmt.Errorf("injected bug: deletion of node %d", victim)
+			}
+			return nil
+		},
+	}
+	_, err = Run(g0, adversary.NewScripted(clean.Events...), opts)
+	var fail *Failure
+	if !errors.As(err, &fail) || fail.Kind != KindFault {
+		t.Fatalf("injected bug did not fire: %v", err)
+	}
+
+	minimal, minFail := Shrink(g0, clean.Events, opts)
+	if minFail == nil || minFail.Kind != KindFault {
+		t.Fatalf("shrunk failure = %v, want injected fault", minFail)
+	}
+	if len(minimal) != 1 {
+		t.Fatalf("shrunk schedule has %d events, want the single triggering deletion:\n%s",
+			len(minimal), adversary.EncodeScript(minimal))
+	}
+	if minimal[0].Kind != adversary.Delete || minimal[0].Node != victim {
+		t.Fatalf("shrunk event = %+v, want delete %d", minimal[0], victim)
+	}
+
+	// The artifact must replay: through trace round-trip, the one-event
+	// schedule still trips the injected bug.
+	path := filepath.Join(t.TempDir(), "shrunk.json")
+	if err := WriteArtifact(path, g0, minimal); err != nil {
+		t.Fatalf("WriteArtifact: %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.Load(f)
+	if err != nil {
+		t.Fatalf("artifact did not round-trip: %v", err)
+	}
+	replay, err := tr.Adversary()
+	if err != nil {
+		t.Fatalf("trace adversary: %v", err)
+	}
+	opts.SkipInapplicable = true
+	_, err = Run(tr.Initial(), replay, opts)
+	if !errors.As(err, &fail) || fail.Kind != KindFault {
+		t.Fatalf("replayed artifact did not reproduce the injected bug: %v", err)
+	}
+	cmd := ReproCommand(path, opts)
+	if !strings.Contains(cmd, path) || !strings.Contains(cmd, fmt.Sprintf("-conf-seed %d", opts.Seed)) ||
+		!strings.Contains(cmd, fmt.Sprintf("-conf-kappa %d", opts.Kappa)) {
+		t.Fatalf("repro command %q must pin the artifact, seed, and kappa", cmd)
+	}
+}
+
+// TestShrinkPassesThroughCleanSchedule: Shrink on a passing schedule is a
+// no-op that reports no failure.
+func TestShrinkPassesThroughCleanSchedule(t *testing.T) {
+	g0, err := workload.Star(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []adversary.Event{{Kind: adversary.Delete, Node: 0}}
+	minimal, fail := Shrink(g0, events, Options{Kappa: 4, Seed: 3})
+	if fail != nil {
+		t.Fatalf("clean schedule reported failure: %v", fail)
+	}
+	if len(minimal) != 1 {
+		t.Fatalf("clean schedule rewritten: %+v", minimal)
+	}
+}
+
+// TestCorpus replays every checked-in shrunk schedule under testdata/ as a
+// strict regression fixture: schedules that once cornered a bug must now
+// pass the full per-event check battery.
+func TestCorpus(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 3 {
+		t.Fatalf("expected at least 3 corpus fixtures, found %d", len(paths))
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			tr, err := trace.Load(f)
+			if err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			adv, err := tr.Adversary()
+			if err != nil {
+				t.Fatalf("Adversary: %v", err)
+			}
+			if _, err := Run(tr.Initial(), adv, Options{Kappa: 4, Seed: 1, MetricsEvery: 1}); err != nil {
+				t.Fatalf("fixture regressed: %v", err)
+			}
+		})
+	}
+}
+
+// TestStrictApplyFailure: without sanitization, an inapplicable event is an
+// apply failure pinned to its step.
+func TestStrictApplyFailure(t *testing.T) {
+	g0, err := workload.Cycle(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []adversary.Event{
+		{Kind: adversary.Delete, Node: 0},
+		{Kind: adversary.Delete, Node: 0}, // already dead
+	}
+	_, err = Run(g0, adversary.NewScripted(events...), Options{Kappa: 4, Seed: 2})
+	var fail *Failure
+	if !errors.As(err, &fail) {
+		t.Fatalf("error = %v, want *Failure", err)
+	}
+	if fail.Kind != KindApply || fail.Step != 2 {
+		t.Fatalf("failure = %+v, want apply at step 2", fail)
+	}
+}
+
+// TestSanitizeSkipsInapplicable: with SkipInapplicable, junk events are
+// counted and dropped while the valid remainder still runs.
+func TestSanitizeSkipsInapplicable(t *testing.T) {
+	g0, err := workload.Cycle(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []adversary.Event{
+		{Kind: adversary.Delete, Node: 99},                                   // never existed
+		{Kind: adversary.Insert, Node: 3, Neighbors: []graph.NodeID{0}},      // ID in use
+		{Kind: adversary.Insert, Node: 200, Neighbors: []graph.NodeID{200}},  // only a self-loop
+		{Kind: adversary.Delete, Node: 5},                                    // fine
+		{Kind: adversary.Insert, Node: 300, Neighbors: []graph.NodeID{0, 0}}, // dup collapses to one
+	}
+	res, err := Run(g0, adversary.NewScripted(events...), Options{Kappa: 4, Seed: 2, SkipInapplicable: true})
+	if err != nil {
+		t.Fatalf("sanitized run failed: %v", err)
+	}
+	if res.Skipped != 3 {
+		t.Fatalf("skipped %d events, want 3", res.Skipped)
+	}
+	if res.Deletions != 1 || res.Inserts != 1 {
+		t.Fatalf("applied %d deletions / %d inserts, want 1 / 1", res.Deletions, res.Inserts)
+	}
+	if len(res.Events[1].Neighbors) != 1 {
+		t.Fatalf("duplicate neighbor not collapsed: %+v", res.Events[1])
+	}
+}
+
+// TestMatrixCellsShape: the matrix is the full cross-product with distinct
+// per-cell seeds.
+func TestMatrixCellsShape(t *testing.T) {
+	cells := MatrixCells(48, 30, 500)
+	want := len(workload.Names()) * len(adversary.Names())
+	if len(cells) != want {
+		t.Fatalf("matrix has %d cells, want %d", len(cells), want)
+	}
+	seeds := make(map[int64]bool, len(cells))
+	for _, c := range cells {
+		if seeds[c.Seed] {
+			t.Fatalf("duplicate cell seed %d", c.Seed)
+		}
+		seeds[c.Seed] = true
+		if c.N != 48 || c.Steps != 30 {
+			t.Fatalf("cell %s lost its size parameters", c)
+		}
+	}
+}
+
+// TestDeterministicRuns: equal seeds and schedules give byte-identical
+// outcomes — the property every repro and fixture in this package rests on.
+func TestDeterministicRuns(t *testing.T) {
+	c := Cell{Workload: workload.NameRegular, Adversary: adversary.NameChurn, N: 24, Steps: 15, Seed: 42}
+	_, a, err := RunCell(c, Options{Kappa: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := RunCell(c, Options{Kappa: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adversary.EncodeScript(a.Events) != adversary.EncodeScript(b.Events) {
+		t.Fatal("schedules differ across identical runs")
+	}
+	if a.Totals != b.Totals {
+		t.Fatalf("protocol totals differ: %+v vs %+v", a.Totals, b.Totals)
+	}
+}

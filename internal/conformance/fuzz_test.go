@@ -1,0 +1,91 @@
+package conformance
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"regexp"
+	"slices"
+	"strconv"
+	"testing"
+
+	"github.com/xheal/xheal/internal/adversary"
+	"github.com/xheal/xheal/internal/trace"
+	"github.com/xheal/xheal/internal/workload"
+)
+
+// FuzzConformance feeds arbitrary event scripts (the adversary.Scripted text
+// encoding) against every workload through the sanitizing lockstep runner:
+// whatever applicable schedule survives sanitization must keep the
+// centralized and distributed engines in exact agreement, with all paper
+// invariants intact. The corpus is seeded with the checked-in shrunk
+// schedules, so past near-misses steer the mutator.
+func FuzzConformance(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(16), "delete 0\ndelete 1\n")
+	f.Add(int64(2), uint8(4), uint8(24), "insert 2000000 0,1,2\ndelete 0\ndelete 2000000\n")
+	f.Add(int64(3), uint8(7), uint8(32), "delete 3\ninsert 2000001 3\ndelete 1\ndelete 2\n")
+	// Fixture filenames encode their cell substrate
+	// (shrunk-<workload>-n<N>-s<SEED>-<slug>.json, written by gen_corpus.go):
+	// decoding them lets each seed replay its shrunk schedule against the
+	// exact graph it was minimized on, rather than an unrelated topology.
+	fixtureName := regexp.MustCompile(`^shrunk-([a-z]+)-n(\d+)-s(\d+)-`)
+	if fixtures, err := filepath.Glob(filepath.Join("testdata", "*.json")); err == nil {
+		for _, path := range fixtures {
+			m := fixtureName.FindStringSubmatch(filepath.Base(path))
+			if m == nil {
+				continue
+			}
+			wlIdx := slices.Index(workload.Names(), m[1])
+			n, _ := strconv.Atoi(m[2])
+			seed, _ := strconv.ParseInt(m[3], 10, 64)
+			if wlIdx < 0 || n < 8 || n > 64 {
+				continue
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				continue
+			}
+			tr, err := trace.Load(bytes.NewReader(data))
+			if err != nil {
+				continue
+			}
+			adv, err := tr.Adversary()
+			if err != nil {
+				continue
+			}
+			sc, ok := adv.(*adversary.Scripted)
+			if !ok {
+				continue
+			}
+			f.Add(seed, uint8(wlIdx), uint8(n-8), sc.Script())
+		}
+	}
+	f.Fuzz(func(t *testing.T, seed int64, wl, size uint8, script string) {
+		events, err := adversary.ParseScript(script)
+		if err != nil {
+			t.Skip()
+		}
+		if len(events) > 48 {
+			events = events[:48]
+		}
+		names := workload.Names()
+		name := names[int(wl)%len(names)]
+		n := 8 + int(size)%57 // 8..64
+		g0, err := workload.ByName(name, n, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Skip() // e.g. G(n,p) gave up on connectivity
+		}
+		opts := Options{Kappa: 4, Seed: seed, MetricsEvery: 8, SkipInapplicable: true}
+		_, err = Run(g0, adversary.NewScripted(events...), opts)
+		if err == nil {
+			return
+		}
+		var fail *Failure
+		if !errors.As(err, &fail) {
+			t.Fatalf("setup error on sanitized input: %v", err)
+		}
+		reportShrunk(t, g0, events, opts, fail)
+	})
+}

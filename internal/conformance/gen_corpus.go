@@ -1,0 +1,111 @@
+//go:build ignore
+
+// Generates the testdata/*.json corpus: shrunk schedules produced by running
+// the delta-debugging shrinker against synthetic injected bugs on three
+// representative matrix cells. The artifacts are (a) regression fixtures —
+// TestCorpus replays each one through the strict lockstep runner — and (b)
+// fuzz seeds for FuzzConformance.
+//
+// Run from internal/conformance: go run gen_corpus.go
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"github.com/xheal/xheal/internal/adversary"
+	"github.com/xheal/xheal/internal/conformance"
+	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/workload"
+)
+
+func main() {
+	cases := []struct {
+		slug    string
+		cell    conformance.Cell
+		trigger func(*conformance.Result) conformance.FaultFunc
+	}{
+		{
+			// A deletion-heavy churn schedule shrunk to the single deletion
+			// of one mid-schedule victim.
+			slug: "churn-delete",
+			cell: conformance.Cell{Workload: workload.NameErdosRenyi, Adversary: adversary.NameChurn, N: 32, Steps: 40, Seed: 7},
+			trigger: func(clean *conformance.Result) conformance.FaultFunc {
+				var victim graph.NodeID
+				deletes := 0
+				for _, ev := range clean.Events {
+					if ev.Kind == adversary.Delete {
+						if deletes++; deletes == clean.Deletions/2 {
+							victim = ev.Node
+						}
+					}
+				}
+				return func(_ int, ev adversary.Event, _ *graph.Graph) error {
+					if ev.Kind == adversary.Delete && ev.Node == victim {
+						return fmt.Errorf("injected: delete %d", victim)
+					}
+					return nil
+				}
+			},
+		},
+		{
+			// A star attack shrunk to the hub deletion plus enough leaf
+			// churn to rebuild the wound twice.
+			slug: "maxdeg-depth",
+			cell: conformance.Cell{Workload: workload.NameStar, Adversary: adversary.NameMaxDegree, N: 64, Steps: 20, Seed: 11},
+			trigger: func(*conformance.Result) conformance.FaultFunc {
+				return func(_ int, _ adversary.Event, g *graph.Graph) error {
+					if g.NumNodes() <= 60 {
+						return fmt.Errorf("injected: shrank below 61 nodes")
+					}
+					return nil
+				}
+			},
+		},
+		{
+			// A growth schedule shrunk to the minimal insertion prefix that
+			// crosses a degree threshold at the attachment hub.
+			slug: "growth-hub",
+			cell: conformance.Cell{Workload: workload.NameCycle, Adversary: adversary.NameInsertBurst, N: 24, Steps: 30, Seed: 13},
+			trigger: func(*conformance.Result) conformance.FaultFunc {
+				return func(_ int, _ adversary.Event, g *graph.Graph) error {
+					if g.MaxDegree() >= 6 {
+						return fmt.Errorf("injected: a hub reached degree 6")
+					}
+					return nil
+				}
+			},
+		},
+	}
+
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for _, tc := range cases {
+		// The filename encodes the cell's substrate (workload, n, seed) in
+		// the shrunk-<workload>-n<N>-s<SEED>-<slug>.json form FuzzConformance
+		// parses, so the fixture seeds the fuzzer against the exact graph its
+		// schedule was shrunk on.
+		file := fmt.Sprintf("shrunk-%s-n%d-s%d-%s.json", tc.cell.Workload, tc.cell.N, tc.cell.Seed, tc.slug)
+		g0, adv, err := tc.cell.Build()
+		if err != nil {
+			log.Fatalf("%s: %v", file, err)
+		}
+		clean, err := conformance.Run(g0, adv, conformance.Options{Kappa: 4, Seed: tc.cell.Seed})
+		if err != nil {
+			log.Fatalf("%s: clean run: %v", file, err)
+		}
+		opts := conformance.Options{Kappa: 4, Seed: tc.cell.Seed, Fault: tc.trigger(clean)}
+		minimal, fail := conformance.Shrink(g0, clean.Events, opts)
+		if fail == nil {
+			log.Fatalf("%s: injected bug did not fire", file)
+		}
+		path := filepath.Join("testdata", file)
+		if err := conformance.WriteArtifact(path, g0, minimal); err != nil {
+			log.Fatalf("%s: %v", file, err)
+		}
+		fmt.Printf("%s: %d events (from %d), failure: %v\n", path, len(minimal), len(clean.Events), fail)
+	}
+}

@@ -1,0 +1,121 @@
+package conformance
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/xheal/xheal/internal/adversary"
+	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/trace"
+)
+
+// shrinkBudget caps the number of candidate runs one Shrink may spend, so a
+// pathological schedule cannot stall a CI soak. Each run is a full lockstep
+// replay; the cap is far above what ddmin needs on the ≤64-event schedules
+// the matrix produces.
+const shrinkBudget = 600
+
+// Shrink delta-debugs a failing schedule down to a locally minimal event
+// subsequence that still fails with the same failure kind. It replays
+// candidates with SkipInapplicable set (removing an insert must not turn a
+// later delete into an apply error), so the result is directly replayable.
+// The second return is the minimal schedule's failure; a nil *Failure means
+// the original schedule did not fail and events is returned unchanged.
+func Shrink(g0 *graph.Graph, events []adversary.Event, opts Options) ([]adversary.Event, *Failure) {
+	opts.SkipInapplicable = true
+	budget := shrinkBudget
+	reproduce := func(cand []adversary.Event) (*Result, *Failure) {
+		if budget <= 0 {
+			return nil, nil
+		}
+		budget--
+		res, err := Run(g0, adversary.NewScripted(cand...), opts)
+		if err == nil {
+			return res, nil
+		}
+		if f, ok := err.(*Failure); ok {
+			return res, f
+		}
+		return res, &Failure{Kind: KindApply, Err: err}
+	}
+
+	res, fail := reproduce(events)
+	if fail == nil {
+		return events, nil
+	}
+	kind := fail.Kind
+	// The run stops at the first violation, so everything after the failing
+	// event is dead weight: restart from the applied prefix.
+	current, best := res.Events, fail
+
+	accept := func(cand []adversary.Event) bool {
+		candRes, candFail := reproduce(cand)
+		if candFail == nil || candFail.Kind != kind {
+			return false
+		}
+		// Keep only what the candidate actually applied before failing:
+		// sanitizer-skipped and post-failure events are noise.
+		current, best = candRes.Events, candFail
+		return true
+	}
+
+	// Classic ddmin: try dropping ever-finer chunks until single events.
+	for chunks := 2; len(current) >= 2; {
+		if chunks > len(current) {
+			chunks = len(current)
+		}
+		shrunk := false
+		size := (len(current) + chunks - 1) / chunks
+		for start := 0; start < len(current); start += size {
+			end := min(start+size, len(current))
+			cand := make([]adversary.Event, 0, len(current)-(end-start))
+			cand = append(cand, current[:start]...)
+			cand = append(cand, current[end:]...)
+			if len(cand) == 0 {
+				continue
+			}
+			if accept(cand) {
+				shrunk = true
+				break
+			}
+		}
+		if shrunk {
+			chunks = 2
+			continue
+		}
+		if chunks == len(current) || budget <= 0 {
+			break
+		}
+		chunks *= 2
+	}
+	return current, best
+}
+
+// WriteArtifact saves a schedule as a replayable internal/trace JSON file.
+// Replay it with the command ReproCommand returns.
+func WriteArtifact(path string, g0 *graph.Graph, events []adversary.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("conformance: artifact: %w", err)
+	}
+	if err := trace.FromEvents(g0, events).Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReproCommand returns the one-command repro for a saved artifact: a replay
+// through the lockstep checker itself, since most failure kinds (divergence,
+// local views, ledger) only manifest with both engines running side by side.
+// The trace file carries only the topology and events, so the command pins
+// the run's κ and seed explicitly — healing decisions are seed-dependent,
+// and a replay under different randomness would heal a different (equally
+// valid) graph instead of reproducing the recorded one.
+func ReproCommand(path string, opts Options) string {
+	cmd := fmt.Sprintf("go run ./cmd/xheal-bench -conf-replay %s -conf-seed %d", path, opts.Seed)
+	if opts.Kappa != 0 {
+		cmd += fmt.Sprintf(" -conf-kappa %d", opts.Kappa)
+	}
+	return cmd
+}

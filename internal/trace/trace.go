@@ -51,6 +51,17 @@ func New(g0 *graph.Graph) *Trace {
 	}
 }
 
+// FromEvents builds a trace over g0 already holding the given events — the
+// conformance shrinker's artifact constructor: a shrunk schedule saved this
+// way replays with `xheal-sim -replay <file>`.
+func FromEvents(g0 *graph.Graph, events []adversary.Event) *Trace {
+	t := New(g0)
+	for _, ev := range events {
+		t.Record(ev)
+	}
+	return t
+}
+
 // Record appends one adversary event.
 func (t *Trace) Record(ev adversary.Event) {
 	out := Event{Node: ev.Node}

@@ -49,6 +49,31 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
+func TestFromEvents(t *testing.T) {
+	g0 := buildStar(t, 4)
+	events := []adversary.Event{
+		{Kind: adversary.Delete, Node: 0},
+		{Kind: adversary.Insert, Node: 50, Neighbors: []graph.NodeID{1}},
+	}
+	tr := FromEvents(g0, events)
+	if !tr.Initial().Equal(g0) {
+		t.Fatal("FromEvents lost the initial graph")
+	}
+	adv, err := tr.Adversary()
+	if err != nil {
+		t.Fatalf("Adversary: %v", err)
+	}
+	for i, want := range events {
+		got, ok := adv.Next(g0)
+		if !ok || got.Kind != want.Kind || got.Node != want.Node {
+			t.Fatalf("event %d = %+v ok=%v, want %+v", i, got, ok, want)
+		}
+	}
+	if _, ok := adv.Next(g0); ok {
+		t.Fatal("replay did not end after recorded events")
+	}
+}
+
 func TestLoadRejectsBadVersion(t *testing.T) {
 	_, err := Load(strings.NewReader(`{"version": 99, "events": []}`))
 	if !errors.Is(err, ErrBadVersion) {

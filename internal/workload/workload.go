@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 
 	"github.com/xheal/xheal/internal/graph"
 	"github.com/xheal/xheal/internal/hgraph"
@@ -287,5 +288,6 @@ func ByName(name string, n int, rng *rand.Rand) (*graph.Graph, error) {
 	case NamePowerLaw:
 		return PreferentialAttachment(n, 2, rng)
 	}
-	return nil, fmt.Errorf("unknown generator %q: %w", name, ErrBadParam)
+	return nil, fmt.Errorf("unknown generator %q (valid: %s): %w",
+		name, strings.Join(Names(), " "), ErrBadParam)
 }

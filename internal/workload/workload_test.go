@@ -3,6 +3,8 @@ package workload
 import (
 	"errors"
 	"math/rand"
+	"sort"
+	"strings"
 	"testing"
 
 	"github.com/xheal/xheal/internal/graph"
@@ -157,22 +159,37 @@ func TestTwoCliquesBridge(t *testing.T) {
 	}
 }
 
+// TestByNameAll guards the Names()/ByName contract both ways: every
+// advertised name must construct (at several sizes, so a size-mapping bug in
+// one arm cannot hide), and the unknown-name error must name the valid set —
+// CLIs print it verbatim as their only discoverability aid.
 func TestByNameAll(t *testing.T) {
-	rng := rand.New(rand.NewSource(4))
-	for _, name := range Names() {
-		g, err := ByName(name, 20, rng)
-		if err != nil {
-			t.Fatalf("ByName(%q): %v", name, err)
-		}
-		if g.NumNodes() < 2 {
-			t.Fatalf("ByName(%q) produced %d nodes", name, g.NumNodes())
-		}
-		if !g.IsConnected() {
-			t.Fatalf("ByName(%q) not connected", name)
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Names() not sorted: %v", names)
+	}
+	for _, name := range names {
+		for _, n := range []int{8, 20, 64} {
+			g, err := ByName(name, n, rand.New(rand.NewSource(7)))
+			if err != nil {
+				t.Fatalf("ByName(%q, %d): %v", name, n, err)
+			}
+			if g.NumNodes() < 2 {
+				t.Fatalf("ByName(%q, %d) produced %d nodes", name, n, g.NumNodes())
+			}
+			if !g.IsConnected() {
+				t.Fatalf("ByName(%q, %d) not connected", name, n)
+			}
 		}
 	}
-	if _, err := ByName("nope", 10, rng); !errors.Is(err, ErrBadParam) {
-		t.Fatalf("unknown name error = %v", err)
+	_, err := ByName("no-such-generator", 10, rand.New(rand.NewSource(7)))
+	if !errors.Is(err, ErrBadParam) {
+		t.Fatalf("unknown name error = %v, want ErrBadParam", err)
+	}
+	for _, name := range names {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not mention valid generator %q", err, name)
+		}
 	}
 }
 
