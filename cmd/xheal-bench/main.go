@@ -1,7 +1,7 @@
 // Command xheal-bench regenerates the reproduction tables recorded in
 // EXPERIMENTS.md: one experiment per theorem/lemma/corollary of the paper
 // plus the motivating star-attack example and the design ablations (see
-// DESIGN.md §3 for the index).
+// docs/ARCHITECTURE.md for the experiment ↔ theorem index).
 //
 // Usage:
 //

@@ -1,0 +1,252 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/xheal/xheal/internal/adversary"
+	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/server"
+)
+
+// loadReport is the schema of -bench-out (see BENCH_PR4.json): the serving
+// throughput record, the BENCH_*.json series' serve-side entry.
+type loadReport struct {
+	Engine          string  `json:"engine"`
+	Workload        string  `json:"workload"`
+	InitialNodes    int     `json:"initial_nodes"`
+	Clients         int     `json:"clients"`
+	EventsPerClient int     `json:"events_per_client"`
+	EventsTotal     uint64  `json:"events_total"`
+	WallMS          float64 `json:"wall_ms"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+	Ticks           uint64  `json:"ticks"`
+	MeanBatch       float64 `json:"mean_batch"`
+	BatchMax        int     `json:"batch_max"`
+	Deferred        uint64  `json:"deferred"`
+	Rejected        uint64  `json:"rejected"`
+	Backlogged      uint64  `json:"backlogged"`
+	ApplyMSTotal    float64 `json:"apply_ms_total"`
+	MeanWaitMS      float64 `json:"mean_wait_ms"`
+	FinalNodes      int     `json:"final_nodes"`
+	FinalEdges      int     `json:"final_edges"`
+	ReplayIdentical bool    `json:"replay_identical"`
+	GoMaxProcs      int     `json:"go_max_procs"`
+}
+
+// runLoad drives an in-process daemon through its real HTTP surface with
+// seeded concurrent adversarial clients, then verifies the run: structural
+// invariants, a healthy snapshot, queue drain on shutdown, and the event log
+// replaying to the identical final graph. smoke mode is the same pipeline at
+// fixed tiny scale with stricter, CI-friendly output.
+func runLoad(o options, stdout, stderr io.Writer, smoke bool) int {
+	if o.eventLog == "" {
+		tmp, err := os.CreateTemp("", "xheal-serve-*.log")
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		tmp.Close()
+		o.eventLog = tmp.Name()
+		defer os.Remove(o.eventLog)
+	}
+	d, err := buildDaemon(o)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	defer d.cleanup()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: d.srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	mode := "loadgen"
+	if smoke {
+		mode = "smoke"
+	}
+	fmt.Fprintf(stdout, "xheal-serve %s: engine=%s workload=%s n=%d kappa=%d seed=%d clients=%d events/client=%d tick=%v\n",
+		mode, o.engine, o.wl, d.g0.NumNodes(), o.kappa, o.seed, o.clients, o.events, o.tick)
+
+	anchors := append([]graph.NodeID(nil), d.g0.Nodes()...)
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        o.clients * 2,
+		MaxIdleConnsPerHost: o.clients * 2,
+	}}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, o.clients)
+	for c := 0; c < o.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			stream := adversary.NewClientStream(c, anchors, o.deleteBias, o.attach, o.seed+1000)
+			for i := 0; i < o.events; i++ {
+				if err := postEvent(client, base, stream.Next()); err != nil {
+					errs[c] = fmt.Errorf("client %d event %d: %w", c, i, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+
+	// Health over the wire while the daemon is still up.
+	health, err := getHealth(client, base)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if health.Status != "ok" || !health.Connected {
+		fmt.Fprintf(stderr, "unhealthy after load: %+v\n", health)
+		return 1
+	}
+
+	_ = httpSrv.Close()
+	if err := d.srv.Close(); err != nil {
+		fmt.Fprintf(stderr, "event log: %v\n", err)
+		return 1
+	}
+	if depth := d.srv.QueueDepth(); depth != 0 {
+		fmt.Fprintf(stderr, "queue not drained on shutdown: %d\n", depth)
+		return 1
+	}
+	if err := d.srv.CheckInvariants(); err != nil {
+		fmt.Fprintf(stderr, "INVARIANT VIOLATION: %v\n", err)
+		return 1
+	}
+	c := d.srv.Counters()
+	want := uint64(o.clients) * uint64(o.events)
+	if c.EventsApplied != want || c.EventsRejected != 0 {
+		fmt.Fprintf(stderr, "applied %d/%d events, %d rejected\n", c.EventsApplied, want, c.EventsRejected)
+		return 1
+	}
+
+	// The event log must replay to the identical final graph.
+	final := d.srv.Graph()
+	f, err := os.Open(o.eventLog)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	replayed, err := server.ReplayLog(f, o.kappa, o.seed)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(stderr, "replay: %v\n", err)
+		return 1
+	}
+	if !replayed.Equal(final) {
+		fmt.Fprintf(stderr, "event-log replay diverged from the served graph (replay n=%d m=%d, live n=%d m=%d)\n",
+			replayed.NumNodes(), replayed.NumEdges(), final.NumNodes(), final.NumEdges())
+		return 1
+	}
+
+	report := loadReport{
+		Engine:          o.engine,
+		Workload:        o.wl,
+		InitialNodes:    d.g0.NumNodes(),
+		Clients:         o.clients,
+		EventsPerClient: o.events,
+		EventsTotal:     c.EventsApplied,
+		WallMS:          float64(wall.Microseconds()) / 1000,
+		EventsPerSec:    float64(c.EventsApplied) / wall.Seconds(),
+		Ticks:           c.Ticks,
+		MeanBatch:       float64(c.EventsApplied) / float64(max(1, c.Ticks)),
+		BatchMax:        c.BatchMax,
+		Deferred:        c.EventsDeferred,
+		Rejected:        c.EventsRejected,
+		Backlogged:      c.EventsBacklogged,
+		ApplyMSTotal:    c.ApplySeconds * 1000,
+		MeanWaitMS:      c.WaitSeconds * 1000 / float64(max(1, c.EventsApplied)),
+		FinalNodes:      final.NumNodes(),
+		FinalEdges:      final.NumEdges(),
+		ReplayIdentical: true,
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+	}
+	fmt.Fprintf(stdout, "%s ok: %d events in %.1f ms (%.0f events/sec), %d ticks, mean batch %.1f (max %d), %d deferred\n",
+		mode, report.EventsTotal, report.WallMS, report.EventsPerSec,
+		report.Ticks, report.MeanBatch, report.BatchMax, report.Deferred)
+	fmt.Fprintf(stdout, "invariants ok, health ok, event log replays to identical graph (n=%d m=%d)\n",
+		report.FinalNodes, report.FinalEdges)
+
+	if o.benchOut != "" {
+		if dir := filepath.Dir(o.benchOut); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := os.WriteFile(o.benchOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", o.benchOut)
+	}
+	return 0
+}
+
+// postEvent sends one event and decodes the daemon's verdict.
+func postEvent(client *http.Client, base string, ev adversary.Event) error {
+	wire := server.IngestEvent{Node: ev.Node, Neighbors: ev.Neighbors}
+	switch ev.Kind {
+	case adversary.Insert:
+		wire.Kind = "insert"
+	case adversary.Delete:
+		wire.Kind = "delete"
+	}
+	body, err := json.Marshal(wire)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(base+"/v1/events", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var out server.IngestResponse
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		return fmt.Errorf("%s %d: HTTP %d: %s", strings.ToLower(wire.Kind), ev.Node, resp.StatusCode, out.Error)
+	}
+	return nil
+}
+
+func getHealth(client *http.Client, base string) (server.Health, error) {
+	var h server.Health
+	resp, err := client.Get(base + "/v1/health")
+	if err != nil {
+		return h, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return h, fmt.Errorf("decode health: %w", err)
+	}
+	return h, nil
+}

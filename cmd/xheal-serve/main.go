@@ -1,0 +1,221 @@
+// Command xheal-serve runs the Xheal network-maintenance daemon: a
+// long-lived server that owns a self-healing network, ingests insert/delete
+// events from many concurrent clients over HTTP, coalesces everything that
+// arrives during a tick into one batched timestep, and serves live health
+// snapshots plus Prometheus-style metrics. Every applied batch is appended
+// to an internal/trace event log, so any serving run replays byte-for-byte
+// through `xheal-sim -replay <log>`.
+//
+// Usage:
+//
+//	xheal-serve -addr :8080 -workload regular -n 128 -event-log run.log
+//	xheal-serve -engine dist -workload er -n 64            # host the §5 engine
+//	xheal-serve -smoke                                     # CI smoke: 100 events end-to-end
+//	xheal-serve -loadgen -clients 8 -events 500 -bench-out BENCH_PR4.json
+//
+// Endpoints:
+//
+//	POST /v1/events  {"kind":"insert","node":9000,"neighbors":[0,1]} or an array
+//	GET  /v1/health  health snapshot (MeasureFast + serving counters) as JSON
+//	GET  /metrics    Prometheus text exposition
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/xheal/xheal/internal/core"
+	"github.com/xheal/xheal/internal/dist"
+	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/server"
+	"github.com/xheal/xheal/internal/trace"
+	"github.com/xheal/xheal/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// options collects the parsed flags shared by the three modes.
+type options struct {
+	addr     string
+	engine   string
+	wl       string
+	n        int
+	kappa    int
+	seed     int64
+	tick     time.Duration
+	queue    int
+	maxBatch int
+	eventLog string
+
+	smoke      bool
+	loadgen    bool
+	clients    int
+	events     int
+	deleteBias float64
+	attach     int
+	benchOut   string
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xheal-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var o options
+	fs.StringVar(&o.addr, "addr", "127.0.0.1:8080", "HTTP listen address")
+	fs.StringVar(&o.engine, "engine", "seq", "healing engine: seq (Algorithm 3.1 reference) or dist (§5 protocol)")
+	fs.StringVar(&o.wl, "workload", "regular", "initial topology: "+fmt.Sprint(workload.Names()))
+	fs.IntVar(&o.n, "n", 64, "initial node count")
+	fs.IntVar(&o.kappa, "kappa", 4, "expander degree parameter (even)")
+	fs.Int64Var(&o.seed, "seed", 1, "randomness seed (healing decisions; replay must reuse it)")
+	fs.DurationVar(&o.tick, "tick", 2*time.Millisecond, "batch coalescing window (0 = apply immediately)")
+	fs.IntVar(&o.queue, "queue", 1024, "ingest queue depth (backpressure bound)")
+	fs.IntVar(&o.maxBatch, "max-batch", 256, "max events per batched timestep")
+	fs.StringVar(&o.eventLog, "event-log", "", "append applied events to this trace log (replayable via xheal-sim -replay)")
+	fs.BoolVar(&o.smoke, "smoke", false, "self-test: start the daemon, ingest 100 events over HTTP, verify, shut down")
+	fs.BoolVar(&o.loadgen, "loadgen", false, "load generator: hammer an in-process daemon with concurrent clients")
+	fs.IntVar(&o.clients, "clients", 8, "loadgen: concurrent clients")
+	fs.IntVar(&o.events, "events", 500, "loadgen: events per client")
+	fs.Float64Var(&o.deleteBias, "delete-bias", 0.35, "loadgen: per-event probability of deleting an owned node")
+	fs.IntVar(&o.attach, "attach", 3, "loadgen: max attachments per insertion")
+	fs.StringVar(&o.benchOut, "bench-out", "", "loadgen: write throughput results to this JSON file (BENCH_PR4.json)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	switch {
+	case o.smoke:
+		o.clients, o.events = 1, 100
+		return runLoad(o, stdout, stderr, true)
+	case o.loadgen:
+		return runLoad(o, stdout, stderr, false)
+	default:
+		return serve(o, stdout, stderr)
+	}
+}
+
+// daemon is one assembled serving stack.
+type daemon struct {
+	srv     *server.Server
+	g0      *graph.Graph
+	logPath string
+	cleanup func()
+}
+
+// buildDaemon constructs the initial topology, the chosen engine, the event
+// log, and the server.
+func buildDaemon(o options) (*daemon, error) {
+	g0, err := workload.ByName(o.wl, o.n, rand.New(rand.NewSource(o.seed)))
+	if err != nil {
+		return nil, err
+	}
+	var eng server.Engine
+	var closeEng func()
+	switch o.engine {
+	case "seq":
+		st, err := core.NewState(core.Config{Kappa: o.kappa, Seed: o.seed}, g0)
+		if err != nil {
+			return nil, err
+		}
+		eng = st
+	case "dist":
+		de, err := dist.NewEngine(dist.Config{Kappa: o.kappa, Seed: o.seed}, g0)
+		if err != nil {
+			return nil, err
+		}
+		eng = de
+		closeEng = de.Close
+	default:
+		return nil, fmt.Errorf("unknown engine %q (valid: seq dist)", o.engine)
+	}
+
+	cfg := server.Config{
+		Tick:       o.tick,
+		QueueDepth: o.queue,
+		MaxBatch:   o.maxBatch,
+	}
+	var logFile *os.File
+	if o.eventLog != "" {
+		logFile, err = os.Create(o.eventLog)
+		if err != nil {
+			return nil, err
+		}
+		lw, err := trace.NewLogWriter(logFile, g0)
+		if err != nil {
+			logFile.Close()
+			return nil, err
+		}
+		cfg.Log = lw
+	}
+	d := &daemon{
+		srv:     server.New(eng, cfg),
+		g0:      g0,
+		logPath: o.eventLog,
+		cleanup: func() {
+			if logFile != nil {
+				logFile.Close()
+			}
+			if closeEng != nil {
+				closeEng()
+			}
+		},
+	}
+	return d, nil
+}
+
+// serve is the daemon mode: listen until SIGINT/SIGTERM, then drain and
+// exit.
+func serve(o options, stdout, stderr io.Writer) int {
+	d, err := buildDaemon(o)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	defer d.cleanup()
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: d.srv.Handler()}
+	fmt.Fprintf(stdout, "xheal-serve: engine=%s workload=%s n=%d m=%d kappa=%d seed=%d tick=%v\n",
+		o.engine, o.wl, d.g0.NumNodes(), d.g0.NumEdges(), o.kappa, o.seed, o.tick)
+	fmt.Fprintf(stdout, "listening on http://%s (POST /v1/events, GET /v1/health, GET /metrics)\n", ln.Addr())
+	if o.eventLog != "" {
+		fmt.Fprintf(stdout, "event log: %s (replay: xheal-sim -replay %s -kappa %d -seed %d)\n",
+			o.eventLog, o.eventLog, o.kappa, o.seed)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(stdout, "shutting down: draining queue...")
+	case err := <-errc:
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(shutdownCtx)
+	if err := d.srv.Close(); err != nil {
+		fmt.Fprintf(stderr, "event log: %v\n", err)
+		return 1
+	}
+	c := d.srv.Counters()
+	fmt.Fprintf(stdout, "served %d events in %d ticks (%d rejected, %d deferred)\n",
+		c.EventsApplied, c.Ticks, c.EventsRejected, c.EventsDeferred)
+	return 0
+}

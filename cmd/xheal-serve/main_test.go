@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSmokeMode(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-smoke", "-tick", "0"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("smoke exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "smoke ok: 100 events") {
+		t.Fatalf("smoke output missing verdict:\n%s", out)
+	}
+	if !strings.Contains(out, "replays to identical graph") {
+		t.Fatalf("smoke output missing replay check:\n%s", out)
+	}
+}
+
+func TestLoadgenWritesBenchJSON(t *testing.T) {
+	benchOut := filepath.Join(t.TempDir(), "bench.json")
+	logOut := filepath.Join(t.TempDir(), "events.log")
+	var stdout, stderr bytes.Buffer
+	args := []string{
+		"-loadgen", "-clients", "3", "-events", "40", "-tick", "0",
+		"-bench-out", benchOut, "-event-log", logOut,
+	}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("loadgen exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	data, err := os.ReadFile(benchOut)
+	if err != nil {
+		t.Fatalf("bench-out: %v", err)
+	}
+	var rep loadReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("bench-out decode: %v", err)
+	}
+	if rep.EventsTotal != 120 || rep.EventsPerSec <= 0 || !rep.ReplayIdentical || rep.Rejected != 0 {
+		t.Fatalf("bench report = %+v", rep)
+	}
+	if _, err := os.Stat(logOut); err != nil {
+		t.Fatalf("event log: %v", err)
+	}
+}
+
+func TestLoadgenDistEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dist loadgen is the slow path")
+	}
+	var stdout, stderr bytes.Buffer
+	args := []string{"-loadgen", "-engine", "dist", "-clients", "2", "-events", "25", "-tick", "0"}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("dist loadgen exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-engine", "quantum", "-smoke"}, &stdout, &stderr); code == 0 {
+		t.Fatal("unknown engine accepted")
+	}
+	if code := run([]string{"-workload", "nope", "-smoke"}, &stdout, &stderr); code == 0 {
+		t.Fatal("unknown workload accepted")
+	}
+}

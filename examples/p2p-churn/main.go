@@ -2,7 +2,9 @@
 // Skype outage). A peer-to-peer overlay suffers sustained churn — peers
 // joining and an adversary (or failures) removing peers, including
 // well-connected super-nodes. Xheal keeps the overlay connected with
-// bounded degree growth and a healthy spectral gap throughout.
+// bounded degree growth and a healthy spectral gap throughout —
+// Theorem 2's guarantees (connectivity, κ-factor degrees, expansion, λ₂)
+// under sustained mixed churn.
 //
 // Run with: go run ./examples/p2p-churn
 package main

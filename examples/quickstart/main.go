@@ -1,5 +1,7 @@
 // Quickstart: build a small network, let the adversary delete its hub, and
-// watch Xheal wire a κ-regular expander across the wound.
+// watch Xheal wire a κ-regular expander across the wound. Demonstrates the
+// core claim of Theorem 2: after Algorithm 3.1 heals a deletion, the graph
+// stays connected with constant expansion and bounded degree growth.
 //
 // Run with: go run ./examples/quickstart
 package main

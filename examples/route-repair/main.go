@@ -2,7 +2,9 @@
 // efficiently replaced after deletions. This example pins end-to-end routes
 // across an overlay, lets the adversary delete nodes on those routes, and
 // shows the routes being spliced locally through the expander clouds Xheal
-// installs — most hops of each damaged route are reused.
+// installs — most hops of each damaged route are reused. The short detours
+// exist because healed paths stay within Theorem 2.2's O(log n) stretch of
+// the originals.
 //
 // Run with: go run ./examples/route-repair
 package main

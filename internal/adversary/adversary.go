@@ -1,9 +1,3 @@
-// Package adversary implements the attack strategies of the paper's model
-// (§2): an omniscient adversary that sees the current topology and, once per
-// timestep, deletes an arbitrary node or inserts a node with arbitrary
-// connections. Per the model, the adversary is oblivious to the healing
-// algorithm's private randomness — strategies receive only a read-only
-// topology view.
 package adversary
 
 import (

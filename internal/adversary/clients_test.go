@@ -1,0 +1,69 @@
+package adversary
+
+import (
+	"testing"
+
+	"github.com/xheal/xheal/internal/core"
+	"github.com/xheal/xheal/internal/graph"
+)
+
+// Sequentially applied client-stream events are valid by construction, and
+// two streams' namespaces never collide.
+func TestClientStreamValidByConstruction(t *testing.T) {
+	g0 := graph.New()
+	anchors := make([]graph.NodeID, 0, 8)
+	for i := 0; i < 8; i++ {
+		g0.EnsureEdge(graph.NodeID(i), graph.NodeID((i+1)%8))
+		anchors = append(anchors, graph.NodeID(i))
+	}
+	st, err := core.NewState(core.Config{Kappa: 4, Seed: 3}, g0)
+	if err != nil {
+		t.Fatalf("NewState: %v", err)
+	}
+
+	streams := []*ClientStream{
+		NewClientStream(0, anchors, 0.4, 3, 99),
+		NewClientStream(1, anchors, 0.4, 3, 99),
+	}
+	seen := make(map[graph.NodeID]int)
+	for step := 0; step < 200; step++ {
+		for ci, cs := range streams {
+			ev := cs.Next()
+			switch ev.Kind {
+			case Insert:
+				if owner, dup := seen[ev.Node]; dup {
+					t.Fatalf("node %d inserted by client %d and client %d", ev.Node, owner, ci)
+				}
+				seen[ev.Node] = ci
+				err = st.InsertNode(ev.Node, ev.Neighbors)
+			case Delete:
+				err = st.DeleteNode(ev.Node)
+			}
+			if err != nil {
+				t.Fatalf("step %d client %d: %s %d: %v", step, ci, ev.Kind, ev.Node, err)
+			}
+		}
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatalf("CheckInvariants: %v", err)
+	}
+	for _, cs := range streams {
+		for _, own := range cs.Owns() {
+			if !st.Alive(own) {
+				t.Fatalf("stream believes it owns dead node %d", own)
+			}
+		}
+	}
+}
+
+func TestClientStreamDeterministic(t *testing.T) {
+	anchors := []graph.NodeID{0, 1, 2}
+	a := NewClientStream(3, anchors, 0.3, 2, 7)
+	b := NewClientStream(3, anchors, 0.3, 2, 7)
+	for i := 0; i < 50; i++ {
+		x, y := a.Next(), b.Next()
+		if x.Kind != y.Kind || x.Node != y.Node || len(x.Neighbors) != len(y.Neighbors) {
+			t.Fatalf("streams diverged at event %d: %+v vs %+v", i, x, y)
+		}
+	}
+}

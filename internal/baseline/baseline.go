@@ -1,13 +1,3 @@
-// Package baseline implements the repair algorithms Xheal is compared
-// against: style-faithful reimplementations of the tree repairs of Forgiving
-// Tree (Hayes et al., PODC 2008) and Forgiving Graph (Hayes/Saia/Trehan,
-// PODC 2009) — the related work the paper improves on — plus naive healers
-// (cycle, star, clique, none) that bracket the degree/expansion trade-off
-// space the paper's introduction discusses.
-//
-// All healers implement the same Healer interface so the harness can drive
-// identical adversarial event streams through each and compare the healed
-// topologies.
 package baseline
 
 import (

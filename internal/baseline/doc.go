@@ -1,0 +1,22 @@
+// Package baseline implements the repair algorithms Xheal is measured
+// against, behind one shared Healer interface: style-faithful
+// reimplementations of the tree repairs of Forgiving Tree (Hayes et al.,
+// PODC 2008) and Forgiving Graph (Hayes/Saia/Trehan, PODC 2009) — the
+// related work the paper improves on — plus naive healers (cycle, star,
+// clique, none) that bracket the degree/expansion trade-off space the
+// paper's introduction discusses.
+//
+// The comparisons matter because each baseline concedes exactly one of the
+// properties Xheal keeps: tree-based repairs hold degrees down but collapse
+// expansion to O(1/n) (the paper's motivating star attack); the clique
+// healer holds expansion but blows up degrees; "none" concedes
+// connectivity itself. Driving an identical adversarial schedule through
+// every healer — the harness's star-attack and churn experiments, and the
+// Compare function on the public facade — turns the paper's Table 1 into
+// measured numbers.
+//
+// New constructs any healer by name (Names lists them, Xheal first); the
+// Xheal entry wraps internal/core, so the baseline suite and the real
+// algorithm run under the same event-loop contract: Insert and Delete per
+// timestep, Graph for the healed topology.
+package baseline

@@ -1,8 +1,3 @@
-// Package benchcases holds the core micro-benchmark bodies shared by the
-// repository's `go test -bench` suite (bench_test.go) and the
-// `xheal-bench -benchjson` trajectory recorder. A single implementation
-// keeps the committed BENCH_*.json numbers measuring exactly the code the
-// CI benchmark smoke job runs — two copies would silently drift apart.
 package benchcases
 
 import (

@@ -1,24 +1,3 @@
-// Package conformance is the differential correctness backbone: it drives
-// the centralized Xheal reference (the xheal.Network facade over core.State)
-// and the distributed protocol engine (internal/dist) through the *same*
-// adversarial event schedule in lockstep, and after every event asserts that
-//
-//   - both engines hold identical healed graphs (the protocol's §5 claim that
-//     the distributed execution simulates Algorithm 3.1 exactly),
-//   - the paper's structural invariants hold (core.CheckInvariants: cloud
-//     structure, claims, the Theorem 2.1 degree bound),
-//   - every node's message-built local view matches the healed topology
-//     (dist.ValidateLocalViews),
-//   - the protocol cost ledger stays inside the Theorem 5 / Lemma 5 bounds
-//     (per-repair round budget, message floor, amortized message envelope),
-//   - the Theorem 2 metrics hold at checkpoints: connectivity, the O(log n)
-//     stretch envelope, the 3κ degree-ratio envelope, and positive λ₂.
-//
-// On a failure the shrinker (Shrink) delta-debugs the schedule down to a
-// locally minimal event sequence and WriteArtifact saves it as an
-// internal/trace file, so every divergence becomes a one-command repro
-// through the lockstep checker itself: `xheal-bench -conf-replay <file>`
-// (see ReproCommand).
 package conformance
 
 import (

@@ -32,12 +32,28 @@ type Batch struct {
 // insertion attaching to a node deleted in the same batch).
 var ErrBatchConflict = errors.New("core: conflicting batch")
 
-// Validate checks the batch's internal consistency against the state.
-func (s *State) validateBatch(b Batch) error {
+// ValidateBatch checks the batch's internal consistency against the current
+// state without applying anything, mirroring exactly what InsertNode and
+// DeleteNode would reject so that a validated batch cannot fail mid-apply:
+// duplicate targets, insert/delete of the same node in one timestep,
+// attachments to batch-deleted or later-inserted nodes (all
+// ErrBatchConflict), insertions of alive or used IDs (ErrNodeExists /
+// ErrReusedNodeID), deletions of absent nodes (ErrNodeMissing), and
+// self/duplicate/unknown attachments (ErrSelfInsert / ErrBadNeighbor).
+// Callers that assemble batches from concurrent submissions
+// (internal/server) use it to decide which events can share a timestep
+// before committing any of them.
+func (s *State) ValidateBatch(b Batch) error {
 	inserted := make(map[graph.NodeID]struct{}, len(b.Insertions))
 	for _, ins := range b.Insertions {
 		if _, dup := inserted[ins.Node]; dup {
 			return fmt.Errorf("node %d inserted twice: %w", ins.Node, ErrBatchConflict)
+		}
+		if s.g.HasNode(ins.Node) {
+			return fmt.Errorf("insert %d: %w", ins.Node, ErrNodeExists)
+		}
+		if _, was := s.deleted[ins.Node]; was || s.gp.HasNode(ins.Node) {
+			return fmt.Errorf("insert %d: %w", ins.Node, ErrReusedNodeID)
 		}
 		inserted[ins.Node] = struct{}{}
 	}
@@ -54,18 +70,34 @@ func (s *State) validateBatch(b Batch) error {
 			return fmt.Errorf("delete %d: %w", d, ErrNodeMissing)
 		}
 	}
+	// Insertions apply in batch order, so an attachment is only valid if its
+	// target is alive now or was inserted *earlier* in the batch.
+	soFar := make(map[graph.NodeID]struct{}, len(b.Insertions))
 	for _, ins := range b.Insertions {
+		seen := make(map[graph.NodeID]struct{}, len(ins.Neighbors))
 		for _, w := range ins.Neighbors {
+			if w == ins.Node {
+				return fmt.Errorf("insert %d: %w", ins.Node, ErrSelfInsert)
+			}
+			if _, dup := seen[w]; dup {
+				return fmt.Errorf("insert %d: duplicate neighbor %d: %w", ins.Node, w, ErrBadNeighbor)
+			}
+			seen[w] = struct{}{}
 			if _, gone := deleted[w]; gone {
 				return fmt.Errorf("insertion %d attaches to node %d deleted in the same batch: %w",
 					ins.Node, w, ErrBatchConflict)
 			}
-			_, alsoNew := inserted[w]
-			if !s.g.HasNode(w) && !alsoNew {
-				return fmt.Errorf("insertion %d attaches to unknown node %d: %w",
-					ins.Node, w, ErrBadNeighbor)
+			if _, earlier := soFar[w]; earlier || s.g.HasNode(w) {
+				continue
 			}
+			if _, later := inserted[w]; later {
+				return fmt.Errorf("insertion %d attaches to node %d inserted later in the batch: %w",
+					ins.Node, w, ErrBatchConflict)
+			}
+			return fmt.Errorf("insertion %d attaches to unknown node %d: %w",
+				ins.Node, w, ErrBadNeighbor)
 		}
+		soFar[ins.Node] = struct{}{}
 	}
 	return nil
 }
@@ -76,7 +108,7 @@ func (s *State) validateBatch(b Batch) error {
 // rejected wholesale on conflict, so a failed ApplyBatch leaves the state
 // unchanged.
 func (s *State) ApplyBatch(b Batch) error {
-	if err := s.validateBatch(b); err != nil {
+	if err := s.ValidateBatch(b); err != nil {
 		return err
 	}
 	for _, ins := range b.Insertions {

@@ -86,6 +86,48 @@ func TestApplyBatchConflicts(t *testing.T) {
 			}},
 			want: ErrBadNeighbor,
 		},
+		{
+			// Insertions apply in order: a forward reference would fail
+			// mid-apply, so validation must reject it up front to keep the
+			// wholesale-rejection guarantee.
+			name: "attach to later insertion",
+			batch: Batch{Insertions: []BatchInsertion{
+				{Node: 100, Neighbors: []graph.NodeID{101}},
+				{Node: 101, Neighbors: []graph.NodeID{1}},
+			}},
+			want: ErrBatchConflict,
+		},
+		{
+			name: "insert existing node",
+			batch: Batch{Insertions: []BatchInsertion{
+				{Node: 1, Neighbors: []graph.NodeID{2}},
+			}},
+			want: ErrNodeExists,
+		},
+		{
+			name: "self neighbor",
+			batch: Batch{Insertions: []BatchInsertion{
+				{Node: 100, Neighbors: []graph.NodeID{100}},
+			}},
+			want: ErrSelfInsert,
+		},
+		{
+			name: "duplicate neighbor",
+			batch: Batch{Insertions: []BatchInsertion{
+				{Node: 100, Neighbors: []graph.NodeID{1, 1}},
+			}},
+			want: ErrBadNeighbor,
+		},
+		{
+			// The failing event is second: without up-front validation the
+			// first insertion would already have applied.
+			name: "mid-batch failure stays wholesale",
+			batch: Batch{Insertions: []BatchInsertion{
+				{Node: 100, Neighbors: []graph.NodeID{1}},
+				{Node: 101, Neighbors: []graph.NodeID{999}},
+			}},
+			want: ErrBadNeighbor,
+		},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -177,5 +219,24 @@ func TestApplyBatchChurn(t *testing.T) {
 		if !s.Graph().IsConnected() {
 			t.Fatalf("round %d: disconnected", round)
 		}
+	}
+}
+
+// A batch insertion reusing a deleted node's ID is rejected up front, like
+// InsertNode would.
+func TestApplyBatchReusedID(t *testing.T) {
+	s := mustState(t, Config{Kappa: 4, Seed: 3}, star(6))
+	if err := s.DeleteNode(5); err != nil {
+		t.Fatalf("DeleteNode: %v", err)
+	}
+	before := s.CloneGraph()
+	err := s.ApplyBatch(Batch{Insertions: []BatchInsertion{
+		{Node: 5, Neighbors: []graph.NodeID{1}},
+	}})
+	if !errors.Is(err, ErrReusedNodeID) {
+		t.Fatalf("error = %v, want ErrReusedNodeID", err)
+	}
+	if !s.Graph().Equal(before) {
+		t.Fatal("failed batch mutated the state")
 	}
 }

@@ -37,7 +37,7 @@ func (s *State) casePrimaryOnly(v graph.NodeID, primaries []ColorID, blackNbrs [
 // none exists), and the primaries of v left uncovered by the secondary are
 // joined by a new secondary cloud.
 //
-// Deviation (DESIGN.md §2 item 1): the new secondary group additionally
+// Deviation (docs/ARCHITECTURE.md, "Design deviations" item 1): the new secondary group additionally
 // includes the re-anchored cloud, so the uncovered primaries stay connected
 // to the rest of the network even when v was their only attachment.
 func (s *State) caseSecondaryBridge(v graph.NodeID, link bridgeLink, primaries []ColorID, blackNbrs []graph.NodeID) {
@@ -312,7 +312,7 @@ func (s *State) shareInto(c *cloud, w graph.NodeID) {
 // operation). Secondary clouds all of whose anchors lie inside the combined
 // set are dissolved, freeing their bridges; secondaries with outside anchors
 // are kept and their inside anchors re-pointed at the combined cloud
-// (DESIGN.md §2 item 3). Returns the new cloud.
+// (docs/ARCHITECTURE.md, "Design deviations" item 3). Returns the new cloud.
 func (s *State) combine(groups []*cloud) *cloud {
 	groups = liveClouds(s, groups)
 	if len(groups) == 0 {

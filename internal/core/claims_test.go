@@ -6,7 +6,7 @@ import (
 	"github.com/xheal/xheal/internal/graph"
 )
 
-// These tests pin the claim-layer semantics documented in DESIGN.md §2
+// These tests pin the claim-layer semantics documented in docs/ARCHITECTURE.md ("Design deviations")
 // item 2: every physical edge is black xor cloud-colored, a cloud claim
 // absorbs the black claim (the paper's re-coloring), two clouds may share
 // one physical edge, and an edge disappears only when its last claim is

@@ -1,0 +1,40 @@
+// Package core implements the Xheal self-healing algorithm of Pandurangan &
+// Trehan (PODC 2011): a reconfigurable network under adversarial node
+// insertions and deletions is healed after every deletion by wiring
+// κ-regular expander "clouds" among the affected nodes, preserving
+// connectivity, edge expansion, spectral gap, and O(log n) stretch while
+// increasing any node's degree by at most a κ factor plus 2κ (Theorem 2).
+//
+// The package is the sequential (centralized-bookkeeping) reference
+// implementation of Algorithm 3.1: InsertNode is the paper's trivial
+// insertion case (black edges, no healing), DeleteNode dispatches the three
+// repair cases — all-black wound (Case 1), primary-cloud membership
+// (Case 2 restructuring), and secondary/bridge involvement (Cases 2.1 and
+// 2.2, in cases.go) — against the expander substrate of internal/expander.
+// Package dist drives this same repair logic through a message-passing
+// protocol with round and message accounting.
+//
+// # Model
+//
+// State tracks two graphs: the healed graph G (physical edges) and the
+// insertions-only graph G′ (original plus inserted nodes and edges, deleted
+// nodes retained), which the paper's guarantees are stated against.
+//
+// Every physical edge carries a claim set: either the black claim (original
+// or adversary-inserted edge) or one or more cloud colors. A cloud claiming
+// a black edge absorbs it (the paper's "re-coloring"); an edge disappears
+// when its last claim is released. CheckInvariants verifies the full claim
+// and cloud structure plus the Theorem 2.1 degree bound, and is asserted
+// after every event by the conformance engine.
+//
+// # Batched timesteps
+//
+// The paper admits one attack per timestep but notes the algorithm "can be
+// extended to handle multiple insertions/deletions"; Batch/ApplyBatch are
+// that extension (insertions first, then deletions healed in turn, per the
+// Lemma 2 reordering argument), ValidateBatch is its admission rule
+// (ErrBatchConflict), and DeleteNodeDelta exposes a repair's net edge delta
+// so the distributed engine can disseminate updates without diffing whole
+// graphs. The serving daemon (internal/server) coalesces concurrent client
+// events into exactly these batches.
+package core

@@ -1,24 +1,3 @@
-// Package core implements the Xheal self-healing algorithm of Pandurangan &
-// Trehan (PODC 2011): a reconfigurable network under adversarial node
-// insertions and deletions is healed after every deletion by wiring
-// κ-regular expander "clouds" among the affected nodes, preserving
-// connectivity, edge expansion, spectral gap, and O(log n) stretch while
-// increasing any node's degree by at most a κ factor plus 2κ.
-//
-// The package is the sequential (centralized-bookkeeping) reference
-// implementation of Algorithm 3.1–3.6; package dist drives the same repair
-// logic through a message-passing protocol with round/message accounting.
-//
-// # Model
-//
-// State tracks two graphs: the healed graph G (physical edges) and the
-// insertions-only graph G′ (original plus inserted nodes and edges, deleted
-// nodes retained), which the paper's guarantees are stated against.
-//
-// Every physical edge carries a claim set: either the black claim (original
-// or adversary-inserted edge) or one or more cloud colors. A cloud claiming
-// a black edge absorbs it (the paper's "re-coloring"); an edge disappears
-// when its last claim is released.
 package core
 
 import (

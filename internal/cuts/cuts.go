@@ -1,15 +1,3 @@
-// Package cuts measures edge expansion and conductance — the combinatorial
-// quantities the Xheal paper's guarantees are stated in.
-//
-// Two regimes are provided:
-//
-//   - Exact values by enumerating all vertex subsets, feasible up to roughly
-//     24 nodes. Used by unit tests and by the harness on small scenarios
-//     (e.g. the star-attack experiment where the paper's motivating numbers
-//     are exact).
-//   - Estimates for larger graphs: a Fiedler-vector sweep cut gives an upper
-//     bound (a witness cut), and the Cheeger inequality applied to λ₂ of the
-//     normalized Laplacian gives a lower bound on conductance.
 package cuts
 
 import (

@@ -1,0 +1,21 @@
+// Package cuts measures edge expansion and conductance — the combinatorial
+// quantities the Xheal paper's guarantees are stated in (Theorem 2.3's
+// expansion floor, and the conductance side of its spectral argument).
+//
+// Two regimes are provided:
+//
+//   - Exact values by enumerating all vertex subsets, feasible up to
+//     roughly 24 nodes. Used by unit tests and by the harness on small
+//     scenarios (e.g. the star-attack experiment, where the paper's
+//     motivating numbers — Xheal constant, tree repairs O(1/n) — are
+//     exact).
+//   - Estimates for larger graphs: a Fiedler-vector sweep cut gives an
+//     upper bound with an explicit witness cut, and the Cheeger inequality
+//     applied to λ₂ of the normalized Laplacian (internal/spectral) gives a
+//     lower bound on conductance, bracketing the true value from both
+//     sides.
+//
+// The two-cliques-with-a-bridge example of the paper's §1.1 — constant
+// expansion per side, O(1/n) conductance — is the canonical case the
+// sweep-cut witness reproduces; workload.TwoCliquesBridge generates it.
+package cuts

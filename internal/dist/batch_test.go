@@ -1,0 +1,97 @@
+package dist
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/xheal/xheal/internal/core"
+	"github.com/xheal/xheal/internal/graph"
+)
+
+func batchFixture(t *testing.T) *graph.Graph {
+	t.Helper()
+	g0 := graph.New()
+	for i := 1; i <= 8; i++ {
+		g0.EnsureEdge(0, graph.NodeID(i))
+		g0.EnsureEdge(graph.NodeID(i), graph.NodeID(i%8+1))
+	}
+	return g0
+}
+
+// ApplyBatch on the distributed engine must land on the same healed graph as
+// the sequential reference applying the same batch under the same seed —
+// facade parity for a daemon hosting either engine.
+func TestApplyBatchParity(t *testing.T) {
+	g0 := batchFixture(t)
+	b := core.Batch{
+		Insertions: []core.BatchInsertion{
+			{Node: 100, Neighbors: []graph.NodeID{1, 3}},
+			{Node: 101, Neighbors: []graph.NodeID{100, 5}},
+		},
+		Deletions: []graph.NodeID{0, 4},
+	}
+
+	st, err := core.NewState(core.Config{Kappa: 4, Seed: 7}, g0)
+	if err != nil {
+		t.Fatalf("NewState: %v", err)
+	}
+	if err := st.ApplyBatch(b); err != nil {
+		t.Fatalf("reference ApplyBatch: %v", err)
+	}
+
+	e, err := NewEngine(Config{Kappa: 4, Seed: 7}, g0)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	defer e.Close()
+	if err := e.ApplyBatch(b); err != nil {
+		t.Fatalf("distributed ApplyBatch: %v", err)
+	}
+
+	if !e.Graph().Equal(st.Graph()) {
+		t.Fatalf("batched graphs diverge: dist n=%d m=%d, reference n=%d m=%d",
+			e.Graph().NumNodes(), e.Graph().NumEdges(), st.Graph().NumNodes(), st.Graph().NumEdges())
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("CheckInvariants after batch: %v", err)
+	}
+	if got := e.Totals().Deletions; got != len(b.Deletions) {
+		t.Fatalf("ledger recorded %d deletions, want %d", got, len(b.Deletions))
+	}
+}
+
+// A conflicting batch is rejected wholesale before any protocol traffic.
+func TestApplyBatchConflictRejectedWholesale(t *testing.T) {
+	g0 := batchFixture(t)
+	e, err := NewEngine(Config{Kappa: 4, Seed: 7}, g0)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	defer e.Close()
+	before := e.Graph().Clone()
+
+	conflict := core.Batch{
+		Insertions: []core.BatchInsertion{{Node: 100, Neighbors: []graph.NodeID{1}}},
+		Deletions:  []graph.NodeID{100}, // inserted and deleted in one timestep
+	}
+	if err := e.ApplyBatch(conflict); !errors.Is(err, core.ErrBatchConflict) {
+		t.Fatalf("ApplyBatch(conflict) = %v, want ErrBatchConflict", err)
+	}
+	if !e.Graph().Equal(before) {
+		t.Fatal("rejected batch mutated the graph")
+	}
+	if tot := e.Totals(); tot.Rounds != 0 || tot.Messages != 0 {
+		t.Fatalf("rejected batch produced protocol traffic: %+v", tot)
+	}
+}
+
+func TestApplyBatchClosed(t *testing.T) {
+	e, err := NewEngine(Config{Kappa: 4, Seed: 7}, batchFixture(t))
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	e.Close()
+	if err := e.ApplyBatch(core.Batch{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ApplyBatch after Close = %v, want ErrClosed", err)
+	}
+}

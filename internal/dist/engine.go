@@ -216,6 +216,64 @@ func (e *Engine) Delete(v graph.NodeID) error {
 	return nil
 }
 
+// ApplyBatch applies a multi-event timestep with the same semantics as the
+// sequential reference (core.State.ApplyBatch): the batch is validated up
+// front and rejected wholesale on conflict, then every insertion runs as a
+// greeting round and every deletion as a full message-protocol repair, in
+// batch order. The cost ledger gains one entry per deletion, exactly as if
+// the adversary had presented the events back-to-back (the paper's remark
+// that the algorithm "can be extended to handle multiple
+// insertions/deletions", realized on the §5 engine so a maintenance daemon
+// can host either engine interchangeably).
+func (e *Engine) ApplyBatch(b core.Batch) error {
+	if e.closed {
+		return ErrClosed
+	}
+	if err := e.st.ValidateBatch(b); err != nil {
+		return err
+	}
+	for _, ins := range b.Insertions {
+		if err := e.Insert(ins.Node, ins.Neighbors); err != nil {
+			return fmt.Errorf("dist: batch insertion %d: %w", ins.Node, err)
+		}
+	}
+	for _, d := range b.Deletions {
+		if err := e.Delete(d); err != nil {
+			return fmt.Errorf("dist: batch deletion %d: %w", d, err)
+		}
+	}
+	return nil
+}
+
+// ValidateBatch checks a batch against the current state without applying
+// anything — the same admission rule the sequential reference uses
+// (core.State.ValidateBatch), exposed so batch assemblers (internal/server)
+// can share it across engines.
+func (e *Engine) ValidateBatch(b core.Batch) error {
+	if e.closed {
+		return ErrClosed
+	}
+	return e.st.ValidateBatch(b)
+}
+
+// Baseline returns G′: original nodes plus insertions, with deletions
+// ignored. Live view — do not modify.
+func (e *Engine) Baseline() *graph.Graph { return e.st.Baseline() }
+
+// Kappa returns the expander degree parameter κ.
+func (e *Engine) Kappa() int { return e.st.Kappa() }
+
+// CheckInvariants verifies the full internal consistency of the engine: the
+// reference state's structural invariants (cloud structure, edge claims, the
+// degree bound) plus every node's message-built local view against the
+// healed graph. Facade parity with Network.CheckInvariants.
+func (e *Engine) CheckInvariants() error {
+	if err := e.st.CheckInvariants(); err != nil {
+		return err
+	}
+	return e.ValidateLocalViews()
+}
+
 // planFor hands the current wound's repair plan to the elected leader. It is
 // called from a node goroutine; the engine wrote the plan before starting
 // the rounds, so the inbox send orders the accesses.

@@ -1,0 +1,20 @@
+// Package expander maintains a κ-regular expander — or a clique when the
+// group is small — over a mutable member set. It is the building block the
+// Xheal algorithm uses for its primary and secondary clouds (paper §3: "we
+// assume the existence of a κ-regular expander with edge expansion α > 2",
+// realized in §5 with Law–Siu H-graphs from internal/hgraph).
+//
+// Mode rules, following the paper:
+//
+//   - groups of size ≤ κ+1 are wired as a clique (every node degree ≤ κ);
+//   - larger groups are wired as a random H-graph with d = κ/2 Hamilton
+//     cycles (nominal degree κ = 2d);
+//   - when a group has lost half its peak size since the last full rebuild,
+//     the H-graph is rebuilt from scratch to restore the
+//     with-high-probability expansion guarantee (paper §5, final remark).
+//
+// A Maintainer reports every wiring change as an edge delta, which is how
+// cloud rewiring propagates into core.State's claim bookkeeping (and from
+// there into the distributed engine's per-node update messages). Members
+// views follow the same cached read-only contract as internal/graph.
+package expander

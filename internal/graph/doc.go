@@ -1,0 +1,28 @@
+// Package graph provides the dynamic undirected simple graph every other
+// subsystem in this repository builds on. It supports incremental node/edge
+// insertion and deletion, neighbor iteration in deterministic order, and
+// the traversal and statistics helpers (BFS distances, connected
+// components, diameter, articulation points, degree summaries) needed by
+// the Xheal algorithm, the distributed engine, the adversaries, and the
+// measurement tooling.
+//
+// # Cached views and the read-only contract
+//
+// Nodes, Neighbors, and Edges return sorted views served from internal
+// caches keyed by a mutation counter: the first call after a mutation
+// builds and sorts the view (one allocation), every further call until the
+// next mutation returns the same slice with zero allocations. The returned
+// slices are read-only — callers must not modify them. A retained slice
+// stays valid as a snapshot even across later mutations (rebuilds allocate
+// fresh backing arrays), but it no longer reflects the graph once a
+// mutation happens. Callers that need to modify the result must copy it;
+// callers that want to avoid the cache entirely can use the
+// zero-allocation iteration APIs (ForEachNode, ForEachNeighbor,
+// AppendNodes, AppendNeighbors). The contract is enforced by
+// alloc_test.go, so it cannot silently rot.
+//
+// Because even read methods may materialize a cached view, the graph is not
+// safe for any concurrent use — including concurrent reads — without
+// external synchronization (internal/server serializes all access to its
+// engine's graphs for exactly this reason).
+package graph

@@ -1,9 +1,3 @@
-// Package harness drives the experiments that reproduce the paper's
-// analysis: it runs adversarial scenarios against Xheal and the baseline
-// healers in lockstep, collects metric snapshots, and renders the result
-// tables recorded in EXPERIMENTS.md. Each experiment (E1–E12) maps to one
-// theorem, lemma, corollary, or motivating example of the paper; see
-// DESIGN.md §3 for the index.
 package harness
 
 import (

@@ -1,0 +1,18 @@
+// Package hgraph implements the Law–Siu random H-graph construction the
+// Xheal paper uses as its distributed expander primitive (paper §5, citing
+// Law & Siu, INFOCOM 2003).
+//
+// An H-graph over a vertex set of size z ≥ 3 is a 2d-regular multigraph
+// whose edge set is the union of d Hamilton cycles. Picking each cycle
+// independently and uniformly at random yields an expander with high
+// probability (paper Theorem 4, expansion Ω(d)), and the distribution is
+// preserved under the incremental INSERT and DELETE operations implemented
+// here (paper Theorem 3): an inserted vertex splices itself into d random
+// cycle positions, a deleted vertex's cycle neighbors reconnect around it.
+// That maintainability under churn is what makes the construction usable
+// as Xheal's cloud substrate — internal/expander layers the clique/H-graph
+// mode rules and rebuild policy on top.
+//
+// The multigraph bookkeeping (cycle successor/predecessor maps) is internal;
+// Graph projects the simple-graph view the rest of the repository consumes.
+package hgraph

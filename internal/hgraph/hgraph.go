@@ -1,13 +1,3 @@
-// Package hgraph implements the Law–Siu random H-graph construction the
-// Xheal paper uses as its distributed expander primitive (paper §5, citing
-// Law & Siu, INFOCOM 2003).
-//
-// An H-graph over a vertex set of size z ≥ 3 is a 2d-regular multigraph
-// whose edge set is the union of d Hamilton cycles. Picking each cycle
-// independently and uniformly at random yields an expander with high
-// probability (paper Theorem 4, expansion Ω(d)), and the distribution is
-// preserved under the incremental INSERT and DELETE operations below (paper
-// Theorem 3), which is what makes it maintainable in a dynamic network.
 package hgraph
 
 import (

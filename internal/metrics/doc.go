@@ -1,0 +1,21 @@
+// Package metrics measures the quantities the Xheal paper's guarantees are
+// stated in (Theorem 2): per-node degree increase versus G′ (2.1), pairwise
+// stretch versus G′ (2.2), edge expansion and conductance (2.3), and the
+// algebraic connectivity λ₂ with its Theorem 2.4 floor — switching between
+// exact and estimated computation by graph size.
+//
+// Measure produces one Snapshot of a healed graph against its
+// insertions-only baseline. Config tunes the cost/fidelity trade-off:
+// exact expansion/conductance below the enumeration cutoff versus
+// sweep-cut witnesses above it (internal/cuts), full all-pairs stretch
+// versus sampled sources (StretchSources), spectral computation on or off
+// (SkipSpectral — the serving daemon's health endpoint and other tight
+// loops skip it), and opt-in sweep cuts (SweepCuts — only callers that
+// read the witness bounds pay for the eigenvector). DegreeBoundRatio,
+// StretchBound, and SpectralFloor are the envelope formulas the
+// conformance checker and the harness assert against.
+//
+// The empirical mixing-time walk (mixing.go) backs the paper's "mixing
+// time degrades gracefully" remark, evolving a distribution on the same
+// CSR snapshot the Lanczos path uses.
+package metrics

@@ -1,8 +1,3 @@
-// Package metrics measures the quantities the Xheal paper's guarantees are
-// stated in (Theorem 2): per-node degree increase versus G′, pairwise
-// stretch versus G′, edge expansion / conductance, and the algebraic
-// connectivity λ₂ — switching between exact and estimated computation by
-// graph size.
 package metrics
 
 import (

@@ -1,0 +1,16 @@
+// Package routing implements the paper's first future-work item ("Can we
+// efficiently find new routes to replace the routes damaged by the
+// deletions?"): a route table maintained on top of the healed graph, with
+// *localized* route repair.
+//
+// A Table pins routes between (source, destination) pairs. When a deletion
+// breaks a route, Repair splices the gap locally: it keeps the undamaged
+// prefix and suffix and searches for a short detour between the endpoints
+// adjacent to the damage. Because Xheal replaces every deleted node with an
+// expander cloud of logarithmic diameter, the detour is short and the
+// repair touches only the neighborhood of the wound; RepairStats counts
+// reused hops, detour lengths, and full-recompute fallbacks, and the
+// route-repair experiment (and examples/route-repair) reports the measured
+// locality. The paper's O(log n) stretch bound (Theorem 2.2) is what makes
+// the spliced routes competitive with recomputed ones.
+package routing

@@ -1,15 +1,3 @@
-// Package routing implements the paper's first future-work item ("Can we
-// efficiently find new routes to replace the routes damaged by the
-// deletions?"): a route table maintained on top of the healed graph, with
-// *localized* route repair.
-//
-// A Table pins routes between (source, destination) pairs. When a deletion
-// breaks a route, Repair splices the gap locally: it keeps the undamaged
-// prefix and suffix and searches for a short detour between the endpoints
-// adjacent to the damage. Because Xheal replaces every deleted node with an
-// expander cloud of diameter O(log κ-cloud-size), the detour is short and
-// the repair touches only the neighborhood of the wound — the measured
-// locality (fraction of reused hops) is the experiment this package backs.
 package routing
 
 import (

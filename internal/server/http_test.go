@@ -1,0 +1,129 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func startHTTP(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	g0, _ := testTopology(t, 8)
+	s, _ := newSeqServer(t, g0, Config{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func post(t *testing.T, url, body string) (int, IngestResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/events", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	var out IngestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestHTTPIngest(t *testing.T) {
+	s, ts := startHTTP(t)
+
+	code, out := post(t, ts.URL, `{"kind":"insert","node":100,"neighbors":[0,1]}`)
+	if code != http.StatusOK || out.Applied != 1 || out.Error != "" {
+		t.Fatalf("single insert: code=%d out=%+v", code, out)
+	}
+	code, out = post(t, ts.URL,
+		`[{"kind":"insert","node":101,"neighbors":[100]},{"kind":"delete","node":100}]`)
+	if code != http.StatusOK || out.Applied != 2 {
+		t.Fatalf("array ingest: code=%d out=%+v", code, out)
+	}
+	if c := s.Counters(); c.EventsApplied != 3 {
+		t.Fatalf("EventsApplied = %d, want 3", c.EventsApplied)
+	}
+
+	// Conflicts map to 409; Applied reports the prefix that landed.
+	code, out = post(t, ts.URL,
+		`[{"kind":"insert","node":102,"neighbors":[0]},{"kind":"delete","node":100}]`)
+	if code != http.StatusConflict || out.Applied != 1 || out.Error == "" {
+		t.Fatalf("conflict: code=%d out=%+v", code, out)
+	}
+	// Bad neighbors are 422, malformed bodies 400, bad kinds 400.
+	if code, _ = post(t, ts.URL, `{"kind":"insert","node":103,"neighbors":[103]}`); code != http.StatusUnprocessableEntity {
+		t.Fatalf("self insert: code=%d", code)
+	}
+	if code, _ = post(t, ts.URL, `{not json`); code != http.StatusBadRequest {
+		t.Fatalf("malformed: code=%d", code)
+	}
+	if code, _ = post(t, ts.URL, `{"kind":"upsert","node":1}`); code != http.StatusBadRequest {
+		t.Fatalf("bad kind: code=%d", code)
+	}
+	if code, _ = post(t, ts.URL, ``); code != http.StatusBadRequest {
+		t.Fatalf("empty body: code=%d", code)
+	}
+}
+
+func TestHTTPHealthAndMetrics(t *testing.T) {
+	_, ts := startHTTP(t)
+	if code, _ := post(t, ts.URL, `{"kind":"insert","node":100,"neighbors":[0,1]}`); code != http.StatusOK {
+		t.Fatalf("seed insert failed: %d", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/health")
+	if err != nil {
+		t.Fatalf("GET health: %v", err)
+	}
+	defer resp.Body.Close()
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("decode health: %v", err)
+	}
+	if h.Status != "ok" || !h.Connected || h.Nodes != 9 || h.Counters.EventsApplied != 1 {
+		t.Fatalf("health = %+v", h)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET metrics: %v", err)
+	}
+	defer mresp.Body.Close()
+	body, _ := io.ReadAll(mresp.Body)
+	text := string(body)
+	for _, want := range []string{
+		"xheal_serve_events_applied_total 1",
+		"xheal_serve_nodes 9",
+		"xheal_serve_connected 1",
+		"# TYPE xheal_serve_ticks_total counter",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, text)
+		}
+	}
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content-type = %q", ct)
+	}
+}
+
+func TestHTTPBodyTooLarge(t *testing.T) {
+	_, ts := startHTTP(t)
+	big := bytes.Repeat([]byte{' '}, maxBodyBytes+2)
+	big[0] = '{'
+	resp, err := http.Post(ts.URL+"/v1/events", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("code = %d, want 413", resp.StatusCode)
+	}
+}

@@ -1,0 +1,48 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// PrometheusText renders the serving counters and basic topology gauges in
+// the Prometheus text exposition format (version 0.0.4) — hand-rolled on
+// purpose: the repo takes no dependencies, and the format is lines.
+func (s *Server) PrometheusText() string {
+	s.mu.Lock()
+	c := s.counters
+	g := s.eng.Graph().Clone() // connectivity is computed outside the lock
+	s.mu.Unlock()
+	nodes, edges := g.NumNodes(), g.NumEdges()
+	connected := 0
+	if g.IsConnected() {
+		connected = 1
+	}
+	c.EventsBacklogged = s.backlogged.Load()
+
+	var b strings.Builder
+	counter := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("xheal_serve_ticks_total", "Applied timesteps (batches).", float64(c.Ticks))
+	counter("xheal_serve_events_applied_total", "Events applied across all ticks.", float64(c.EventsApplied))
+	counter("xheal_serve_inserts_applied_total", "Insertions applied.", float64(c.InsertsApplied))
+	counter("xheal_serve_deletes_applied_total", "Deletions applied (healed).", float64(c.DeletesApplied))
+	counter("xheal_serve_events_rejected_total", "Events rejected with an error.", float64(c.EventsRejected))
+	counter("xheal_serve_events_backlogged_total", "Submissions refused by queue backpressure.", float64(c.EventsBacklogged))
+	counter("xheal_serve_events_deferred_total", "Tick-to-tick conflict deferrals.", float64(c.EventsDeferred))
+	counter("xheal_serve_apply_seconds_total", "Cumulative engine time applying batches.", c.ApplySeconds)
+	counter("xheal_serve_event_wait_seconds_total", "Cumulative submit-to-applied latency over applied events.", c.WaitSeconds)
+	gauge("xheal_serve_batch_events_last", "Events in the most recent batch.", float64(c.BatchLast))
+	gauge("xheal_serve_batch_events_max", "Largest batch applied so far.", float64(c.BatchMax))
+	gauge("xheal_serve_queue_depth", "Events accepted but not yet applied.", float64(s.QueueDepth()))
+	gauge("xheal_serve_nodes", "Alive nodes in the healed graph.", float64(nodes))
+	gauge("xheal_serve_edges", "Edges in the healed graph.", float64(edges))
+	gauge("xheal_serve_connected", "1 when the healed graph is connected.", float64(connected))
+	gauge("xheal_serve_uptime_seconds", "Seconds since the daemon started.", time.Since(s.start).Seconds())
+	return b.String()
+}

@@ -1,0 +1,545 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/xheal/xheal/internal/adversary"
+	"github.com/xheal/xheal/internal/core"
+	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/metrics"
+	"github.com/xheal/xheal/internal/trace"
+)
+
+// Engine is the healing engine a Server drives. Both core.State (the
+// sequential Algorithm 3.1 reference) and dist.Engine (the §5 message
+// protocol) satisfy it, so a daemon hosts either interchangeably.
+type Engine interface {
+	ApplyBatch(core.Batch) error
+	ValidateBatch(core.Batch) error
+	Graph() *graph.Graph
+	Baseline() *graph.Graph
+	Kappa() int
+	CheckInvariants() error
+}
+
+// Sentinel errors.
+var (
+	// ErrClosed is returned by Submit after Close has begun.
+	ErrClosed = errors.New("server: closed")
+	// ErrBacklog is the backpressure signal: the bounded ingest queue is
+	// full and the event was not accepted.
+	ErrBacklog = errors.New("server: ingest queue is full")
+	// ErrTooManyConflicts rejects an event deferred past Config.MaxDefer
+	// ticks by repeated intra-tick conflicts.
+	ErrTooManyConflicts = errors.New("server: event conflicted for too many consecutive ticks")
+	// ErrTooFewNodes rejects a deletion that would shrink the network below
+	// Config.MinNodes.
+	ErrTooFewNodes = errors.New("server: deletion refused, too few nodes would remain")
+)
+
+// Config parameterizes a Server. The zero value is usable: immediate ticks,
+// defaults for every bound, no event log.
+type Config struct {
+	// Tick is the coalescing window: once the loop picks up a first event it
+	// keeps gathering arrivals for this long (capped by MaxBatch) before
+	// applying the batch. 0 applies whatever has already arrived — batching
+	// then emerges from submissions that pile up while a batch is applying.
+	Tick time.Duration
+	// QueueDepth bounds the ingest queue (default 1024). A full queue fails
+	// Submit with ErrBacklog.
+	QueueDepth int
+	// MaxBatch caps events per timestep (default 256).
+	MaxBatch int
+	// MaxDefer caps how many consecutive ticks one event may be deferred by
+	// intra-tick conflicts before it is rejected (default 4).
+	MaxDefer int
+	// MinNodes refuses deletions that would leave fewer alive nodes
+	// (default 2: healing and measurement both want a non-trivial graph).
+	MinNodes int
+	// Log, when set, receives every applied event in application order.
+	// The server serializes Append calls and Closes the log on Close.
+	Log *trace.LogWriter
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth > 0 {
+		return c.QueueDepth
+	}
+	return 1024
+}
+
+func (c Config) maxBatch() int {
+	if c.MaxBatch > 0 {
+		return c.MaxBatch
+	}
+	return 256
+}
+
+func (c Config) maxDefer() int {
+	if c.MaxDefer > 0 {
+		return c.MaxDefer
+	}
+	return 4
+}
+
+func (c Config) minNodes() int {
+	if c.MinNodes > 0 {
+		return c.MinNodes
+	}
+	return 2
+}
+
+// Counters are the serving-work counters, readable via Counters or the
+// /metrics endpoint while the daemon runs.
+type Counters struct {
+	// Ticks is the number of applied timesteps (empty ticks don't count).
+	Ticks uint64
+	// EventsApplied = InsertsApplied + DeletesApplied.
+	EventsApplied  uint64
+	InsertsApplied uint64
+	DeletesApplied uint64
+	// EventsRejected counts events refused with an error (invalid target,
+	// defer cap, engine rejection); EventsBacklogged counts ErrBacklog
+	// refusals at the queue; EventsDeferred counts tick-to-tick deferrals
+	// (one event deferred twice counts twice).
+	EventsRejected   uint64
+	EventsBacklogged uint64
+	EventsDeferred   uint64
+	// BatchLast and BatchMax track applied batch sizes in events.
+	BatchLast int
+	BatchMax  int
+	// ApplySeconds is cumulative engine time inside ApplyBatch;
+	// WaitSeconds is cumulative submit→applied latency across all applied
+	// events. Divide by Ticks / EventsApplied for means.
+	ApplySeconds float64
+	WaitSeconds  float64
+}
+
+// Server is the maintenance daemon. Create with New, drive with Submit (or
+// the HTTP handler), stop with Close.
+type Server struct {
+	cfg Config
+	eng Engine
+
+	queue chan *submission
+	carry []*submission
+	stopc chan struct{}
+	done  chan struct{}
+
+	closeMu sync.RWMutex
+	closed  bool
+
+	mu       sync.Mutex // guards eng, counters, cfg.Log
+	counters Counters
+	logErr   error
+
+	backlogged atomic.Uint64
+	carried    atomic.Int64 // mirrors len(carry) for QueueDepth readers
+	start      time.Time
+}
+
+type submission struct {
+	ev     adversary.Event
+	done   chan error
+	at     time.Time
+	defers int
+}
+
+// New starts the daemon over eng. The engine must not be touched by anyone
+// else until Close returns (the server owns it, including reads).
+func New(eng Engine, cfg Config) *Server {
+	s := &Server{
+		cfg:   cfg,
+		eng:   eng,
+		queue: make(chan *submission, cfg.queueDepth()),
+		stopc: make(chan struct{}),
+		done:  make(chan struct{}),
+		start: time.Now(),
+	}
+	go s.loop()
+	return s
+}
+
+// Submit enqueues one event and blocks until it is applied (nil), rejected
+// (an error explaining why), refused by backpressure (ErrBacklog), or ctx
+// ends. A context cancellation does not retract the event — it may still be
+// applied after Submit returns.
+func (s *Server) Submit(ctx context.Context, ev adversary.Event) error {
+	sub, err := s.submitAsync(ev)
+	if err != nil {
+		return err
+	}
+	select {
+	case err := <-sub.done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// submitAsync enqueues one event without waiting for its verdict, so a
+// caller holding several events (the HTTP array ingest) can land them all
+// in the same coalescing window and await the verdicts afterwards.
+func (s *Server) submitAsync(ev adversary.Event) (*submission, error) {
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		return nil, ErrClosed
+	}
+	sub := &submission{ev: ev, done: make(chan error, 1), at: time.Now()}
+	select {
+	case s.queue <- sub:
+		s.closeMu.RUnlock()
+		return sub, nil
+	default:
+		s.closeMu.RUnlock()
+		s.backlogged.Add(1)
+		return nil, ErrBacklog
+	}
+}
+
+// loop is the single goroutine that owns batching: it waits for work,
+// gathers one tick's worth of submissions, and applies them as one batch.
+func (s *Server) loop() {
+	defer close(s.done)
+	for {
+		var first *submission
+		if len(s.carry) == 0 {
+			select {
+			case <-s.stopc:
+				s.drain()
+				return
+			case first = <-s.queue:
+			}
+		} else {
+			select {
+			case <-s.stopc:
+				s.drain()
+				return
+			default:
+			}
+		}
+		s.tick(first)
+	}
+}
+
+// takeCarry empties the deferred-submission buffer. carry is owned by the
+// loop goroutine (tick, drain, and apply all run on it); the atomic carried
+// mirror is what concurrent QueueDepth readers see.
+func (s *Server) takeCarry() []*submission {
+	pending := s.carry
+	s.carry = nil
+	s.carried.Store(0)
+	return pending
+}
+
+// tick gathers submissions for one coalescing window and applies them.
+func (s *Server) tick(first *submission) {
+	pending := s.takeCarry()
+	if first != nil {
+		pending = append(pending, first)
+	}
+	max := s.cfg.maxBatch()
+	if s.cfg.Tick > 0 {
+		deadline := time.NewTimer(s.cfg.Tick)
+		defer deadline.Stop()
+	gather:
+		for len(pending) < max {
+			select {
+			case sub := <-s.queue:
+				pending = append(pending, sub)
+			case <-deadline.C:
+				break gather
+			case <-s.stopc:
+				break gather
+			}
+		}
+	} else {
+	drainNow:
+		for len(pending) < max {
+			select {
+			case sub := <-s.queue:
+				pending = append(pending, sub)
+			default:
+				break drainNow
+			}
+		}
+	}
+	s.apply(pending)
+}
+
+// drain finishes everything already accepted into the queue after Close:
+// Submit can no longer enqueue (closed is set before stopc closes), so the
+// queue only shrinks. Every remaining submission is applied or answered.
+func (s *Server) drain() {
+	for {
+		pending := s.takeCarry()
+	empty:
+		for {
+			select {
+			case sub := <-s.queue:
+				pending = append(pending, sub)
+			default:
+				break empty
+			}
+		}
+		if len(pending) == 0 {
+			s.mu.Lock()
+			if s.cfg.Log != nil {
+				if err := s.cfg.Log.Close(); s.logErr == nil {
+					s.logErr = err
+				}
+			}
+			s.mu.Unlock()
+			return
+		}
+		// Cap the batch; anything beyond it carries into the next pass.
+		max := s.cfg.maxBatch()
+		if len(pending) > max {
+			s.carry = append(s.carry, pending[max:]...)
+			s.carried.Store(int64(len(s.carry)))
+			pending = pending[:max]
+		}
+		s.apply(pending)
+	}
+}
+
+// batchState tracks one tick's in-assembly batch for conflict admission.
+type batchState struct {
+	batch   core.Batch
+	members []*submission
+}
+
+// admit decides whether sub's event can join this tick's batch. The rule is
+// core.ValidateBatch itself — the prospective batch (assembled so far plus
+// this event) is validated through the engine, so the server cannot drift
+// from the engines' own admission semantics and an admitted batch cannot be
+// rejected at apply time. A prospective-batch ErrBatchConflict means the
+// event only clashes with *this* timestep (delete of a node inserted or
+// attached this tick, duplicate target, ...) and defers; any other
+// validation error is a property of the event itself and rejects it.
+// Returns (accepted, rejection): deferred events return (false, nil).
+func (s *Server) admit(bs *batchState, sub *submission) (bool, error) {
+	ev := sub.ev
+	cand := bs.batch
+	switch ev.Kind {
+	case adversary.Insert:
+		// Serving policy on top of the shared rule: an unattached insertion
+		// would disconnect the healed graph, so the daemon refuses it.
+		if len(ev.Neighbors) == 0 {
+			return false, fmt.Errorf("insert %d: no neighbors: %w", ev.Node, core.ErrBadNeighbor)
+		}
+		cand.Insertions = append(cand.Insertions, core.BatchInsertion{
+			Node: ev.Node, Neighbors: ev.Neighbors,
+		})
+	case adversary.Delete:
+		// Serving policy: keep a non-trivial graph alive.
+		alive := s.eng.Graph().NumNodes() + len(bs.batch.Insertions) - len(bs.batch.Deletions)
+		if alive-1 < s.cfg.minNodes() {
+			return false, fmt.Errorf("delete %d: %w", ev.Node, ErrTooFewNodes)
+		}
+		cand.Deletions = append(cand.Deletions, ev.Node)
+	default:
+		return false, fmt.Errorf("unknown event kind %d", int(ev.Kind))
+	}
+	if err := s.eng.ValidateBatch(cand); err != nil {
+		if errors.Is(err, core.ErrBatchConflict) {
+			return false, nil
+		}
+		return false, err
+	}
+	bs.batch = cand
+	return true, nil
+}
+
+// apply admits pending submissions in arrival order, applies the resulting
+// batch, logs it, and answers every submission.
+func (s *Server) apply(pending []*submission) {
+	if len(pending) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	bs := &batchState{}
+	for _, sub := range pending {
+		ok, rejection := s.admit(bs, sub)
+		switch {
+		case ok:
+			bs.members = append(bs.members, sub)
+		case rejection != nil:
+			s.counters.EventsRejected++
+			sub.done <- rejection
+		default:
+			sub.defers++
+			if sub.defers > s.cfg.maxDefer() {
+				s.counters.EventsRejected++
+				sub.done <- fmt.Errorf("%s %d after %d deferrals: %w",
+					sub.ev.Kind, sub.ev.Node, sub.defers-1, ErrTooManyConflicts)
+				continue
+			}
+			s.counters.EventsDeferred++
+			s.carry = append(s.carry, sub)
+			s.carried.Store(int64(len(s.carry)))
+		}
+	}
+	if len(bs.members) == 0 {
+		return
+	}
+
+	applyStart := time.Now()
+	err := s.eng.ApplyBatch(bs.batch)
+	applied := time.Since(applyStart)
+	if err != nil {
+		// Admission should have prevented this; fail the whole timestep
+		// (ApplyBatch rejects wholesale) and tell every member why.
+		for _, sub := range bs.members {
+			s.counters.EventsRejected++
+			sub.done <- fmt.Errorf("batch rejected: %w", err)
+		}
+		return
+	}
+
+	if s.cfg.Log != nil && s.logErr == nil {
+		s.logErr = s.logBatch(bs.batch)
+	}
+
+	s.counters.Ticks++
+	s.counters.ApplySeconds += applied.Seconds()
+	s.counters.BatchLast = len(bs.members)
+	if len(bs.members) > s.counters.BatchMax {
+		s.counters.BatchMax = len(bs.members)
+	}
+	now := time.Now()
+	for _, sub := range bs.members {
+		s.counters.EventsApplied++
+		if sub.ev.Kind == adversary.Insert {
+			s.counters.InsertsApplied++
+		} else {
+			s.counters.DeletesApplied++
+		}
+		s.counters.WaitSeconds += now.Sub(sub.at).Seconds()
+		sub.done <- nil
+	}
+}
+
+// logBatch appends one applied batch to the event log in exact application
+// order: all insertions, then all deletions.
+func (s *Server) logBatch(b core.Batch) error {
+	for _, ins := range b.Insertions {
+		ev := adversary.Event{Kind: adversary.Insert, Node: ins.Node, Neighbors: ins.Neighbors}
+		if err := s.cfg.Log.Append(ev); err != nil {
+			return err
+		}
+	}
+	for _, d := range b.Deletions {
+		if err := s.cfg.Log.Append(adversary.Event{Kind: adversary.Delete, Node: d}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Counters returns a snapshot of the serving-work counters.
+func (s *Server) Counters() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.counters
+	c.EventsBacklogged = s.backlogged.Load()
+	return c
+}
+
+// QueueDepth reports events accepted but not yet applied (queued plus
+// carried deferrals). Approximate while the loop is moving.
+func (s *Server) QueueDepth() int { return len(s.queue) + int(s.carried.Load()) }
+
+// Health is one live health snapshot.
+type Health struct {
+	// Status is "ok", or "degraded" when the healed graph is disconnected.
+	Status string `json:"status"`
+	// Engine-level facts.
+	Nodes     int  `json:"nodes"`
+	Edges     int  `json:"edges"`
+	Connected bool `json:"connected"`
+	Kappa     int  `json:"kappa"`
+	// Snapshot is the MeasureFast-style measurement (no spectral work,
+	// sampled stretch) of the healed graph against G′.
+	Snapshot metrics.Snapshot `json:"snapshot"`
+	// Serving state.
+	Counters      Counters `json:"counters"`
+	QueueDepth    int      `json:"queue_depth"`
+	UptimeSeconds float64  `json:"uptime_seconds"`
+}
+
+// Health measures the current healed graph (MeasureFast-equivalent: skips
+// spectral computation, samples stretch) and snapshots the counters. The
+// graphs are cloned under the lock and measured outside it, so a health
+// poll costs the apply loop one copy, not a full measurement pass.
+func (s *Server) Health() Health {
+	s.mu.Lock()
+	g, gp := s.eng.Graph().Clone(), s.eng.Baseline().Clone()
+	kappa := s.eng.Kappa()
+	c := s.counters
+	s.mu.Unlock()
+	snap := metrics.Measure(g, gp, metrics.Config{
+		SkipSpectral:   true,
+		StretchSources: 4,
+		Rng:            rand.New(rand.NewSource(1)),
+	})
+	c.EventsBacklogged = s.backlogged.Load()
+
+	status := "ok"
+	if !snap.Connected {
+		status = "degraded"
+	}
+	return Health{
+		Status:        status,
+		Nodes:         snap.Nodes,
+		Edges:         snap.Edges,
+		Connected:     snap.Connected,
+		Kappa:         kappa,
+		Snapshot:      snap,
+		Counters:      c,
+		QueueDepth:    s.QueueDepth(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+}
+
+// CheckInvariants runs the engine's structural invariant check under the
+// server's lock (safe while serving).
+func (s *Server) CheckInvariants() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.CheckInvariants()
+}
+
+// Graph returns a copy of the current healed graph, safe to use after the
+// server keeps mutating.
+func (s *Server) Graph() *graph.Graph {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Graph().Clone()
+}
+
+// Close stops intake, drains and applies everything already accepted,
+// finishes the event log, and waits for the loop to exit. Idempotent. The
+// returned error is the first event-log write failure, if any.
+func (s *Server) Close() error {
+	s.closeMu.Lock()
+	already := s.closed
+	s.closed = true
+	s.closeMu.Unlock()
+	if !already {
+		close(s.stopc)
+	}
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.logErr
+}

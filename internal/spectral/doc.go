@@ -1,0 +1,24 @@
+// Package spectral provides the thin linear-algebra toolkit used to
+// measure the spectral properties the Xheal paper reasons about: graph
+// Laplacians (combinatorial and normalized), the algebraic connectivity λ₂
+// (second-smallest Laplacian eigenvalue, the quantity of Theorem 2.4), and
+// the eigenvector machinery behind the Cheeger-inequality conductance
+// brackets and Fiedler sweep cuts of internal/cuts.
+//
+// Two eigensolvers are provided, both from scratch on the standard
+// library:
+//
+//   - A cyclic Jacobi rotation solver for dense symmetric matrices. It is
+//     simple, numerically robust, and returns the full spectrum; used for
+//     small/medium graphs and as the reference oracle in tests.
+//   - A Lanczos iteration with full reorthogonalization plus a
+//     Sturm-sequence bisection solver for the resulting tridiagonal
+//     matrix; used for larger graphs where only extreme eigenvalues are
+//     needed.
+//
+// Above the dense cutoff the Lanczos path is matrix-free: it multiplies
+// against a compressed-sparse-row snapshot of the adjacency (csr.go) —
+// O(n+m) memory instead of the O(n²) dense Laplacian — which is what keeps
+// λ₂ estimation usable inside experiment loops and the measurement
+// tooling. AlgebraicConnectivity picks the right path by size.
+package spectral

@@ -1,16 +1,3 @@
-// Package spectral provides the thin linear-algebra toolkit used to measure
-// the spectral properties the Xheal paper reasons about: graph Laplacians,
-// the algebraic connectivity λ₂ (second-smallest Laplacian eigenvalue), and
-// Cheeger-inequality brackets on conductance.
-//
-// Two eigensolvers are provided, both from scratch on the standard library:
-//
-//   - A cyclic Jacobi rotation solver for dense symmetric matrices. It is
-//     simple, numerically robust, and returns the full spectrum; used for
-//     small/medium graphs and as the reference oracle in tests.
-//   - A Lanczos iteration with full reorthogonalization plus a Sturm-sequence
-//     bisection solver for the resulting tridiagonal matrix; used for larger
-//     graphs where only extreme eigenvalues are needed.
 package spectral
 
 import (

@@ -1,0 +1,26 @@
+// Package trace records and replays adversarial event sequences as JSON.
+// Recorded traces make runs reproducible across machines and make failures
+// shareable: xheal-sim can -record a run and -replay it later against any
+// healer, the conformance shrinker saves minimized divergence schedules as
+// trace artifacts with one-command repros, and the test suite replays
+// golden traces as regression anchors.
+//
+// Two on-disk forms load through the same Load entry point:
+//
+//   - A recorded trace (Save): one indented JSON document holding the
+//     initial topology and the full event list. Produced after a run
+//     completes.
+//   - An append-only event log (LogWriter): the same schema streamed as a
+//     header value followed by one event value per line. Produced while a
+//     run is still happening — the serving daemon (internal/server)
+//     appends every applied batch in application order, so a live service
+//     can be replayed without ever buffering its history in memory, and a
+//     crash loses at most the final partial line.
+//
+// Replay is exact by construction: Initial rebuilds the starting graph,
+// Adversary replays the events through the standard adversary interface,
+// and because healing randomness is seeded, the same trace + κ + seed
+// reproduces the same final topology bit-for-bit (the property
+// internal/server's replay verification and the conformance repro commands
+// rely on).
+package trace

@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/xheal/xheal/internal/adversary"
+	"github.com/xheal/xheal/internal/graph"
+)
+
+func logFixture(t *testing.T) (*graph.Graph, []adversary.Event) {
+	t.Helper()
+	g0 := graph.New()
+	g0.EnsureEdge(0, 1)
+	g0.EnsureEdge(1, 2)
+	g0.EnsureEdge(2, 0)
+	return g0, []adversary.Event{
+		{Kind: adversary.Insert, Node: 10, Neighbors: []graph.NodeID{0, 2}},
+		{Kind: adversary.Delete, Node: 1},
+		{Kind: adversary.Insert, Node: 11, Neighbors: []graph.NodeID{10}},
+	}
+}
+
+func TestLogWriterRoundTrip(t *testing.T) {
+	g0, events := logFixture(t)
+	var buf bytes.Buffer
+	lw, err := NewLogWriter(&buf, g0)
+	if err != nil {
+		t.Fatalf("NewLogWriter: %v", err)
+	}
+	for _, ev := range events {
+		if err := lw.Append(ev); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if lw.Events() != len(events) {
+		t.Fatalf("Events() = %d, want %d", lw.Events(), len(events))
+	}
+	if err := lw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := lw.Append(events[0]); !errors.Is(err, ErrLogClosed) {
+		t.Fatalf("Append after Close = %v, want ErrLogClosed", err)
+	}
+
+	tr, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if !tr.Initial().Equal(g0) {
+		t.Fatal("loaded initial graph differs from g0")
+	}
+	if len(tr.Events) != len(events) {
+		t.Fatalf("loaded %d events, want %d", len(tr.Events), len(events))
+	}
+	adv, err := tr.Adversary()
+	if err != nil {
+		t.Fatalf("Adversary: %v", err)
+	}
+	for i, want := range events {
+		got, ok := adv.Next(nil)
+		if !ok {
+			t.Fatalf("adversary ended at event %d", i)
+		}
+		if got.Kind != want.Kind || got.Node != want.Node {
+			t.Fatalf("event %d = %v %d, want %v %d", i, got.Kind, got.Node, want.Kind, want.Node)
+		}
+	}
+}
+
+// A log equals the one-document trace of the same run once loaded: the two
+// on-disk forms are interchangeable for every consumer of Load.
+func TestLogMatchesRecordedTrace(t *testing.T) {
+	g0, events := logFixture(t)
+
+	var logBuf bytes.Buffer
+	lw, err := NewLogWriter(&logBuf, g0)
+	if err != nil {
+		t.Fatalf("NewLogWriter: %v", err)
+	}
+	for _, ev := range events {
+		if err := lw.Append(ev); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+
+	var docBuf bytes.Buffer
+	if err := FromEvents(g0, events).Save(&docBuf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+
+	fromLog, err := Load(&logBuf)
+	if err != nil {
+		t.Fatalf("Load(log): %v", err)
+	}
+	fromDoc, err := Load(&docBuf)
+	if err != nil {
+		t.Fatalf("Load(doc): %v", err)
+	}
+	var a, b bytes.Buffer
+	if err := fromLog.Save(&a); err != nil {
+		t.Fatalf("re-save log: %v", err)
+	}
+	if err := fromDoc.Save(&b); err != nil {
+		t.Fatalf("re-save doc: %v", err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("log and recorded trace load differently:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+// A crash-truncated log (partial final line) fails to load with a clear
+// error rather than silently dropping the tail.
+func TestLogTruncatedTail(t *testing.T) {
+	g0, events := logFixture(t)
+	var buf bytes.Buffer
+	lw, err := NewLogWriter(&buf, g0)
+	if err != nil {
+		t.Fatalf("NewLogWriter: %v", err)
+	}
+	for _, ev := range events {
+		if err := lw.Append(ev); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	cut := buf.String()
+	cut = cut[:len(cut)-5] // chop into the last event's JSON
+	if _, err := Load(strings.NewReader(cut)); err == nil {
+		t.Fatal("Load of truncated log succeeded, want error")
+	}
+}

@@ -1,7 +1,3 @@
-// Package trace records and replays adversarial event sequences as JSON.
-// Recorded traces make runs reproducible across machines and make failures
-// shareable: xheal-sim can -record a run and -replay it later against any
-// healer, and the test suite replays golden traces as regression anchors.
 package trace
 
 import (
@@ -119,11 +115,22 @@ func (t *Trace) Save(w io.Writer) error {
 	return nil
 }
 
-// Load reads a trace written by Save.
+// Load reads a trace written by Save, or an append-only event log written by
+// LogWriter (the header value followed by one Event value per line — the
+// trailing events are folded into Trace.Events, so both forms replay
+// identically).
 func Load(r io.Reader) (*Trace, error) {
+	dec := json.NewDecoder(r)
 	var t Trace
-	if err := json.NewDecoder(r).Decode(&t); err != nil {
+	if err := dec.Decode(&t); err != nil {
 		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	for dec.More() {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			return nil, fmt.Errorf("trace: decode log event %d: %w", len(t.Events), err)
+		}
+		t.Events = append(t.Events, ev)
 	}
 	if t.Version != FormatVersion {
 		return nil, fmt.Errorf("version %d: %w", t.Version, ErrBadVersion)

@@ -1,7 +1,3 @@
-// Package workload generates the initial topologies the experiments start
-// from: the adversarial shapes the paper's analysis highlights (stars,
-// paths) and the realistic substrates its introduction motivates
-// (peer-to-peer/mesh-like random graphs, expanders, power-law graphs).
 package workload
 
 import (

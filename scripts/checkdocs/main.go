@@ -1,0 +1,182 @@
+// Command checkdocs is the documentation gate CI runs on every build. It
+// fails (exit 1, one line per problem) when
+//
+//   - any Go package under ./internal/... or ./cmd/... lacks package-level
+//     documentation of real substance (a package comment of at least
+//     minDocLen characters on some non-test file), or
+//   - any markdown link in README.md, ROADMAP.md, CHANGES.md, or docs/*.md
+//     points at a file that does not exist, or at a heading anchor that
+//     does not exist in its target.
+//
+// Run from the repository root: go run ./scripts/checkdocs
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// minDocLen is the "real prose, not a one-liner" floor for a package
+// comment, in characters of comment text.
+const minDocLen = 120
+
+func main() {
+	var problems []string
+	report := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	checkPackageDocs([]string{"internal", "cmd"}, report)
+	checkMarkdownLinks(markdownFiles(report), report)
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "checkdocs: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("checkdocs: package docs and markdown links ok")
+}
+
+// checkPackageDocs walks the given roots for directories containing Go
+// files and requires a substantive package comment in each.
+func checkPackageDocs(roots []string, report func(string, ...any)) {
+	for _, root := range roots {
+		_ = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil || !d.IsDir() {
+				return err
+			}
+			if base := d.Name(); base == "testdata" {
+				return filepath.SkipDir
+			}
+			entries, err := os.ReadDir(path)
+			if err != nil {
+				return err
+			}
+			var goFiles []string
+			for _, e := range entries {
+				name := e.Name()
+				if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+					goFiles = append(goFiles, filepath.Join(path, name))
+				}
+			}
+			if len(goFiles) == 0 {
+				return nil
+			}
+			best := 0
+			fset := token.NewFileSet()
+			for _, gf := range goFiles {
+				f, err := parser.ParseFile(fset, gf, nil, parser.PackageClauseOnly|parser.ParseComments)
+				if err != nil {
+					report("%s: %v", gf, err)
+					continue
+				}
+				if f.Doc != nil {
+					if n := len(strings.TrimSpace(f.Doc.Text())); n > best {
+						best = n
+					}
+				}
+			}
+			switch {
+			case best == 0:
+				report("package %s has no package-level documentation", path)
+			case best < minDocLen:
+				report("package %s documentation is a one-liner (%d chars, want >= %d)", path, best, minDocLen)
+			}
+			return nil
+		})
+	}
+}
+
+// markdownFiles returns the markdown set the link check covers.
+func markdownFiles(report func(string, ...any)) []string {
+	files := []string{"README.md", "ROADMAP.md", "CHANGES.md"}
+	docs, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil {
+		report("glob docs/*.md: %v", err)
+	}
+	files = append(files, docs...)
+	var out []string
+	for _, f := range files {
+		if _, err := os.Stat(f); err != nil {
+			report("expected markdown file missing: %s", f)
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// checkMarkdownLinks verifies every non-external link target resolves, and
+// that heading-anchor fragments exist in the target file.
+func checkMarkdownLinks(files []string, report func(string, ...any)) {
+	anchors := map[string]map[string]bool{} // file -> slug set, lazily built
+	anchorsOf := func(path string) map[string]bool {
+		if set, ok := anchors[path]; ok {
+			return set
+		}
+		set := map[string]bool{}
+		data, err := os.ReadFile(path)
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if heading, ok := strings.CutPrefix(line, "#"); ok {
+					set[slugify(strings.TrimLeft(heading, "#"))] = true
+				}
+			}
+		}
+		anchors[path] = set
+		return set
+	}
+
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			report("%s: %v", file, err)
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			pathPart, fragment, _ := strings.Cut(target, "#")
+			resolved := file
+			if pathPart != "" {
+				resolved = filepath.Join(filepath.Dir(file), pathPart)
+				if _, err := os.Stat(resolved); err != nil {
+					report("%s: broken link %q (%s does not exist)", file, target, resolved)
+					continue
+				}
+			}
+			if fragment != "" && strings.HasSuffix(resolved, ".md") {
+				if !anchorsOf(resolved)[fragment] {
+					report("%s: broken anchor %q (no heading #%s in %s)", file, target, fragment, resolved)
+				}
+			}
+		}
+	}
+}
+
+// slugify approximates GitHub's heading-anchor rule: lowercase, spaces to
+// hyphens, punctuation dropped.
+func slugify(heading string) string {
+	heading = strings.ToLower(strings.TrimSpace(heading))
+	var b strings.Builder
+	for _, r := range heading {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '-' || r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
