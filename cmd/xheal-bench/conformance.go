@@ -8,6 +8,7 @@ import (
 
 	"github.com/xheal/xheal/internal/conformance"
 	"github.com/xheal/xheal/internal/harness"
+	"github.com/xheal/xheal/internal/obs"
 	"github.com/xheal/xheal/internal/trace"
 )
 
@@ -62,9 +63,18 @@ func runConformance(stdout, stderr io.Writer, n, steps int, seed int64, kappa in
 		line string // failure report, empty on success
 	}
 	results := make([]outcome, len(cells))
+	// One recorder + histogram per cell (cells run concurrently); the
+	// snapshots merge into a soak-wide repair-latency aggregate afterwards.
+	// Timing goes to stderr only — stdout stays byte-reproducible.
+	hists := make([]*obs.Histogram, len(cells))
+	recs := make([]*obs.Recorder, len(cells))
+	for i := range cells {
+		hists[i] = obs.MustHistogram(obs.LatencyBuckets())
+		recs[i] = obs.NewRecorder(nil, hists[i])
+	}
 	_ = harness.ForEachIndex(len(cells), func(i int) error {
 		c := cells[i]
-		opts := conformance.Options{Kappa: kappa, Seed: c.Seed, MetricsEvery: 10}
+		opts := conformance.Options{Kappa: kappa, Seed: c.Seed, MetricsEvery: 10, Recorder: recs[i]}
 		g0, res, err := conformance.RunCell(c, opts)
 		if err == nil {
 			results[i] = outcome{res: res}
@@ -110,6 +120,19 @@ func runConformance(stdout, stderr io.Writer, n, steps int, seed int64, kappa in
 	}
 	fmt.Fprintf(stdout, "conformance: %d/%d cells ok (n=%d, %d events/cell, κ=%d, seed=%d)\n",
 		len(cells)-failures, len(cells), n, steps, kappa, seed)
+
+	var agg obs.HistSnapshot
+	var rounds, msgs uint64
+	for i := range cells {
+		agg.Merge(hists[i].Snapshot())
+		r, m := recs[i].Ledger()
+		rounds += r
+		msgs += m
+	}
+	if sum := agg.Summary(); sum.Count > 0 {
+		fmt.Fprintf(stderr, "soak repair latency p50/p95/p99 = %.3f/%.3f/%.3f ms over %d repairs (%d rounds, %d messages)\n",
+			sum.P50MS, sum.P95MS, sum.P99MS, sum.Count, rounds, msgs)
+	}
 	if failures > 0 {
 		return 1
 	}

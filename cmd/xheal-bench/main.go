@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"github.com/xheal/xheal/internal/harness"
+	"github.com/xheal/xheal/internal/obs"
 )
 
 func main() {
@@ -150,7 +151,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	failures := 0
-	report := benchReport{GoMaxProcs: runtime.GOMAXPROCS(0)}
+	report := benchReport{GoMaxProcs: runtime.GOMAXPROCS(0), Env: obs.CaptureEnv()}
 	for i, e := range todo {
 		res := results[i]
 		if res.err != nil {
@@ -197,8 +198,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // benchReport is the schema of the -benchjson output (see BENCH_*.json).
+// GoMaxProcs predates the Env block and stays for series continuity.
 type benchReport struct {
 	GoMaxProcs  int                `json:"go_max_procs"`
+	Env         obs.Env            `json:"env"`
 	Experiments []experimentTiming `json:"experiments"`
 	Micro       []microResult      `json:"micro"`
 }

@@ -9,17 +9,18 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
-	"runtime"
 	"strings"
 	"sync"
 	"time"
 
 	"github.com/xheal/xheal/internal/adversary"
 	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/obs"
 	"github.com/xheal/xheal/internal/server"
+	"github.com/xheal/xheal/internal/trace"
 )
 
-// loadReport is the schema of -bench-out (see BENCH_PR4.json): the serving
+// loadReport is the schema of -bench-out (see BENCH_PR6.json): the serving
 // throughput record, the BENCH_*.json series' serve-side entry.
 type loadReport struct {
 	Engine          string  `json:"engine"`
@@ -41,7 +42,13 @@ type loadReport struct {
 	FinalNodes      int     `json:"final_nodes"`
 	FinalEdges      int     `json:"final_edges"`
 	ReplayIdentical bool    `json:"replay_identical"`
-	GoMaxProcs      int     `json:"go_max_procs"`
+	// TickLatency and RepairLatency are streaming-histogram percentiles from
+	// the daemon's /v1/health obs block; Spans counts per-wound trace spans.
+	TickLatency   obs.LatencySummary  `json:"tick_latency"`
+	RepairLatency *obs.LatencySummary `json:"repair_latency,omitempty"`
+	Spans         uint64              `json:"spans"`
+	SpansDropped  uint64              `json:"spans_dropped"`
+	Env           obs.Env             `json:"env"`
 }
 
 // runLoad drives an in-process daemon through its real HTTP surface with
@@ -60,6 +67,19 @@ func runLoad(o options, stdout, stderr io.Writer, smoke bool) int {
 		o.eventLog = tmp.Name()
 		defer os.Remove(o.eventLog)
 	}
+	// Per-wound tracing is always on under load: the span log is part of what
+	// this mode verifies (span count == healed deletions == trace-log
+	// deletions, ledger agreement, zero drops).
+	if o.spanLog == "" {
+		tmp, err := os.CreateTemp("", "xheal-serve-*.spans")
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		tmp.Close()
+		o.spanLog = tmp.Name()
+		defer os.Remove(o.spanLog)
+	}
 	d, err := buildDaemon(o)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -72,7 +92,7 @@ func runLoad(o options, stdout, stderr io.Writer, smoke bool) int {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	httpSrv := &http.Server{Handler: d.srv.Handler()}
+	httpSrv := &http.Server{Handler: d.handler(o)}
 	go func() { _ = httpSrv.Serve(ln) }()
 	base := "http://" + ln.Addr().String()
 	mode := "loadgen"
@@ -163,6 +183,25 @@ func runLoad(o options, stdout, stderr io.Writer, smoke bool) int {
 		return 1
 	}
 
+	// Span-log verification: one span per healed deletion, correlated with
+	// the trace log, agreeing with the engine's cost ledger, zero drops.
+	if err := verifySpans(d, c); err != nil {
+		fmt.Fprintf(stderr, "SPAN VERIFICATION: %v\n", err)
+		return 1
+	}
+
+	// SLO assertions (the CI smoke gate): dropped spans always fail; the
+	// tick-latency bound applies when set.
+	if dropped := d.rec.Dropped(); dropped != 0 {
+		fmt.Fprintf(stderr, "SLO: %d spans dropped, want 0\n", dropped)
+		return 1
+	}
+	if o.sloP99TickMS > 0 && health.Obs.TickLatency.P99MS > o.sloP99TickMS {
+		fmt.Fprintf(stderr, "SLO: p99 tick latency %.3f ms exceeds bound %.3f ms\n",
+			health.Obs.TickLatency.P99MS, o.sloP99TickMS)
+		return 1
+	}
+
 	report := loadReport{
 		Engine:          o.engine,
 		Workload:        o.wl,
@@ -183,13 +222,23 @@ func runLoad(o options, stdout, stderr io.Writer, smoke bool) int {
 		FinalNodes:      final.NumNodes(),
 		FinalEdges:      final.NumEdges(),
 		ReplayIdentical: true,
-		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		TickLatency:     health.Obs.TickLatency,
+		RepairLatency:   health.Obs.RepairLatency,
+		Spans:           d.rec.Spans(),
+		SpansDropped:    d.rec.Dropped(),
+		Env:             obs.CaptureEnv(),
 	}
 	fmt.Fprintf(stdout, "%s ok: %d events in %.1f ms (%.0f events/sec), %d ticks, mean batch %.1f (max %d), %d deferred\n",
 		mode, report.EventsTotal, report.WallMS, report.EventsPerSec,
 		report.Ticks, report.MeanBatch, report.BatchMax, report.Deferred)
 	fmt.Fprintf(stdout, "invariants ok, health ok, event log replays to identical graph (n=%d m=%d)\n",
 		report.FinalNodes, report.FinalEdges)
+	fmt.Fprintf(stdout, "tick latency p50/p95/p99 = %.3f/%.3f/%.3f ms over %d ticks\n",
+		report.TickLatency.P50MS, report.TickLatency.P95MS, report.TickLatency.P99MS, report.TickLatency.Count)
+	if rl := report.RepairLatency; rl != nil {
+		fmt.Fprintf(stdout, "repair latency p50/p95/p99 = %.3f/%.3f/%.3f ms over %d spans (0 dropped)\n",
+			rl.P50MS, rl.P95MS, rl.P99MS, rl.Count)
+	}
 
 	if o.benchOut != "" {
 		if dir := filepath.Dir(o.benchOut); dir != "." {
@@ -210,6 +259,76 @@ func runLoad(o options, stdout, stderr io.Writer, smoke bool) int {
 		fmt.Fprintf(stdout, "wrote %s\n", o.benchOut)
 	}
 	return 0
+}
+
+// verifySpans checks the span log against the run's ground truth: exactly
+// one span per applied deletion, each span's event index naming the matching
+// deletion line of the trace event log, and — on the distributed engine —
+// every span's rounds and messages equal to the engine cost-ledger entry of
+// the same ordinal.
+func verifySpans(d *daemon, c server.Counters) error {
+	if err := d.closeSpanLog(); err != nil {
+		return fmt.Errorf("close span log: %w", err)
+	}
+	sf, err := os.Open(d.spanPath)
+	if err != nil {
+		return err
+	}
+	spans, err := obs.ReadSpans(sf)
+	sf.Close()
+	if err != nil {
+		return err
+	}
+	if uint64(len(spans)) != c.DeletesApplied {
+		return fmt.Errorf("%d spans for %d applied deletions", len(spans), c.DeletesApplied)
+	}
+	if got := d.rec.Spans(); got != uint64(len(spans)) {
+		return fmt.Errorf("recorder counted %d spans, log holds %d", got, len(spans))
+	}
+
+	lf, err := os.Open(d.logPath)
+	if err != nil {
+		return err
+	}
+	tr, err := trace.Load(lf)
+	lf.Close()
+	if err != nil {
+		return fmt.Errorf("load trace log: %w", err)
+	}
+	deletions := 0
+	for _, ev := range tr.Events {
+		if ev.Kind == "delete" {
+			deletions++
+		}
+	}
+	if deletions != len(spans) {
+		return fmt.Errorf("%d spans for %d trace-log deletions", len(spans), deletions)
+	}
+	for i, s := range spans {
+		if s.Event < 0 || s.Event >= len(tr.Events) {
+			return fmt.Errorf("span %d: event index %d outside trace log (%d events)", i, s.Event, len(tr.Events))
+		}
+		ev := tr.Events[s.Event]
+		if ev.Kind != "delete" || ev.Node != s.Node {
+			return fmt.Errorf("span %d: event %d is %s %d, span says delete %d",
+				i, s.Event, ev.Kind, ev.Node, s.Node)
+		}
+	}
+
+	if d.dist != nil {
+		costs := d.dist.Costs()
+		if len(costs) != len(spans) {
+			return fmt.Errorf("%d spans for %d cost-ledger entries", len(spans), len(costs))
+		}
+		for i, s := range spans {
+			cl := costs[i]
+			if s.Node != cl.Node || s.Rounds != cl.Rounds || s.Messages != cl.Messages {
+				return fmt.Errorf("span %d (node %d, %d rounds, %d messages) disagrees with ledger (node %d, %d rounds, %d messages)",
+					i, s.Node, s.Rounds, s.Messages, cl.Node, cl.Rounds, cl.Messages)
+			}
+		}
+	}
+	return nil
 }
 
 // postEvent sends one event and decodes the daemon's verdict.

@@ -33,9 +33,12 @@ import (
 	"syscall"
 	"time"
 
+	"net/http/pprof"
+
 	"github.com/xheal/xheal/internal/core"
 	"github.com/xheal/xheal/internal/dist"
 	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/obs"
 	"github.com/xheal/xheal/internal/server"
 	"github.com/xheal/xheal/internal/trace"
 	"github.com/xheal/xheal/internal/workload"
@@ -57,14 +60,17 @@ type options struct {
 	queue    int
 	maxBatch int
 	eventLog string
+	spanLog  string
+	pprof    bool
 
-	smoke      bool
-	loadgen    bool
-	clients    int
-	events     int
-	deleteBias float64
-	attach     int
-	benchOut   string
+	smoke        bool
+	loadgen      bool
+	clients      int
+	events       int
+	deleteBias   float64
+	attach       int
+	benchOut     string
+	sloP99TickMS float64
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -81,6 +87,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.IntVar(&o.queue, "queue", 1024, "ingest queue depth (backpressure bound)")
 	fs.IntVar(&o.maxBatch, "max-batch", 256, "max events per batched timestep")
 	fs.StringVar(&o.eventLog, "event-log", "", "append applied events to this trace log (replayable via xheal-sim -replay)")
+	fs.StringVar(&o.spanLog, "spanlog", "", "write one JSONL span per repaired wound to this file (enables per-wound tracing)")
+	fs.BoolVar(&o.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/ on the serving mux")
 	fs.BoolVar(&o.smoke, "smoke", false, "self-test: start the daemon, ingest 100 events over HTTP, verify, shut down")
 	fs.BoolVar(&o.loadgen, "loadgen", false, "load generator: hammer an in-process daemon with concurrent clients")
 	fs.IntVar(&o.clients, "clients", 8, "loadgen: concurrent clients")
@@ -88,6 +96,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.Float64Var(&o.deleteBias, "delete-bias", 0.35, "loadgen: per-event probability of deleting an owned node")
 	fs.IntVar(&o.attach, "attach", 3, "loadgen: max attachments per insertion")
 	fs.StringVar(&o.benchOut, "bench-out", "", "loadgen: write throughput results to this JSON file (BENCH_PR4.json)")
+	fs.Float64Var(&o.sloP99TickMS, "slo-p99-tick-ms", 0, "loadgen: fail unless p99 tick latency is at most this many ms (0 = no bound)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -105,10 +114,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // daemon is one assembled serving stack.
 type daemon struct {
-	srv     *server.Server
-	g0      *graph.Graph
-	logPath string
-	cleanup func()
+	srv      *server.Server
+	g0       *graph.Graph
+	logPath  string
+	spanPath string
+	rec      *obs.Recorder
+	spanW    *obs.SpanWriter
+	dist     *dist.Engine // non-nil when -engine dist, for cost-ledger cross-checks
+	cleanup  func()
+}
+
+// handler assembles the HTTP surface: the serving API, plus the pprof
+// endpoints when -pprof is set.
+func (d *daemon) handler(o options) http.Handler {
+	if !o.pprof {
+		return d.srv.Handler()
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", d.srv.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // buildDaemon constructs the initial topology, the chosen engine, the event
@@ -120,6 +149,7 @@ func buildDaemon(o options) (*daemon, error) {
 	}
 	var eng server.Engine
 	var closeEng func()
+	var distEng *dist.Engine
 	switch o.engine {
 	case "seq":
 		st, err := core.NewState(core.Config{Kappa: o.kappa, Seed: o.seed}, g0)
@@ -133,6 +163,7 @@ func buildDaemon(o options) (*daemon, error) {
 			return nil, err
 		}
 		eng = de
+		distEng = de
 		closeEng = de.Close
 	default:
 		return nil, fmt.Errorf("unknown engine %q (valid: seq dist)", o.engine)
@@ -156,11 +187,32 @@ func buildDaemon(o options) (*daemon, error) {
 		}
 		cfg.Log = lw
 	}
+	var spanFile *os.File
+	var spanW *obs.SpanWriter
+	if o.spanLog != "" {
+		spanFile, err = os.Create(o.spanLog)
+		if err != nil {
+			if logFile != nil {
+				logFile.Close()
+			}
+			return nil, err
+		}
+		spanW = obs.NewSpanWriter(spanFile)
+		cfg.Recorder = obs.NewRecorder(spanW, obs.MustHistogram(obs.LatencyBuckets()))
+	}
 	d := &daemon{
-		srv:     server.New(eng, cfg),
-		g0:      g0,
-		logPath: o.eventLog,
+		srv:      server.New(eng, cfg),
+		g0:       g0,
+		logPath:  o.eventLog,
+		spanPath: o.spanLog,
+		rec:      cfg.Recorder,
+		spanW:    spanW,
+		dist:     distEng,
 		cleanup: func() {
+			if spanW != nil {
+				_ = spanW.Close()
+				spanFile.Close()
+			}
 			if logFile != nil {
 				logFile.Close()
 			}
@@ -170,6 +222,15 @@ func buildDaemon(o options) (*daemon, error) {
 		},
 	}
 	return d, nil
+}
+
+// closeSpanLog flushes and closes the span log early (before cleanup), so a
+// verifier can read it back. Idempotent via SpanWriter.Close.
+func (d *daemon) closeSpanLog() error {
+	if d.spanW == nil {
+		return nil
+	}
+	return d.spanW.Close()
 }
 
 // serve is the daemon mode: listen until SIGINT/SIGTERM, then drain and
@@ -187,13 +248,19 @@ func serve(o options, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	httpSrv := &http.Server{Handler: d.srv.Handler()}
+	httpSrv := &http.Server{Handler: d.handler(o)}
 	fmt.Fprintf(stdout, "xheal-serve: engine=%s workload=%s n=%d m=%d kappa=%d seed=%d tick=%v\n",
 		o.engine, o.wl, d.g0.NumNodes(), d.g0.NumEdges(), o.kappa, o.seed, o.tick)
 	fmt.Fprintf(stdout, "listening on http://%s (POST /v1/events, GET /v1/health, GET /metrics)\n", ln.Addr())
 	if o.eventLog != "" {
 		fmt.Fprintf(stdout, "event log: %s (replay: xheal-sim -replay %s -kappa %d -seed %d)\n",
 			o.eventLog, o.eventLog, o.kappa, o.seed)
+	}
+	if o.spanLog != "" {
+		fmt.Fprintf(stdout, "span log: %s (one JSONL span per repaired wound)\n", o.spanLog)
+	}
+	if o.pprof {
+		fmt.Fprintf(stdout, "pprof: http://%s/debug/pprof/\n", ln.Addr())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -217,5 +284,9 @@ func serve(o options, stdout, stderr io.Writer) int {
 	c := d.srv.Counters()
 	fmt.Fprintf(stdout, "served %d events in %d ticks (%d rejected, %d deferred)\n",
 		c.EventsApplied, c.Ticks, c.EventsRejected, c.EventsDeferred)
+	if d.rec != nil {
+		fmt.Fprintf(stdout, "spans: %d emitted, %d dropped (%s)\n",
+			d.rec.Spans(), d.rec.Dropped(), d.spanPath)
+	}
 	return 0
 }

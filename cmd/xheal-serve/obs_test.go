@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/xheal/xheal/internal/obs"
+)
+
+// TestSmokeSpanLogDistEngine runs the smoke pipeline on the distributed
+// engine with an explicit span log and re-checks the acceptance contract
+// from the outside: the kept span log parses, holds one span per deletion
+// reported by the run, and every span carries protocol cost.
+func TestSmokeSpanLogDistEngine(t *testing.T) {
+	spanOut := filepath.Join(t.TempDir(), "run.spans")
+	logOut := filepath.Join(t.TempDir(), "run.log")
+	benchOut := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+	args := []string{
+		"-smoke", "-engine", "dist", "-n", "32", "-tick", "0",
+		"-spanlog", spanOut, "-event-log", logOut, "-bench-out", benchOut,
+		"-slo-p99-tick-ms", "10000", // generous bound: asserts the plumbing, not the machine
+	}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("smoke exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "repair latency p50/p95/p99") {
+		t.Fatalf("missing repair latency line:\n%s", stdout.String())
+	}
+
+	f, err := os.Open(spanOut)
+	if err != nil {
+		t.Fatalf("span log: %v", err)
+	}
+	spans, err := obs.ReadSpans(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("span log parse: %v", err)
+	}
+
+	data, err := os.ReadFile(benchOut)
+	if err != nil {
+		t.Fatalf("bench-out: %v", err)
+	}
+	var rep loadReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("bench-out decode: %v", err)
+	}
+	if rep.Spans != uint64(len(spans)) || rep.SpansDropped != 0 {
+		t.Fatalf("report spans %d/%d dropped, log holds %d", rep.Spans, rep.SpansDropped, len(spans))
+	}
+	if rep.RepairLatency == nil || rep.RepairLatency.Count != uint64(len(spans)) {
+		t.Fatalf("report repair latency %+v for %d spans", rep.RepairLatency, len(spans))
+	}
+	if rep.TickLatency.Count == 0 || rep.TickLatency.P99MS <= 0 {
+		t.Fatalf("report tick latency %+v", rep.TickLatency)
+	}
+	if rep.Env.GoVersion == "" || rep.Env.NumCPU <= 0 || rep.Env.GoMaxProcs <= 0 {
+		t.Fatalf("report env %+v", rep.Env)
+	}
+	for i, s := range spans {
+		if s.Seq != i {
+			t.Fatalf("span %d: seq %d", i, s.Seq)
+		}
+		// The distributed engine costs every repair at least its black degree
+		// in messages (Lemma 5) and one round.
+		if s.Messages < s.BlackDegree || s.Rounds < 1 {
+			t.Fatalf("span %d: %d messages for black degree %d, %d rounds", i, s.Messages, s.BlackDegree, s.Rounds)
+		}
+		if s.Phases.SettledUS < s.Phases.RewiredUS {
+			t.Fatalf("span %d: settled before rewired: %+v", i, s.Phases)
+		}
+	}
+}
+
+// TestSloTickBoundFails: an impossible SLO must fail the run.
+func TestSloTickBoundFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{"-smoke", "-tick", "0", "-slo-p99-tick-ms", "0.000001"}
+	if code := run(args, &stdout, &stderr); code == 0 {
+		t.Fatalf("impossible SLO passed\nstdout: %s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "SLO: p99 tick latency") {
+		t.Fatalf("missing SLO verdict:\nstderr: %s", stderr.String())
+	}
+}
+
+// TestPprofFlag: -pprof exposes the profile index on the serving mux without
+// disturbing the API routes.
+func TestPprofFlag(t *testing.T) {
+	d, err := buildDaemon(options{engine: "seq", wl: "regular", n: 16, kappa: 4, seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.cleanup()
+	defer d.srv.Close()
+
+	h := d.handler(options{pprof: true})
+	for path, want := range map[string]int{
+		"/debug/pprof/": 200,
+		"/v1/health":    200,
+	} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != want {
+			t.Fatalf("GET %s: %d, want %d", path, rec.Code, want)
+		}
+	}
+	// Without the flag the profiler is absent.
+	h = d.handler(options{})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code == 200 {
+		t.Fatal("pprof exposed without -pprof")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"github.com/xheal/xheal/internal/dist"
 	"github.com/xheal/xheal/internal/graph"
 	"github.com/xheal/xheal/internal/metrics"
+	"github.com/xheal/xheal/internal/obs"
 	"github.com/xheal/xheal/internal/spectral"
 )
 
@@ -56,6 +57,10 @@ type Options struct {
 	SkipInapplicable bool
 	// Fault is an optional injected fault (see FaultFunc).
 	Fault FaultFunc
+	// Recorder, when set, traces the distributed engine's repairs as
+	// per-wound spans (the centralized reference runs untraced — it is the
+	// oracle, not the subject).
+	Recorder *obs.Recorder
 }
 
 func (o Options) stretchC() float64 {
@@ -134,6 +139,9 @@ func Run(g0 *graph.Graph, adv adversary.Adversary, opts Options) (*Result, error
 		return nil, fmt.Errorf("conformance: distributed engine: %w", err)
 	}
 	defer eng.Close()
+	if opts.Recorder != nil {
+		eng.SetRecorder(opts.Recorder)
+	}
 
 	rs := &runState{
 		opts:     opts,

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/workload"
+)
+
+// healRepairAllocBudget is the steady-state allocation cost of one churn
+// step (one healed deletion plus one insertion) measured with observability
+// disabled, pinned at the PR 5 baseline. Observability must be pay-for-use:
+// with no recorder attached, the repair hot path may not allocate more than
+// it did before internal/obs existed.
+const healRepairAllocBudget = 88
+
+// TestHealRepairAllocsDisabledObservability guards the no-op fast path of
+// the observability layer: a State with no recorder attached must heal at
+// the pre-obs allocation budget.
+func TestHealRepairAllocsDisabledObservability(t *testing.T) {
+	g0, err := workload.RandomRegular(256, 3, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewState(Config{Kappa: 4, Seed: 2}, g0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	alive := append([]graph.NodeID(nil), st.Graph().Nodes()...)
+	next := graph.NodeID(1 << 20)
+	// Warm the state so slab/map growth is amortized out of the measurement.
+	for i := 0; i < 200; i++ {
+		alive = churnStep(t, st, rng, alive, &next)
+	}
+	avg := testing.AllocsPerRun(300, func() {
+		alive = churnStep(t, st, rng, alive, &next)
+	})
+	t.Logf("heal repair churn: %.1f allocs/op (budget %d)", avg, healRepairAllocBudget)
+	if avg > healRepairAllocBudget {
+		t.Fatalf("heal repair with observability disabled allocates %.1f/op, budget is %d (PR 5 baseline)",
+			avg, healRepairAllocBudget)
+	}
+}
+
+// churnStep deletes a random alive node and inserts a fresh one, returning
+// the updated alive set.
+func churnStep(t *testing.T, st *State, rng *rand.Rand, alive []graph.NodeID, next *graph.NodeID) []graph.NodeID {
+	i := rng.Intn(len(alive))
+	victim := alive[i]
+	alive[i] = alive[len(alive)-1]
+	alive = alive[:len(alive)-1]
+	if err := st.DeleteNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	u, v := alive[rng.Intn(len(alive))], alive[rng.Intn(len(alive))]
+	nbrs := []graph.NodeID{u, v}
+	if u == v {
+		nbrs = nbrs[:1]
+	}
+	if err := st.InsertNode(*next, nbrs); err != nil {
+		t.Fatal(err)
+	}
+	alive = append(alive, *next)
+	*next++
+	return alive
+}

@@ -6,6 +6,7 @@ import (
 	"slices"
 
 	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/obs"
 )
 
 // DefaultKappa is the expander degree parameter used when Config.Kappa is
@@ -69,6 +70,11 @@ type State struct {
 	// deltaLog, when non-nil, accumulates the net physical edge changes of
 	// the current repair (see DeleteNodeDelta).
 	deltaLog map[graph.Edge]int8
+
+	// rec, when non-nil, receives per-wound trace callbacks (repair
+	// admission, rewiring, cloud construction). All obs.Recorder methods
+	// no-op on nil, so the disabled hot path pays one nil check.
+	rec *obs.Recorder
 }
 
 // NewState builds a State over a copy of the initial graph g0, whose edges
@@ -108,6 +114,11 @@ func NewState(cfg Config, g0 *graph.Graph) (*State, error) {
 
 // Kappa returns the expander degree parameter κ.
 func (s *State) Kappa() int { return s.kappa }
+
+// SetRecorder attaches a per-wound trace recorder (nil detaches it). The
+// recorder learns every applied event and the repair phase boundaries of
+// every deletion; see internal/obs.
+func (s *State) SetRecorder(r *obs.Recorder) { s.rec = r }
 
 // Graph returns the healed graph G. The returned graph is live and must not
 // be modified; use CloneGraph for a mutable copy.
@@ -235,12 +246,22 @@ func (s *State) InsertNode(u graph.NodeID, nbrs []graph.NodeID) error {
 		s.claims[graph.NewEdge(u, w)] = edgeClaim{black: true}
 	}
 	s.stats.Insertions++
+	s.rec.InsertApplied()
 	return nil
 }
 
 // DeleteNode applies an adversarial deletion of v and runs the Xheal repair
 // (Algorithm 3.1). G′ is unchanged by deletions.
 func (s *State) DeleteNode(v graph.NodeID) error {
+	return s.deleteNode(v, true)
+}
+
+// deleteNode is DeleteNode's body. When settle is true the repair's trace
+// span (if a recorder is attached) is closed on return; the distributed
+// engine passes false through DeleteNodeDelta because its repair continues
+// with the message protocol (election and dissemination) and it settles the
+// span itself.
+func (s *State) deleteNode(v graph.NodeID, settle bool) error {
 	if !s.g.HasNode(v) {
 		return fmt.Errorf("delete %d: %w", v, ErrNodeMissing)
 	}
@@ -248,6 +269,7 @@ func (s *State) DeleteNode(v graph.NodeID) error {
 	blackNbrs := s.blackNeighborsOf(v)
 	primaries := s.PrimariesOf(v)
 	link, hasLink := s.bridgeLinks[v]
+	s.rec.RepairBegin(v, len(s.g.Neighbors(v)), len(blackNbrs))
 
 	// Physically remove v; its incident edges and their claims die with it.
 	nbrs, err := s.g.RemoveNode(v)
@@ -272,6 +294,10 @@ func (s *State) DeleteNode(v graph.NodeID) error {
 		s.caseSecondaryBridge(v, link, primaries, blackNbrs)
 	}
 	s.stats.Deletions++
+	s.rec.Phase(obs.PhaseRewired)
+	if settle {
+		s.rec.RepairEnd()
+	}
 	return nil
 }
 
@@ -307,7 +333,7 @@ func (s *State) logDelta(e graph.Edge, kind int8) {
 // graph snapshots.
 func (s *State) DeleteNodeDelta(v graph.NodeID) (EdgeDelta, error) {
 	s.deltaLog = make(map[graph.Edge]int8)
-	err := s.DeleteNode(v)
+	err := s.deleteNode(v, false)
 	var delta EdgeDelta
 	for e, kind := range s.deltaLog {
 		if kind == deltaAdded {

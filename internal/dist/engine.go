@@ -9,6 +9,7 @@ import (
 
 	"github.com/xheal/xheal/internal/core"
 	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/obs"
 )
 
 // Config parameterizes an Engine.
@@ -70,6 +71,11 @@ type Engine struct {
 	// start, so the channel synchronization orders the accesses.
 	plan *repairPlan
 
+	// rec, when non-nil, receives per-wound trace callbacks. The inner
+	// reference state emits admission/rewiring; the engine adds the
+	// protocol phases (election, dissemination) and the ledger costs.
+	rec *obs.Recorder
+
 	closed bool
 }
 
@@ -111,6 +117,16 @@ func (e *Engine) stop(id graph.NodeID) {
 		close(nd.inbox)
 		delete(e.nodes, id)
 	}
+}
+
+// SetRecorder attaches a per-wound trace recorder (nil detaches it). Spans
+// open when the reference state admits the deletion and settle only after
+// the protocol disseminated the repair, so a distributed span covers the
+// full message-passing lifecycle: admitted → rewired (plan computed) →
+// elected → disseminated → settled, with the ledger's rounds/messages.
+func (e *Engine) SetRecorder(r *obs.Recorder) {
+	e.rec = r
+	e.st.SetRecorder(r)
 }
 
 // Graph returns the healed graph G. Live view — do not modify.
@@ -194,6 +210,7 @@ func (e *Engine) Delete(v graph.NodeID) error {
 		})
 	}
 	rounds, msgs := e.runProtocol(pending)
+	e.rec.Phase(obs.PhaseDisseminated)
 	e.plan = nil
 	// The wound is closed: release every member's election state so the
 	// gathered reports don't accumulate for the engine's lifetime and a
@@ -209,6 +226,8 @@ func (e *Engine) Delete(v graph.NodeID) error {
 	e.costs = append(e.costs, DeletionCost{
 		Node: v, BlackDegree: blackDeg, Rounds: rounds, Messages: msgs,
 	})
+	e.rec.Cost(rounds, msgs)
+	e.rec.RepairEnd()
 	e.blackDegSum += blackDeg
 	e.totals.Deletions++
 	e.totals.Rounds += rounds
@@ -282,6 +301,9 @@ func (e *Engine) planFor(victim graph.NodeID) *repairPlan {
 		// A leader can only be elected inside the wound the engine opened.
 		panic(fmt.Sprintf("dist: no repair plan for victim %d", victim))
 	}
+	// The leader picking up the plan is the moment the election resolved.
+	// Called from a node goroutine; the recorder is internally synchronized.
+	e.rec.Phase(obs.PhaseElected)
 	return e.plan
 }
 

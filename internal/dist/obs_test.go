@@ -1,0 +1,119 @@
+package dist
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/obs"
+)
+
+// TestSpansMatchCostLedger drives a churn run with per-wound tracing on and
+// checks the acceptance contract: exactly one span per deletion, in deletion
+// order, with every span's node, black degree, rounds, and messages equal to
+// the engine's cost-ledger entry of the same ordinal — the spans ARE the
+// ledger, plus timing.
+func TestSpansMatchCostLedger(t *testing.T) {
+	e := regularEngine(t, 48, 3, 4, 11)
+	var buf bytes.Buffer
+	w := obs.NewSpanWriter(&buf)
+	hist := obs.MustHistogram(obs.LatencyBuckets())
+	rec := obs.NewRecorder(w, hist)
+	e.SetRecorder(rec)
+
+	rng := rand.New(rand.NewSource(11))
+	alive := make([]graph.NodeID, 0, 48)
+	for _, v := range e.Graph().Nodes() {
+		alive = append(alive, v)
+	}
+	next := graph.NodeID(1000)
+	deleted := 0
+	for step := 0; step < 30; step++ {
+		if step%3 == 2 {
+			// Attach a fresh node to two alive ones: insertions must advance
+			// the span event index without emitting spans.
+			nbrs := []graph.NodeID{alive[rng.Intn(len(alive))], alive[rng.Intn(len(alive))]}
+			if nbrs[0] == nbrs[1] {
+				nbrs = nbrs[:1]
+			}
+			if err := e.Insert(next, nbrs); err != nil {
+				t.Fatalf("insert %d: %v", next, err)
+			}
+			alive = append(alive, next)
+			next++
+			continue
+		}
+		i := rng.Intn(len(alive))
+		v := alive[i]
+		alive[i] = alive[len(alive)-1]
+		alive = alive[:len(alive)-1]
+		if err := e.Delete(v); err != nil {
+			t.Fatalf("delete %d: %v", v, err)
+		}
+		deleted++
+	}
+
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := obs.ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := e.Costs()
+	if len(spans) != deleted || len(costs) != deleted {
+		t.Fatalf("got %d spans, %d ledger entries, want %d each", len(spans), len(costs), deleted)
+	}
+	if rec.Spans() != uint64(deleted) || rec.Dropped() != 0 {
+		t.Fatalf("recorder: %d spans, %d dropped", rec.Spans(), rec.Dropped())
+	}
+
+	var wantRounds, wantMsgs uint64
+	prevEvent := -1
+	for i, s := range spans {
+		c := costs[i]
+		if s.Seq != i {
+			t.Fatalf("span %d: seq %d", i, s.Seq)
+		}
+		if s.Node != c.Node {
+			t.Fatalf("span %d: node %d, ledger %d", i, s.Node, c.Node)
+		}
+		if s.BlackDegree != c.BlackDegree {
+			t.Fatalf("span %d (node %d): black degree %d, ledger %d", i, s.Node, s.BlackDegree, c.BlackDegree)
+		}
+		if s.Rounds != c.Rounds || s.Messages != c.Messages {
+			t.Fatalf("span %d (node %d): cost %d rounds / %d messages, ledger %d / %d",
+				i, s.Node, s.Rounds, s.Messages, c.Rounds, c.Messages)
+		}
+		if s.Event <= prevEvent {
+			t.Fatalf("span %d: event index %d not increasing past %d", i, s.Event, prevEvent)
+		}
+		prevEvent = s.Event
+		if s.Wound < s.BlackDegree {
+			t.Fatalf("span %d: wound %d below black degree %d", i, s.Wound, s.BlackDegree)
+		}
+		// The distributed lifecycle stamps every phase in order.
+		p := s.Phases
+		if p.ElectedUS < p.RewiredUS || p.DisseminatedUS < p.ElectedUS || p.SettledUS < p.DisseminatedUS {
+			t.Fatalf("span %d: phases not monotone: %+v", i, p)
+		}
+		wantRounds += uint64(c.Rounds)
+		wantMsgs += uint64(c.Messages)
+	}
+	// Insertions interleave with deletions, so the last span's event index
+	// must exceed the deletion count alone.
+	if spans[len(spans)-1].Event < deleted {
+		t.Fatalf("final event index %d did not account for insertions", spans[len(spans)-1].Event)
+	}
+
+	if rounds, msgs := rec.Ledger(); rounds != wantRounds || msgs != wantMsgs {
+		t.Fatalf("recorder ledger %d/%d, engine ledger %d/%d", rounds, msgs, wantRounds, wantMsgs)
+	}
+	if hist.Snapshot().Count != uint64(deleted) {
+		t.Fatalf("repair hist count %d, want %d", hist.Snapshot().Count, deleted)
+	}
+	if err := e.ValidateLocalViews(); err != nil {
+		t.Fatalf("local views after traced run: %v", err)
+	}
+}

@@ -1,0 +1,30 @@
+// Package obs is the zero-dependency observability layer of the healing
+// pipeline: per-wound trace spans, streaming fixed-bucket histograms, and a
+// unified pull-based metrics registry.
+//
+// The paper's central claim is locality — each deletion's repair cost is
+// bounded per wound (Theorem 5 round budget, Lemma 5 message bounds) — so
+// the unit of observation here is the wound, not the aggregate. A Recorder
+// attached to an engine (core.State.SetRecorder, dist.Engine.SetRecorder)
+// turns every repair into one Span: the deletion's admission, the Algorithm
+// 3.1 rewiring, the §5 leader election and cloud dissemination, and the
+// final settling, each stamped relative to the span start, together with
+// the wound size, the cloud membership the repair wired, and the repair's
+// round/message cost straight from the protocol. Spans stream to a JSONL
+// SpanWriter keyed by (tick, event index), where the event index is the
+// span's position in the replayable trace event log — so any span can be
+// correlated with, and replayed from, the exact logged event that caused
+// it.
+//
+// Histogram is a fixed-bucket streaming histogram: Observe is
+// allocation-free and O(log buckets), quantiles (p50/p95/p99) come from
+// linear interpolation within a bucket, and snapshots render directly as
+// Prometheus histogram series. Registry unifies the serving counters,
+// engine ledgers, and histograms behind one interface and renders the
+// Prometheus text exposition format (internal/server's /metrics).
+//
+// Observability is strictly pay-for-use: every Recorder method no-ops on a
+// nil receiver, so an engine with no recorder attached runs the exact
+// pre-obs hot path — guarded by AllocsPerRun tests in internal/core and
+// internal/server.
+package obs

@@ -1,0 +1,24 @@
+package obs
+
+import "runtime"
+
+// Env is the benchmark-environment provenance block embedded in every
+// BENCH_*.json: enough to tell whether two recorded runs are comparable.
+type Env struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"go_max_procs"`
+}
+
+// CaptureEnv snapshots the current process's environment.
+func CaptureEnv() Env {
+	return Env{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramBoundsValidation(t *testing.T) {
+	if _, err := NewHistogram(nil); err == nil {
+		t.Fatal("empty bounds accepted")
+	}
+	if _, err := NewHistogram([]float64{1, 1}); err == nil {
+		t.Fatal("non-increasing bounds accepted")
+	}
+	if _, err := NewHistogram([]float64{2, 1}); err == nil {
+		t.Fatal("decreasing bounds accepted")
+	}
+	if _, err := NewHistogram([]float64{1, 2, 4}); err != nil {
+		t.Fatalf("valid bounds rejected: %v", err)
+	}
+}
+
+func TestHistogramBucketPlacement(t *testing.T) {
+	h := MustHistogram([]float64{1, 2, 4})
+	// le semantics: an observation equal to a bound lands in that bound's
+	// bucket, matching Prometheus cumulative buckets.
+	for _, v := range []float64{0.5, 1} {
+		h.Observe(v)
+	}
+	h.Observe(1.5)
+	h.Observe(4)
+	h.Observe(100) // +Inf overflow
+	s := h.Snapshot()
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d: got %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 {
+		t.Fatalf("count: got %d, want 5", s.Count)
+	}
+	if got := s.Sum; math.Abs(got-107) > 1e-9 {
+		t.Fatalf("sum: got %g, want 107", got)
+	}
+	if got := s.Mean(); math.Abs(got-107.0/5) > 1e-9 {
+		t.Fatalf("mean: got %g", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := MustHistogram([]float64{10, 20, 30, 40})
+	// 40 observations spread uniformly over (0, 40]: 10 per bucket.
+	for i := 1; i <= 40; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	// Linear interpolation inside the owning bucket, as histogram_quantile.
+	if got := s.Quantile(0.5); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("p50: got %g, want 20", got)
+	}
+	if got := s.Quantile(0.25); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("p25: got %g, want 10", got)
+	}
+	if got := s.Quantile(0.875); math.Abs(got-35) > 1e-9 {
+		t.Fatalf("p87.5: got %g, want 35", got)
+	}
+	if got := s.Quantile(1); math.Abs(got-40) > 1e-9 {
+		t.Fatalf("p100: got %g, want 40", got)
+	}
+
+	// Empty histogram: all quantiles zero.
+	if got := (HistSnapshot{}).Quantile(0.99); got != 0 {
+		t.Fatalf("empty quantile: got %g", got)
+	}
+
+	// Overflow observations clamp to the highest finite bound.
+	h2 := MustHistogram([]float64{1, 2})
+	h2.Observe(50)
+	if got := h2.Snapshot().Quantile(0.99); got != 2 {
+		t.Fatalf("overflow clamp: got %g, want 2", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := MustHistogram([]float64{1, 2})
+	b := MustHistogram([]float64{1, 2})
+	a.Observe(0.5)
+	b.Observe(1.5)
+	b.Observe(9)
+
+	var acc HistSnapshot
+	acc.Merge(a.Snapshot()) // empty target adopts the layout
+	acc.Merge(b.Snapshot())
+	if acc.Count != 3 {
+		t.Fatalf("merged count: got %d, want 3", acc.Count)
+	}
+	if want := []uint64{1, 1, 1}; acc.Counts[0] != want[0] || acc.Counts[1] != want[1] || acc.Counts[2] != want[2] {
+		t.Fatalf("merged counts: got %v", acc.Counts)
+	}
+	if math.Abs(acc.Sum-11) > 1e-9 {
+		t.Fatalf("merged sum: got %g, want 11", acc.Sum)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("layout mismatch did not panic")
+		}
+	}()
+	mismatch := MustHistogram([]float64{1, 2, 3}).Snapshot()
+	acc.Merge(mismatch)
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets: got %v, want %v", got, want)
+		}
+	}
+	for i := 1; i < len(LatencyBuckets()); i++ {
+		if LatencyBuckets()[i] <= LatencyBuckets()[i-1] {
+			t.Fatal("LatencyBuckets not strictly increasing")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad ExpBuckets args did not panic")
+		}
+	}()
+	ExpBuckets(0, 2, 3)
+}
+
+func TestLatencySummary(t *testing.T) {
+	h := MustHistogram([]float64{0.010, 0.020})
+	for i := 0; i < 10; i++ {
+		h.Observe(0.005) // all in the 10ms bucket
+	}
+	sum := h.Snapshot().Summary()
+	if sum.Count != 10 {
+		t.Fatalf("summary count: got %d", sum.Count)
+	}
+	if math.Abs(sum.MeanMS-5) > 1e-9 {
+		t.Fatalf("summary mean: got %g ms, want 5", sum.MeanMS)
+	}
+	if sum.P99MS <= 0 || sum.P99MS > 10 {
+		t.Fatalf("summary p99: got %g ms, want in (0, 10]", sum.P99MS)
+	}
+}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Label is one Prometheus label pair.
+type Label struct {
+	Key, Value string
+}
+
+// series is one exposed time series: a pull closure (counter/gauge) or a
+// histogram, plus its labels.
+type series struct {
+	labels []Label
+	read   func() float64
+	hist   *Histogram
+}
+
+// family groups the series sharing one metric name: Prometheus requires a
+// single HELP/TYPE header per name no matter how many labeled series it has.
+type family struct {
+	name, help, typ string
+	series          []series
+}
+
+// Registry is the unified pull-based metric registry: serving counters,
+// engine ledgers, and histograms register once and render together in the
+// Prometheus text exposition format (version 0.0.4). Counters and gauges
+// are closures read at scrape time — registration is the only write path,
+// so scraping never touches engine hot paths beyond what the closures do.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	index    map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]*family)}
+}
+
+// Counter registers a monotonically non-decreasing series read at scrape
+// time.
+func (r *Registry) Counter(name, help string, read func() float64) {
+	r.add(name, help, "counter", series{read: read})
+}
+
+// LabeledCounter registers one labeled series of the named counter family.
+// The family's HELP/TYPE come from its first registration.
+func (r *Registry) LabeledCounter(name, help string, labels []Label, read func() float64) {
+	r.add(name, help, "counter", series{labels: labels, read: read})
+}
+
+// Gauge registers a point-in-time series read at scrape time.
+func (r *Registry) Gauge(name, help string, read func() float64) {
+	r.add(name, help, "gauge", series{read: read})
+}
+
+// Histogram registers a histogram family rendered as cumulative _bucket
+// series plus _sum and _count.
+func (r *Registry) Histogram(name, help string, h *Histogram) {
+	r.add(name, help, "histogram", series{hist: h})
+}
+
+func (r *Registry) add(name, help, typ string, s series) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.index[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ}
+		r.index[name] = f
+		r.families = append(r.families, f)
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %s registered as both %s and %s", name, f.typ, typ))
+	}
+	f.series = append(f.series, s)
+}
+
+// WritePrometheus renders every registered family in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	families := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	var b strings.Builder
+	for _, f := range families {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.series {
+			if s.hist != nil {
+				renderHistogram(&b, f.name, s)
+				continue
+			}
+			fmt.Fprintf(&b, "%s%s %s\n", f.name, renderLabels(s.labels), formatValue(s.read()))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// PrometheusText renders the registry to a string.
+func (r *Registry) PrometheusText() string {
+	var b strings.Builder
+	_ = r.WritePrometheus(&b)
+	return b.String()
+}
+
+// renderHistogram writes the cumulative bucket series, sum, and count of
+// one histogram, honoring any series labels alongside the le label.
+func renderHistogram(b *strings.Builder, name string, s series) {
+	snap := s.hist.Snapshot()
+	withLE := func(le string) string {
+		labels := append(append(make([]Label, 0, len(s.labels)+1), s.labels...), Label{"le", le})
+		return renderLabels(labels)
+	}
+	cum := uint64(0)
+	for i, bound := range snap.Bounds {
+		cum += snap.Counts[i]
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLE(strconv.FormatFloat(bound, 'g', -1, 64)), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLE("+Inf"), snap.Count)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, renderLabels(s.labels), formatValue(snap.Sum))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, renderLabels(s.labels), snap.Count)
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Key, escapeLabelValue(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue applies the exposition-format label-value escapes:
+// backslash, double quote, and newline.
+func escapeLabelValue(v string) string {
+	return strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(v)
+}
+
+// escapeHelp applies the exposition-format HELP escapes.
+func escapeHelp(h string) string {
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(h)
+}
+
+// formatValue renders a sample value the way Prometheus clients do.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryCounterGaugeRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_ticks_total", "Ticks.", func() float64 { return 42 })
+	r.Gauge("test_depth", "Depth.", func() float64 { return 7 })
+	out := r.PrometheusText()
+	for _, want := range []string{
+		"# HELP test_ticks_total Ticks.\n",
+		"# TYPE test_ticks_total counter\n",
+		"test_ticks_total 42\n",
+		"# TYPE test_depth gauge\n",
+		"test_depth 7\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryLabeledFamilySharesHeader(t *testing.T) {
+	r := NewRegistry()
+	r.LabeledCounter("test_phase_seconds_total", "By phase.",
+		[]Label{{Key: "phase", Value: "rewired"}}, func() float64 { return 1 })
+	r.LabeledCounter("test_phase_seconds_total", "By phase.",
+		[]Label{{Key: "phase", Value: "settled"}}, func() float64 { return 2 })
+	out := r.PrometheusText()
+	if got := strings.Count(out, "# TYPE test_phase_seconds_total"); got != 1 {
+		t.Fatalf("family rendered %d TYPE headers, want 1:\n%s", got, out)
+	}
+	if !strings.Contains(out, `test_phase_seconds_total{phase="rewired"} 1`) ||
+		!strings.Contains(out, `test_phase_seconds_total{phase="settled"} 2`) {
+		t.Fatalf("labeled series missing:\n%s", out)
+	}
+}
+
+func TestRegistryLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.LabeledCounter("test_esc_total", "Escapes.",
+		[]Label{{Key: "path", Value: "a\\b\"c\nd"}}, func() float64 { return 1 })
+	out := r.PrometheusText()
+	want := `test_esc_total{path="a\\b\"c\nd"} 1`
+	if !strings.Contains(out, want) {
+		t.Fatalf("escaped series %q missing in:\n%s", want, out)
+	}
+}
+
+func TestRegistryHistogramRendering(t *testing.T) {
+	h := MustHistogram([]float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(10)
+	r := NewRegistry()
+	r.Histogram("test_lat_seconds", "Latency.", h)
+	out := r.PrometheusText()
+	for _, want := range []string{
+		"# TYPE test_lat_seconds histogram\n",
+		`test_lat_seconds_bucket{le="1"} 1`,
+		`test_lat_seconds_bucket{le="2"} 2`,
+		`test_lat_seconds_bucket{le="+Inf"} 3`,
+		"test_lat_seconds_sum 12\n",
+		"test_lat_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_x", "X.", func() float64 { return 0 })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("type conflict did not panic")
+		}
+	}()
+	r.Gauge("test_x", "X.", func() float64 { return 0 })
+}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestNilRecorderNoops exercises every Recorder method on a nil receiver —
+// the disabled-observability fast path.
+func TestNilRecorderNoops(t *testing.T) {
+	var r *Recorder
+	r.SetTick(1)
+	r.InsertApplied()
+	r.RepairBegin(7, 3, 2)
+	r.Phase(PhaseRewired)
+	r.CloudWired(4)
+	r.Cost(2, 9)
+	r.RepairEnd()
+	if r.Spans() != 0 || r.Dropped() != 0 || r.Repairs() != 0 {
+		t.Fatal("nil recorder reported activity")
+	}
+	if rounds, msgs := r.Ledger(); rounds != 0 || msgs != 0 {
+		t.Fatal("nil recorder reported ledger")
+	}
+	if r.PhaseSeconds(PhaseSettled) != 0 || r.RepairHist() != nil {
+		t.Fatal("nil recorder reported state")
+	}
+}
+
+func TestRecorderLifecycle(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewSpanWriter(&buf)
+	hist := MustHistogram(LatencyBuckets())
+	r := NewRecorder(w, hist)
+
+	r.SetTick(3)
+	r.InsertApplied() // event 0
+	r.InsertApplied() // event 1
+	r.RepairBegin(42, 5, 2)
+	r.Phase(PhaseRewired)
+	r.CloudWired(6)
+	r.CloudWired(3)
+	r.Phase(PhaseElected)
+	r.Phase(PhaseDisseminated)
+	r.Cost(4, 17)
+	r.RepairEnd()
+
+	r.SetTick(4)
+	r.RepairBegin(43, 2, 2)
+	r.RepairEnd()
+
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+
+	s := spans[0]
+	if s.Tick != 3 || s.Event != 2 || s.Seq != 0 || s.Node != 42 {
+		t.Fatalf("span keys: %+v", s)
+	}
+	if s.Wound != 5 || s.BlackDegree != 2 {
+		t.Fatalf("wound fields: %+v", s)
+	}
+	if s.Clouds != 2 || s.CloudNodes != 9 {
+		t.Fatalf("cloud fields: %+v", s)
+	}
+	if s.Rounds != 4 || s.Messages != 17 {
+		t.Fatalf("cost fields: %+v", s)
+	}
+	if s.StartUnixNano == 0 {
+		t.Fatal("missing start stamp")
+	}
+	// Phase stamps are monotone offsets from span start.
+	p := s.Phases
+	if p.RewiredUS < 0 || p.ElectedUS < p.RewiredUS ||
+		p.DisseminatedUS < p.ElectedUS || p.SettledUS < p.DisseminatedUS {
+		t.Fatalf("phase stamps not monotone: %+v", p)
+	}
+
+	s2 := spans[1]
+	if s2.Tick != 4 || s2.Event != 3 || s2.Seq != 1 || s2.Node != 43 {
+		t.Fatalf("second span keys: %+v", s2)
+	}
+	if s2.Rounds != 0 || s2.Messages != 0 {
+		t.Fatalf("second span has leftover cost: %+v", s2)
+	}
+
+	if r.Spans() != 2 || r.Dropped() != 0 || r.Repairs() != 2 {
+		t.Fatalf("counters: spans=%d dropped=%d repairs=%d", r.Spans(), r.Dropped(), r.Repairs())
+	}
+	if rounds, msgs := r.Ledger(); rounds != 4 || msgs != 17 {
+		t.Fatalf("ledger: %d rounds %d messages", rounds, msgs)
+	}
+	if hist.Snapshot().Count != 2 {
+		t.Fatalf("repair hist count: %d", hist.Snapshot().Count)
+	}
+	total := 0.0
+	for _, ph := range Phases() {
+		sec := r.PhaseSeconds(ph)
+		if sec < 0 {
+			t.Fatalf("negative phase seconds for %s", ph)
+		}
+		total += sec
+	}
+	if total <= 0 {
+		t.Fatal("no phase time accumulated")
+	}
+}
+
+// TestRecorderAutoFinalize: a RepairBegin over a still-open span finalizes
+// the stale one instead of losing it.
+func TestRecorderAutoFinalize(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewSpanWriter(&buf)
+	r := NewRecorder(w, nil)
+	r.RepairBegin(1, 3, 3)
+	r.RepairBegin(2, 4, 4) // first span never saw RepairEnd
+	r.RepairEnd()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Node != 1 || spans[1].Node != 2 {
+		t.Fatalf("span order: %+v", spans)
+	}
+}
+
+func TestSpanWriterClosed(t *testing.T) {
+	w := NewSpanWriter(&bytes.Buffer{})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(&Span{}); err != ErrSpanLogClosed {
+		t.Fatalf("write after close: got %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestReadSpansRejectsGarbage(t *testing.T) {
+	_, err := ReadSpans(strings.NewReader("{\"tick\":1}\nnot json\n"))
+	if err == nil {
+		t.Fatal("garbage line accepted")
+	}
+}
+
+func TestPhaseNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Phases() {
+		name := p.String()
+		if name == "unknown" || seen[name] {
+			t.Fatalf("bad or duplicate phase name %q", name)
+		}
+		seen[name] = true
+	}
+	if Phase(200).String() != "unknown" {
+		t.Fatal("out-of-range phase not unknown")
+	}
+}

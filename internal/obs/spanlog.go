@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// SpanWriter streams completed spans to w as JSONL: one complete span object
+// per line, in emission order. Like trace.LogWriter, a log truncated by a
+// crash loses at most the line being written.
+//
+// Methods are called under the Recorder's lock; a SpanWriter shared between
+// recorders needs external serialization.
+type SpanWriter struct {
+	bw     *bufio.Writer
+	enc    *json.Encoder
+	spans  int
+	closed bool
+}
+
+// ErrSpanLogClosed is returned by Write after Close.
+var ErrSpanLogClosed = errors.New("obs: span log is closed")
+
+// NewSpanWriter starts a span log over w.
+func NewSpanWriter(w io.Writer) *SpanWriter {
+	bw := bufio.NewWriter(w)
+	return &SpanWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write appends one span line.
+func (sw *SpanWriter) Write(s *Span) error {
+	if sw.closed {
+		return ErrSpanLogClosed
+	}
+	if err := sw.enc.Encode(s); err != nil {
+		return fmt.Errorf("obs: span log append: %w", err)
+	}
+	sw.spans++
+	return nil
+}
+
+// Spans returns the number of spans written so far.
+func (sw *SpanWriter) Spans() int { return sw.spans }
+
+// Close flushes the log. It does not close the underlying writer — the
+// caller owns the file handle.
+func (sw *SpanWriter) Close() error {
+	if sw.closed {
+		return nil
+	}
+	sw.closed = true
+	return sw.bw.Flush()
+}
+
+// ReadSpans loads a complete span log: one JSON span per line, in emission
+// order.
+func ReadSpans(r io.Reader) ([]Span, error) {
+	dec := json.NewDecoder(r)
+	var out []Span
+	for {
+		var s Span
+		if err := dec.Decode(&s); err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, nil
+			}
+			return nil, fmt.Errorf("obs: span log line %d: %w", len(out)+1, err)
+		}
+		out = append(out, s)
+	}
+}

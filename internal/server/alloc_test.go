@@ -1,0 +1,71 @@
+package server
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/xheal/xheal/internal/adversary"
+	"github.com/xheal/xheal/internal/core"
+	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/workload"
+)
+
+// tickAllocBudget is the steady-state allocation cost of one applied
+// single-event tick (submission assembly, admission, engine apply, counter
+// updates) with observability disabled, pinned at the PR 5 baseline. The
+// always-on serving histograms must observe without allocating, so wiring
+// internal/obs into the tick path may not raise this.
+const tickAllocBudget = 86
+
+// TestTickAllocsDisabledObservability measures the tick apply path directly
+// (single goroutine: the loop is stopped first, then apply is driven by
+// hand) so the number is not polluted by channel scheduling noise.
+func TestTickAllocsDisabledObservability(t *testing.T) {
+	g0, err := workload.RandomRegular(256, 3, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := core.NewState(core.Config{Kappa: 4, Seed: 2}, g0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(st, Config{})
+	if err := s.Close(); err != nil { // stop the loop; apply stays usable
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	alive := append([]graph.NodeID(nil), st.Graph().Nodes()...)
+	next := graph.NodeID(1 << 20)
+	step := func() {
+		i := rng.Intn(len(alive))
+		victim := alive[i]
+		alive[i] = alive[len(alive)-1]
+		alive = alive[:len(alive)-1]
+		del := &submission{ev: adversary.Event{Kind: adversary.Delete, Node: victim},
+			done: make(chan error, 1), at: time.Now()}
+		s.apply([]*submission{del})
+		if err := <-del.done; err != nil {
+			t.Fatal(err)
+		}
+		ins := &submission{ev: adversary.Event{Kind: adversary.Insert, Node: next,
+			Neighbors: []graph.NodeID{alive[rng.Intn(len(alive))]}},
+			done: make(chan error, 1), at: time.Now()}
+		s.apply([]*submission{ins})
+		if err := <-ins.done; err != nil {
+			t.Fatal(err)
+		}
+		alive = append(alive, next)
+		next++
+	}
+	for i := 0; i < 100; i++ {
+		step()
+	}
+	avg := testing.AllocsPerRun(200, step)
+	t.Logf("server tick (delete+insert): %.1f allocs/op (budget %d)", avg, tickAllocBudget)
+	if avg > tickAllocBudget {
+		t.Fatalf("tick path with observability disabled allocates %.1f/op, budget is %d (PR 5 baseline)",
+			avg, tickAllocBudget)
+	}
+}

@@ -1,48 +1,112 @@
 package server
 
 import (
-	"fmt"
-	"strings"
 	"time"
+
+	"github.com/xheal/xheal/internal/obs"
 )
 
-// PrometheusText renders the serving counters and basic topology gauges in
+// This file assembles the daemon's unified metrics registry (internal/obs):
+// the serving counters, topology gauges, the serving histograms (tick
+// latency, batch size, queue depth), and — when a per-wound recorder is
+// attached — the repair span series (repair latency histogram, per-phase
+// time totals, and the protocol cost ledger). GET /metrics renders it in
 // the Prometheus text exposition format (version 0.0.4) — hand-rolled on
 // purpose: the repo takes no dependencies, and the format is lines.
-func (s *Server) PrometheusText() string {
-	s.mu.Lock()
-	c := s.counters
-	g := s.eng.Graph().Clone() // connectivity is computed outside the lock
-	s.mu.Unlock()
-	nodes, edges := g.NumNodes(), g.NumEdges()
-	connected := 0
-	if g.IsConnected() {
-		connected = 1
-	}
-	c.EventsBacklogged = s.backlogged.Load()
 
-	var b strings.Builder
-	counter := func(name, help string, v float64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+// buildRegistry registers every serving metric. Counters and gauges are
+// pull closures evaluated at scrape time; histograms are the live
+// instruments the tick loop observes into.
+func (s *Server) buildRegistry() {
+	reg := obs.NewRegistry()
+	s.reg = reg
+
+	c := func(read func(Counters) float64) func() float64 {
+		return func() float64 { return read(s.Counters()) }
 	}
-	gauge := func(name, help string, v float64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	reg.Counter("xheal_serve_ticks_total", "Applied timesteps (batches).",
+		c(func(c Counters) float64 { return float64(c.Ticks) }))
+	reg.Counter("xheal_serve_events_applied_total", "Events applied across all ticks.",
+		c(func(c Counters) float64 { return float64(c.EventsApplied) }))
+	reg.Counter("xheal_serve_inserts_applied_total", "Insertions applied.",
+		c(func(c Counters) float64 { return float64(c.InsertsApplied) }))
+	reg.Counter("xheal_serve_deletes_applied_total", "Deletions applied (healed).",
+		c(func(c Counters) float64 { return float64(c.DeletesApplied) }))
+	reg.Counter("xheal_serve_events_rejected_total", "Events rejected with an error.",
+		c(func(c Counters) float64 { return float64(c.EventsRejected) }))
+	reg.Counter("xheal_serve_events_backlogged_total", "Submissions refused by queue backpressure.",
+		c(func(c Counters) float64 { return float64(c.EventsBacklogged) }))
+	reg.Counter("xheal_serve_events_deferred_total", "Tick-to-tick conflict deferrals.",
+		c(func(c Counters) float64 { return float64(c.EventsDeferred) }))
+	reg.Counter("xheal_serve_apply_seconds_total", "Cumulative engine time applying batches.",
+		c(func(c Counters) float64 { return c.ApplySeconds }))
+	reg.Counter("xheal_serve_event_wait_seconds_total", "Cumulative submit-to-applied latency over applied events.",
+		c(func(c Counters) float64 { return c.WaitSeconds }))
+	reg.Gauge("xheal_serve_batch_events_last", "Events in the most recent batch.",
+		c(func(c Counters) float64 { return float64(c.BatchLast) }))
+	reg.Gauge("xheal_serve_batch_events_max", "Largest batch applied so far.",
+		c(func(c Counters) float64 { return float64(c.BatchMax) }))
+	reg.Gauge("xheal_serve_queue_depth", "Events accepted but not yet applied.",
+		func() float64 { return float64(s.QueueDepth()) })
+	reg.Gauge("xheal_serve_nodes", "Alive nodes in the healed graph.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.eng.Graph().NumNodes())
+	})
+	reg.Gauge("xheal_serve_edges", "Edges in the healed graph.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.eng.Graph().NumEdges())
+	})
+	reg.Gauge("xheal_serve_connected", "1 when the healed graph is connected.", func() float64 {
+		// Clone under the lock, traverse outside it: connectivity is the one
+		// scrape series that walks the whole graph.
+		s.mu.Lock()
+		g := s.eng.Graph().Clone()
+		s.mu.Unlock()
+		if g.IsConnected() {
+			return 1
+		}
+		return 0
+	})
+	reg.Gauge("xheal_serve_uptime_seconds", "Seconds since the daemon started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+
+	s.tickHist = obs.MustHistogram(obs.LatencyBuckets())
+	s.batchHist = obs.MustHistogram(obs.SizeBuckets())
+	s.queueHist = obs.MustHistogram(obs.SizeBuckets())
+	reg.Histogram("xheal_serve_tick_seconds", "Engine time applying one batch (tick latency).", s.tickHist)
+	reg.Histogram("xheal_serve_batch_events", "Events per applied batch.", s.batchHist)
+	reg.Histogram("xheal_serve_queue_depth_at_tick", "Queue depth observed after each applied batch.", s.queueHist)
+
+	rec := s.cfg.Recorder
+	if rec == nil {
+		return
 	}
-	counter("xheal_serve_ticks_total", "Applied timesteps (batches).", float64(c.Ticks))
-	counter("xheal_serve_events_applied_total", "Events applied across all ticks.", float64(c.EventsApplied))
-	counter("xheal_serve_inserts_applied_total", "Insertions applied.", float64(c.InsertsApplied))
-	counter("xheal_serve_deletes_applied_total", "Deletions applied (healed).", float64(c.DeletesApplied))
-	counter("xheal_serve_events_rejected_total", "Events rejected with an error.", float64(c.EventsRejected))
-	counter("xheal_serve_events_backlogged_total", "Submissions refused by queue backpressure.", float64(c.EventsBacklogged))
-	counter("xheal_serve_events_deferred_total", "Tick-to-tick conflict deferrals.", float64(c.EventsDeferred))
-	counter("xheal_serve_apply_seconds_total", "Cumulative engine time applying batches.", c.ApplySeconds)
-	counter("xheal_serve_event_wait_seconds_total", "Cumulative submit-to-applied latency over applied events.", c.WaitSeconds)
-	gauge("xheal_serve_batch_events_last", "Events in the most recent batch.", float64(c.BatchLast))
-	gauge("xheal_serve_batch_events_max", "Largest batch applied so far.", float64(c.BatchMax))
-	gauge("xheal_serve_queue_depth", "Events accepted but not yet applied.", float64(s.QueueDepth()))
-	gauge("xheal_serve_nodes", "Alive nodes in the healed graph.", float64(nodes))
-	gauge("xheal_serve_edges", "Edges in the healed graph.", float64(edges))
-	gauge("xheal_serve_connected", "1 when the healed graph is connected.", float64(connected))
-	gauge("xheal_serve_uptime_seconds", "Seconds since the daemon started.", time.Since(s.start).Seconds())
-	return b.String()
+	reg.Counter("xheal_repair_spans_total", "Per-wound repair spans emitted.",
+		func() float64 { return float64(rec.Spans()) })
+	reg.Counter("xheal_repair_spans_dropped_total", "Spans lost to span-log write failures.",
+		func() float64 { return float64(rec.Dropped()) })
+	reg.Counter("xheal_repair_rounds_total", "Protocol rounds across all repairs (engine cost ledger).",
+		func() float64 { r, _ := rec.Ledger(); return float64(r) })
+	reg.Counter("xheal_repair_messages_total", "Protocol messages across all repairs (engine cost ledger).",
+		func() float64 { _, m := rec.Ledger(); return float64(m) })
+	for _, p := range obs.Phases() {
+		p := p
+		reg.LabeledCounter("xheal_repair_phase_seconds_total",
+			"Cumulative time between consecutive repair phase boundaries, by phase.",
+			[]obs.Label{{Key: "phase", Value: p.String()}},
+			func() float64 { return rec.PhaseSeconds(p) })
+	}
+	if h := rec.RepairHist(); h != nil {
+		reg.Histogram("xheal_repair_seconds", "Per-wound repair latency (span admitted to settled).", h)
+	}
 }
+
+// PrometheusText renders the unified registry in the Prometheus text
+// exposition format.
+func (s *Server) PrometheusText() string { return s.reg.PrometheusText() }
+
+// Registry exposes the daemon's metric registry, so embedders can register
+// their own series alongside the serving ones.
+func (s *Server) Registry() *obs.Registry { return s.reg }

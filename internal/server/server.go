@@ -13,6 +13,7 @@ import (
 	"github.com/xheal/xheal/internal/core"
 	"github.com/xheal/xheal/internal/graph"
 	"github.com/xheal/xheal/internal/metrics"
+	"github.com/xheal/xheal/internal/obs"
 	"github.com/xheal/xheal/internal/trace"
 )
 
@@ -65,6 +66,11 @@ type Config struct {
 	// Log, when set, receives every applied event in application order.
 	// The server serializes Append calls and Closes the log on Close.
 	Log *trace.LogWriter
+	// Recorder, when set, traces every wound repair as a span: the server
+	// stamps the tick, the engine stamps the phases. It is handed to the
+	// engine at New if the engine accepts one (core.State and dist.Engine
+	// do). nil disables per-wound tracing at zero cost.
+	Recorder *obs.Recorder
 }
 
 func (c Config) queueDepth() int {
@@ -142,6 +148,19 @@ type Server struct {
 	backlogged atomic.Uint64
 	carried    atomic.Int64 // mirrors len(carry) for QueueDepth readers
 	start      time.Time
+
+	// Unified metrics (see metrics.go). The histograms are observed by the
+	// loop goroutine inside apply; the registry renders them on scrape.
+	reg       *obs.Registry
+	tickHist  *obs.Histogram
+	batchHist *obs.Histogram
+	queueHist *obs.Histogram
+}
+
+// recordableEngine is satisfied by engines that accept a per-wound trace
+// recorder (core.State and dist.Engine both do).
+type recordableEngine interface {
+	SetRecorder(*obs.Recorder)
 }
 
 type submission struct {
@@ -162,6 +181,12 @@ func New(eng Engine, cfg Config) *Server {
 		done:  make(chan struct{}),
 		start: time.Now(),
 	}
+	if cfg.Recorder != nil {
+		if re, ok := eng.(recordableEngine); ok {
+			re.SetRecorder(cfg.Recorder)
+		}
+	}
+	s.buildRegistry()
 	go s.loop()
 	return s
 }
@@ -393,6 +418,9 @@ func (s *Server) apply(pending []*submission) {
 		return
 	}
 
+	// Spans emitted during this batch carry the tick they will be counted
+	// under once the batch lands.
+	s.cfg.Recorder.SetTick(s.counters.Ticks + 1)
 	applyStart := time.Now()
 	err := s.eng.ApplyBatch(bs.batch)
 	applied := time.Since(applyStart)
@@ -412,6 +440,9 @@ func (s *Server) apply(pending []*submission) {
 
 	s.counters.Ticks++
 	s.counters.ApplySeconds += applied.Seconds()
+	s.tickHist.Observe(applied.Seconds())
+	s.batchHist.Observe(float64(len(bs.members)))
+	s.queueHist.Observe(float64(s.QueueDepth()))
 	s.counters.BatchLast = len(bs.members)
 	if len(bs.members) > s.counters.BatchMax {
 		s.counters.BatchMax = len(bs.members)
@@ -475,6 +506,23 @@ type Health struct {
 	Counters      Counters `json:"counters"`
 	QueueDepth    int      `json:"queue_depth"`
 	UptimeSeconds float64  `json:"uptime_seconds"`
+	// Obs summarizes the serving histograms and, when per-wound tracing is
+	// on, the repair spans.
+	Obs ObsHealth `json:"obs"`
+}
+
+// ObsHealth is the observability slice of a health snapshot: latency
+// percentiles from the streaming histograms plus the span ledger.
+type ObsHealth struct {
+	// TickLatency summarizes engine time per applied batch.
+	TickLatency obs.LatencySummary `json:"tick_latency"`
+	// RepairLatency summarizes per-wound repair spans (admitted → settled).
+	// Absent when no recorder is attached.
+	RepairLatency *obs.LatencySummary `json:"repair_latency,omitempty"`
+	// Spans / SpansDropped count spans emitted to the span log and spans
+	// lost to write failures. Zero when no recorder is attached.
+	Spans        uint64 `json:"spans"`
+	SpansDropped uint64 `json:"spans_dropped"`
 }
 
 // Health measures the current healed graph (MeasureFast-equivalent: skips
@@ -494,6 +542,15 @@ func (s *Server) Health() Health {
 	})
 	c.EventsBacklogged = s.backlogged.Load()
 
+	ob := ObsHealth{TickLatency: s.tickHist.Snapshot().Summary()}
+	if rec := s.cfg.Recorder; rec != nil {
+		ob.Spans, ob.SpansDropped = rec.Spans(), rec.Dropped()
+		if h := rec.RepairHist(); h != nil {
+			sum := h.Snapshot().Summary()
+			ob.RepairLatency = &sum
+		}
+	}
+
 	status := "ok"
 	if !snap.Connected {
 		status = "degraded"
@@ -508,6 +565,7 @@ func (s *Server) Health() Health {
 		Counters:      c,
 		QueueDepth:    s.QueueDepth(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
+		Obs:           ob,
 	}
 }
 
