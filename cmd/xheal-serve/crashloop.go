@@ -1,0 +1,386 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"github.com/xheal/xheal/internal/checkpoint"
+	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/server"
+	"github.com/xheal/xheal/internal/workload"
+)
+
+// This file is the crash/fault-injection harness behind -crashloop N: the
+// parent re-execs itself as a durable-mode child daemon, hammers it with
+// concurrent HTTP clients, SIGKILLs it mid-load, restarts it, and repeats —
+// asserting after every restart that no acknowledged event was lost and that
+// the recovery replay stays inside its checkpoint-spacing bound. The last
+// cycle shuts down gracefully (SIGTERM), and the parent then recovers the
+// data directory in-process and checks the final state: every acknowledged
+// insert present, every acknowledged delete gone, engine invariants clean,
+// and the recovered state byte-identical to a from-genesis replay of the
+// archived log.
+//
+// Acknowledgement bookkeeping is three-way. A 200 response means the event
+// was applied and durably logged (log-before-ack), so it joins the
+// acked-alive or acked-deleted set and MUST survive. A failed request —
+// connection reset by the kill, timeout, 503 backpressure — proves nothing
+// either way (the event may have applied just before the crash), so its node
+// moves to the uncertain set and is excluded from both assertions.
+
+// ackBook tracks what the load clients know about the run, across every
+// crash cycle.
+type ackBook struct {
+	mu           sync.Mutex
+	next         graph.NodeID
+	ackedAlive   map[graph.NodeID]struct{}
+	ackedDeleted map[graph.NodeID]struct{}
+	uncertain    map[graph.NodeID]struct{}
+	acks         uint64 // total acknowledged events (inserts + deletes)
+	attempts     uint64
+}
+
+func newAckBook(first graph.NodeID) *ackBook {
+	return &ackBook{
+		next:         first,
+		ackedAlive:   make(map[graph.NodeID]struct{}),
+		ackedDeleted: make(map[graph.NodeID]struct{}),
+		uncertain:    make(map[graph.NodeID]struct{}),
+	}
+}
+
+func (b *ackBook) alloc() graph.NodeID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := b.next
+	b.next++
+	b.attempts++
+	return n
+}
+
+// reserveAlive removes and returns one acknowledged-alive node, so no two
+// clients race to delete the same node (the loser's rejection would wrongly
+// look like uncertainty).
+func (b *ackBook) reserveAlive(rng *rand.Rand) (graph.NodeID, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.ackedAlive) == 0 {
+		return 0, false
+	}
+	i := rng.Intn(len(b.ackedAlive))
+	for n := range b.ackedAlive {
+		if i == 0 {
+			delete(b.ackedAlive, n)
+			b.attempts++
+			return n, true
+		}
+		i--
+	}
+	return 0, false
+}
+
+func (b *ackBook) settle(n graph.NodeID, set *map[graph.NodeID]struct{}, acked bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	(*set)[n] = struct{}{}
+	if acked {
+		b.acks++
+	}
+}
+
+func (b *ackBook) counts() (alive, deleted, uncertain int, acks uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.ackedAlive), len(b.ackedDeleted), len(b.uncertain), b.acks
+}
+
+// client generates load until ctx is cancelled: fresh-node insertions
+// attached to initial anchor nodes, and deletions of acknowledged-alive
+// nodes. Only anchors are used as attachment points because the clients
+// never delete them, so the neighbors of every insert provably exist.
+func (b *ackBook) client(ctx context.Context, base string, rng *rand.Rand, anchors []graph.NodeID, deleteBias float64, attach int) {
+	hc := &http.Client{Timeout: 5 * time.Second}
+	for ctx.Err() == nil {
+		if rng.Float64() < deleteBias {
+			if node, ok := b.reserveAlive(rng); ok {
+				ev := server.IngestEvent{Kind: "delete", Node: node}
+				if postOne(ctx, hc, base, ev) == nil {
+					b.settle(node, &b.ackedDeleted, true)
+				} else {
+					b.settle(node, &b.uncertain, false)
+				}
+				continue
+			}
+		}
+		node := b.alloc()
+		k := 1 + rng.Intn(attach)
+		if k > len(anchors) {
+			k = len(anchors)
+		}
+		nbrs := make([]graph.NodeID, 0, k)
+		for _, i := range rng.Perm(len(anchors))[:k] {
+			nbrs = append(nbrs, anchors[i])
+		}
+		ev := server.IngestEvent{Kind: "insert", Node: node, Neighbors: nbrs}
+		if postOne(ctx, hc, base, ev) == nil {
+			b.settle(node, &b.ackedAlive, true)
+		} else {
+			b.settle(node, &b.uncertain, false)
+		}
+	}
+}
+
+func postOne(ctx context.Context, hc *http.Client, base string, ev server.IngestEvent) error {
+	body, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/events", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %s", resp.Status)
+	}
+	return nil
+}
+
+// childLines echoes every child stdout line to w (prefixed, for debugging)
+// and forwards it on the returned channel, closed at EOF.
+func childLines(r io.Reader, w io.Writer) <-chan string {
+	ch := make(chan string, 64)
+	go func() {
+		defer close(ch)
+		sc := bufio.NewScanner(r)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintf(w, "  [child] %s\n", line)
+			ch <- line
+		}
+	}()
+	return ch
+}
+
+func awaitLine(lines <-chan string, prefix string, timeout time.Duration) (string, error) {
+	deadline := time.After(timeout)
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				return "", fmt.Errorf("child exited before printing %q", prefix)
+			}
+			if strings.HasPrefix(line, prefix) {
+				return line, nil
+			}
+		case <-deadline:
+			return "", fmt.Errorf("timed out waiting for child to print %q", prefix)
+		}
+	}
+}
+
+func runCrashloop(o options, stdout, stderr io.Writer) int {
+	if err := crashloop(o, stdout, stderr); err != nil {
+		fmt.Fprintln(stderr, "crashloop: FAIL:", err)
+		return 1
+	}
+	return 0
+}
+
+func crashloop(o options, stdout, stderr io.Writer) error {
+	engName, err := engineName(o.engine)
+	if err != nil {
+		return err
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	g0, err := workload.ByName(o.wl, o.n, rand.New(rand.NewSource(o.seed)))
+	if err != nil {
+		return err
+	}
+	anchors := g0.Nodes()
+	dir := o.dataDir
+	if dir == "" {
+		dir, err = os.MkdirTemp("", "xheal-crashloop-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+	}
+	// Worst-case recovery tail: the log is rotated at every checkpoint, so at
+	// most checkpoint-every ticks of at most max-batch events each are ever
+	// uncovered by a checkpoint.
+	maxReplay := o.ckptEvery * o.maxBatch
+	clients := o.clients
+	if clients < 1 {
+		clients = 1
+	}
+	book := newAckBook(900000)
+	fmt.Fprintf(stdout, "crashloop: %d cycles x %v load, engine=%s, %d clients, data dir %s\n",
+		o.crashloop, o.crashInterval, o.engine, clients, dir)
+
+	for cycle := 1; cycle <= o.crashloop; cycle++ {
+		cmd := exec.Command(exe,
+			"-addr", "127.0.0.1:0",
+			"-engine", o.engine,
+			"-workload", o.wl,
+			"-n", fmt.Sprint(o.n),
+			"-kappa", fmt.Sprint(o.kappa),
+			"-seed", fmt.Sprint(o.seed),
+			"-tick", o.tick.String(),
+			"-queue", fmt.Sprint(o.queue),
+			"-max-batch", fmt.Sprint(o.maxBatch),
+			"-data-dir", dir,
+			"-checkpoint-every", fmt.Sprint(o.ckptEvery),
+			"-archive-log",
+			"-verify-recovery",
+		)
+		cmd.Stderr = stderr
+		outPipe, err := cmd.StdoutPipe()
+		if err != nil {
+			return err
+		}
+		if err := cmd.Start(); err != nil {
+			return err
+		}
+		lines := childLines(outPipe, stderr)
+		fail := func(err error) error {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+			return fmt.Errorf("cycle %d/%d: %w", cycle, o.crashloop, err)
+		}
+
+		recLine, err := awaitLine(lines, "recovered: ", 120*time.Second)
+		if err != nil {
+			return fail(err)
+		}
+		var source string
+		var events, tick uint64
+		var replayed int
+		var torn bool
+		if _, err := fmt.Sscanf(recLine, "recovered: source=%s events=%d tick=%d replayed=%d torn_tail=%t",
+			&source, &events, &tick, &replayed, &torn); err != nil {
+			return fail(fmt.Errorf("parse %q: %w", recLine, err))
+		}
+		_, _, _, acks := book.counts()
+		if events < acks {
+			return fail(fmt.Errorf("recovered watermark %d events < %d acknowledged: acknowledged events were lost", events, acks))
+		}
+		if replayed > maxReplay {
+			return fail(fmt.Errorf("recovery replayed %d tail events, checkpoint spacing bounds it at %d", replayed, maxReplay))
+		}
+		lsnLine, err := awaitLine(lines, "listening on http://", 60*time.Second)
+		if err != nil {
+			return fail(err)
+		}
+		hostport := strings.TrimPrefix(strings.Fields(lsnLine)[2], "http://")
+		go func() {
+			for range lines {
+			}
+		}()
+
+		loadCtx, cancelLoad := context.WithCancel(context.Background())
+		var wg sync.WaitGroup
+		for i := 0; i < clients; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(o.seed + int64(cycle*1000+i)))
+				book.client(loadCtx, "http://"+hostport, rng, anchors, o.deleteBias, o.attach)
+			}(i)
+		}
+		time.Sleep(o.crashInterval)
+
+		if cycle < o.crashloop {
+			// Crash while the load is still in flight: acknowledged events
+			// must survive, in-flight ones become uncertain.
+			_ = cmd.Process.Kill()
+			cancelLoad()
+			wg.Wait()
+			_ = cmd.Wait()
+			alive, deleted, uncertain, acks := book.counts()
+			fmt.Fprintf(stdout, "cycle %d/%d: recovered %d events (replayed %d, %s), SIGKILL; acked %d (%d alive, %d deleted), %d uncertain\n",
+				cycle, o.crashloop, events, replayed, source, acks, alive, deleted, uncertain)
+		} else {
+			cancelLoad()
+			wg.Wait()
+			if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+				return fail(err)
+			}
+			if err := cmd.Wait(); err != nil {
+				return fmt.Errorf("cycle %d/%d: graceful shutdown: %w", cycle, o.crashloop, err)
+			}
+			fmt.Fprintf(stdout, "cycle %d/%d: graceful SIGTERM shutdown\n", cycle, o.crashloop)
+		}
+		cancelLoad()
+	}
+
+	// Final in-process verification against whatever the last incarnation
+	// left on disk.
+	store, err := checkpoint.NewFileStore(filepath.Join(dir, "checkpoints"), 3)
+	if err != nil {
+		return err
+	}
+	logDir := filepath.Join(dir, "log")
+	rec, err := server.Recover(server.RecoverConfig{
+		Store: store, LogDir: logDir,
+		Engine: engName, Kappa: o.kappa, Seed: o.seed, Genesis: g0.Clone(),
+	})
+	if err != nil {
+		return fmt.Errorf("final recovery: %w", err)
+	}
+	defer func() {
+		if c, ok := rec.Engine.(interface{ Close() }); ok {
+			c.Close()
+		}
+	}()
+	alive, deleted, uncertain, acks := book.counts()
+	if rec.Events < acks {
+		return fmt.Errorf("final state holds %d events < %d acknowledged: acknowledged events were lost", rec.Events, acks)
+	}
+	g := rec.Engine.Graph()
+	book.mu.Lock()
+	for n := range book.ackedAlive {
+		if !g.HasNode(n) {
+			book.mu.Unlock()
+			return fmt.Errorf("acknowledged insert of node %d was lost", n)
+		}
+	}
+	for n := range book.ackedDeleted {
+		if g.HasNode(n) {
+			book.mu.Unlock()
+			return fmt.Errorf("acknowledged delete of node %d was lost (node still present)", n)
+		}
+	}
+	book.mu.Unlock()
+	if err := rec.Engine.CheckInvariants(); err != nil {
+		return fmt.Errorf("final state invariants: %w", err)
+	}
+	if err := server.VerifyRecovery(rec.Engine, engName, logDir, o.kappa, o.seed); err != nil {
+		return fmt.Errorf("final recovery identity: %w", err)
+	}
+	fmt.Fprintf(stdout, "crashloop: PASS: %d kill/restart cycles, %d events acknowledged (%d inserts alive, %d deletes settled), %d uncertain, final state verified against from-genesis replay of %d events\n",
+		o.crashloop-1, acks, alive, deleted, uncertain, rec.Events)
+	return nil
+}

@@ -3,14 +3,17 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/xheal/xheal/internal/adversary"
@@ -37,6 +40,7 @@ type loadReport struct {
 	Deferred        uint64  `json:"deferred"`
 	Rejected        uint64  `json:"rejected"`
 	Backlogged      uint64  `json:"backlogged"`
+	Retries         uint64  `json:"retries"`
 	ApplyMSTotal    float64 `json:"apply_ms_total"`
 	MeanWaitMS      float64 `json:"mean_wait_ms"`
 	FinalNodes      int     `json:"final_nodes"`
@@ -110,14 +114,35 @@ func runLoad(o options, stdout, stderr io.Writer, smoke bool) int {
 
 	start := time.Now()
 	var wg sync.WaitGroup
+	var retries atomic.Uint64
 	errs := make([]error, o.clients)
 	for c := 0; c < o.clients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
 			stream := adversary.NewClientStream(c, anchors, o.deleteBias, o.attach, o.seed+1000)
+			// A 503 verdict (queue backpressure) is the daemon telling the
+			// client to come back, not a failure: retry with full-jitter
+			// exponential backoff, bounded so a wedged daemon still fails
+			// the run.
+			bo := adversary.Backoff{
+				Base: time.Millisecond,
+				Max:  250 * time.Millisecond,
+				Rng:  rand.New(rand.NewSource(o.seed + 2000 + int64(c))),
+			}
+			const maxAttempts = 8
 			for i := 0; i < o.events; i++ {
-				if err := postEvent(client, base, stream.Next()); err != nil {
+				ev := stream.Next()
+				var err error
+				for attempt := 0; ; attempt++ {
+					err = postEvent(client, base, ev)
+					if err == nil || !errors.Is(err, errRetryable) || attempt == maxAttempts-1 {
+						break
+					}
+					retries.Add(1)
+					time.Sleep(bo.Delay(attempt))
+				}
+				if err != nil {
 					errs[c] = fmt.Errorf("client %d event %d: %w", c, i, err)
 					return
 				}
@@ -217,6 +242,7 @@ func runLoad(o options, stdout, stderr io.Writer, smoke bool) int {
 		Deferred:        c.EventsDeferred,
 		Rejected:        c.EventsRejected,
 		Backlogged:      c.EventsBacklogged,
+		Retries:         retries.Load(),
 		ApplyMSTotal:    c.ApplySeconds * 1000,
 		MeanWaitMS:      c.WaitSeconds * 1000 / float64(max(1, c.EventsApplied)),
 		FinalNodes:      final.NumNodes(),
@@ -228,9 +254,9 @@ func runLoad(o options, stdout, stderr io.Writer, smoke bool) int {
 		SpansDropped:    d.rec.Dropped(),
 		Env:             obs.CaptureEnv(),
 	}
-	fmt.Fprintf(stdout, "%s ok: %d events in %.1f ms (%.0f events/sec), %d ticks, mean batch %.1f (max %d), %d deferred\n",
+	fmt.Fprintf(stdout, "%s ok: %d events in %.1f ms (%.0f events/sec), %d ticks, mean batch %.1f (max %d), %d deferred, %d backoff retries\n",
 		mode, report.EventsTotal, report.WallMS, report.EventsPerSec,
-		report.Ticks, report.MeanBatch, report.BatchMax, report.Deferred)
+		report.Ticks, report.MeanBatch, report.BatchMax, report.Deferred, report.Retries)
 	fmt.Fprintf(stdout, "invariants ok, health ok, event log replays to identical graph (n=%d m=%d)\n",
 		report.FinalNodes, report.FinalEdges)
 	fmt.Fprintf(stdout, "tick latency p50/p95/p99 = %.3f/%.3f/%.3f ms over %d ticks\n",
@@ -331,6 +357,11 @@ func verifySpans(d *daemon, c server.Counters) error {
 	return nil
 }
 
+// errRetryable marks a verdict the client may retry: 503, the daemon's
+// queue-backpressure (ErrBacklog) answer. The event was refused before
+// enqueueing, so a retry can never double-apply it.
+var errRetryable = errors.New("retryable rejection")
+
 // postEvent sends one event and decodes the daemon's verdict.
 func postEvent(client *http.Client, base string, ev adversary.Event) error {
 	wire := server.IngestEvent{Node: ev.Node, Neighbors: ev.Neighbors}
@@ -352,7 +383,11 @@ func postEvent(client *http.Client, base string, ev adversary.Event) error {
 	if resp.StatusCode != http.StatusOK {
 		var out server.IngestResponse
 		_ = json.NewDecoder(resp.Body).Decode(&out)
-		return fmt.Errorf("%s %d: HTTP %d: %s", strings.ToLower(wire.Kind), ev.Node, resp.StatusCode, out.Error)
+		err := fmt.Errorf("%s %d: HTTP %d: %s", strings.ToLower(wire.Kind), ev.Node, resp.StatusCode, out.Error)
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			err = fmt.Errorf("%w: %w", errRetryable, err)
+		}
+		return err
 	}
 	return nil
 }

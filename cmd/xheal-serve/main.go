@@ -10,8 +10,10 @@
 //
 //	xheal-serve -addr :8080 -workload regular -n 128 -event-log run.log
 //	xheal-serve -engine dist -workload er -n 64            # host the §5 engine
+//	xheal-serve -data-dir /var/lib/xheal                   # durable: checkpoints + segmented log, crash recovery
 //	xheal-serve -smoke                                     # CI smoke: 100 events end-to-end
 //	xheal-serve -loadgen -clients 8 -events 500 -bench-out BENCH_PR4.json
+//	xheal-serve -crashloop 10                              # SIGKILL/restart harness: zero acknowledged loss
 //
 // Endpoints:
 //
@@ -30,11 +32,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"net/http/pprof"
 
+	"github.com/xheal/xheal/internal/checkpoint"
 	"github.com/xheal/xheal/internal/core"
 	"github.com/xheal/xheal/internal/dist"
 	"github.com/xheal/xheal/internal/graph"
@@ -63,6 +67,11 @@ type options struct {
 	spanLog  string
 	pprof    bool
 
+	dataDir        string
+	ckptEvery      int
+	archiveLog     bool
+	verifyRecovery bool
+
 	smoke        bool
 	loadgen      bool
 	clients      int
@@ -71,6 +80,9 @@ type options struct {
 	attach       int
 	benchOut     string
 	sloP99TickMS float64
+
+	crashloop     int
+	crashInterval time.Duration
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -89,6 +101,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&o.eventLog, "event-log", "", "append applied events to this trace log (replayable via xheal-sim -replay)")
 	fs.StringVar(&o.spanLog, "spanlog", "", "write one JSONL span per repaired wound to this file (enables per-wound tracing)")
 	fs.BoolVar(&o.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/ on the serving mux")
+	fs.StringVar(&o.dataDir, "data-dir", "", "durable mode: recover state from and persist checkpoints + segmented event log under this directory")
+	fs.IntVar(&o.ckptEvery, "checkpoint-every", 32, "durable mode: applied ticks between checkpoints")
+	fs.BoolVar(&o.archiveLog, "archive-log", false, "durable mode: move compacted log segments to <data-dir>/log/archive instead of deleting (keeps from-genesis history)")
+	fs.BoolVar(&o.verifyRecovery, "verify-recovery", false, "durable mode: at startup, assert the recovered state is byte-identical to a from-genesis replay of the archived log")
 	fs.BoolVar(&o.smoke, "smoke", false, "self-test: start the daemon, ingest 100 events over HTTP, verify, shut down")
 	fs.BoolVar(&o.loadgen, "loadgen", false, "load generator: hammer an in-process daemon with concurrent clients")
 	fs.IntVar(&o.clients, "clients", 8, "loadgen: concurrent clients")
@@ -97,11 +113,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.IntVar(&o.attach, "attach", 3, "loadgen: max attachments per insertion")
 	fs.StringVar(&o.benchOut, "bench-out", "", "loadgen: write throughput results to this JSON file (BENCH_PR4.json)")
 	fs.Float64Var(&o.sloP99TickMS, "slo-p99-tick-ms", 0, "loadgen: fail unless p99 tick latency is at most this many ms (0 = no bound)")
+	fs.IntVar(&o.crashloop, "crashloop", 0, "crash harness: run this many SIGKILL/restart cycles against a child daemon under load, then verify zero acknowledged loss")
+	fs.DurationVar(&o.crashInterval, "crash-interval", 150*time.Millisecond, "crashloop: load duration before each SIGKILL")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	switch {
+	case o.crashloop > 0:
+		return runCrashloop(o, stdout, stderr)
 	case o.smoke:
 		o.clients, o.events = 1, 100
 		return runLoad(o, stdout, stderr, true)
@@ -122,6 +142,23 @@ type daemon struct {
 	spanW    *obs.SpanWriter
 	dist     *dist.Engine // non-nil when -engine dist, for cost-ledger cross-checks
 	cleanup  func()
+
+	// Durable-mode facts (nil/empty otherwise): what startup recovery did,
+	// and whether the recovery-identity check ran and passed.
+	recovered *server.Recovered
+	verified  bool
+}
+
+// engineName maps the -engine flag to the checkpoint/recovery engine name.
+func engineName(engine string) (string, error) {
+	switch engine {
+	case "seq":
+		return server.EngineCore, nil
+	case "dist":
+		return server.EngineDist, nil
+	default:
+		return "", fmt.Errorf("unknown engine %q (valid: seq dist)", engine)
+	}
 }
 
 // handler assembles the HTTP surface: the serving API, plus the pprof
@@ -147,26 +184,9 @@ func buildDaemon(o options) (*daemon, error) {
 	if err != nil {
 		return nil, err
 	}
-	var eng server.Engine
-	var closeEng func()
-	var distEng *dist.Engine
-	switch o.engine {
-	case "seq":
-		st, err := core.NewState(core.Config{Kappa: o.kappa, Seed: o.seed}, g0)
-		if err != nil {
-			return nil, err
-		}
-		eng = st
-	case "dist":
-		de, err := dist.NewEngine(dist.Config{Kappa: o.kappa, Seed: o.seed}, g0)
-		if err != nil {
-			return nil, err
-		}
-		eng = de
-		distEng = de
-		closeEng = de.Close
-	default:
-		return nil, fmt.Errorf("unknown engine %q (valid: seq dist)", o.engine)
+	engName, err := engineName(o.engine)
+	if err != nil {
+		return nil, err
 	}
 
 	cfg := server.Config{
@@ -174,18 +194,90 @@ func buildDaemon(o options) (*daemon, error) {
 		QueueDepth: o.queue,
 		MaxBatch:   o.maxBatch,
 	}
+	var eng server.Engine
+	var closeEng func()
+	var distEng *dist.Engine
+	var recovered *server.Recovered
+	verified := false
 	var logFile *os.File
-	if o.eventLog != "" {
-		logFile, err = os.Create(o.eventLog)
+	if o.dataDir != "" {
+		// Durable mode: recover whatever a previous incarnation left behind
+		// (newest checkpoint + log-tail replay), then serve with periodic
+		// checkpoints over a fresh checkpoint-anchored log segment.
+		if o.eventLog != "" {
+			return nil, fmt.Errorf("-event-log and -data-dir are mutually exclusive (the data dir owns a segmented log)")
+		}
+		store, err := checkpoint.NewFileStore(filepath.Join(o.dataDir, "checkpoints"), 3)
 		if err != nil {
 			return nil, err
 		}
-		lw, err := trace.NewLogWriter(logFile, g0)
+		logDir := filepath.Join(o.dataDir, "log")
+		rec, err := server.Recover(server.RecoverConfig{
+			Store: store, LogDir: logDir,
+			Engine: engName, Kappa: o.kappa, Seed: o.seed, Genesis: g0,
+		})
 		if err != nil {
-			logFile.Close()
+			return nil, fmt.Errorf("recover: %w", err)
+		}
+		eng = rec.Engine
+		recovered = rec
+		if de, ok := rec.Engine.(*dist.Engine); ok {
+			distEng = de
+			closeEng = de.Close
+		}
+		fl, err := trace.OpenFileLog(logDir, g0, rec.Tick, rec.Events, "")
+		if err != nil {
+			if closeEng != nil {
+				closeEng()
+			}
 			return nil, err
 		}
-		cfg.Log = lw
+		if o.verifyRecovery {
+			if err := server.VerifyRecovery(eng, engName, logDir, o.kappa, o.seed); err != nil {
+				fl.Close()
+				if closeEng != nil {
+					closeEng()
+				}
+				return nil, fmt.Errorf("verify recovery: %w", err)
+			}
+			verified = true
+		}
+		cfg.Log = fl
+		cfg.Checkpoints = store
+		cfg.CheckpointEvery = o.ckptEvery
+		cfg.ArchiveLog = o.archiveLog
+		cfg.EngineName = engName
+		cfg.Seed = o.seed
+		cfg.Resume = server.Resume{Tick: rec.Tick, Events: rec.Events}
+	} else {
+		switch o.engine {
+		case "seq":
+			st, err := core.NewState(core.Config{Kappa: o.kappa, Seed: o.seed}, g0)
+			if err != nil {
+				return nil, err
+			}
+			eng = st
+		case "dist":
+			de, err := dist.NewEngine(dist.Config{Kappa: o.kappa, Seed: o.seed}, g0)
+			if err != nil {
+				return nil, err
+			}
+			eng = de
+			distEng = de
+			closeEng = de.Close
+		}
+		if o.eventLog != "" {
+			logFile, err = os.Create(o.eventLog)
+			if err != nil {
+				return nil, err
+			}
+			lw, err := trace.NewLogWriter(logFile, g0)
+			if err != nil {
+				logFile.Close()
+				return nil, err
+			}
+			cfg.Log = lw
+		}
 	}
 	var spanFile *os.File
 	var spanW *obs.SpanWriter
@@ -201,13 +293,15 @@ func buildDaemon(o options) (*daemon, error) {
 		cfg.Recorder = obs.NewRecorder(spanW, obs.MustHistogram(obs.LatencyBuckets()))
 	}
 	d := &daemon{
-		srv:      server.New(eng, cfg),
-		g0:       g0,
-		logPath:  o.eventLog,
-		spanPath: o.spanLog,
-		rec:      cfg.Recorder,
-		spanW:    spanW,
-		dist:     distEng,
+		srv:       server.New(eng, cfg),
+		g0:        g0,
+		logPath:   o.eventLog,
+		spanPath:  o.spanLog,
+		rec:       cfg.Recorder,
+		spanW:     spanW,
+		dist:      distEng,
+		recovered: recovered,
+		verified:  verified,
 		cleanup: func() {
 			if spanW != nil {
 				_ = spanW.Close()
@@ -248,9 +342,29 @@ func serve(o options, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	httpSrv := &http.Server{Handler: d.handler(o)}
+	httpSrv := &http.Server{
+		Handler: d.handler(o),
+		// Bound slow/stalled request reads so one bad client can't pin a
+		// connection forever. No WriteTimeout: a Submit legitimately blocks
+		// until its tick applies it, which -tick bounds on its own.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+	}
 	fmt.Fprintf(stdout, "xheal-serve: engine=%s workload=%s n=%d m=%d kappa=%d seed=%d tick=%v\n",
 		o.engine, o.wl, d.g0.NumNodes(), d.g0.NumEdges(), o.kappa, o.seed, o.tick)
+	if rec := d.recovered; rec != nil {
+		source := "genesis"
+		if rec.FromCheckpoint {
+			source = "checkpoint"
+		}
+		fmt.Fprintf(stdout, "recovered: source=%s events=%d tick=%d replayed=%d torn_tail=%v\n",
+			source, rec.Events, rec.Tick, rec.Replayed, rec.TornTail)
+		if d.verified {
+			fmt.Fprintln(stdout, "recovery identity verified against from-genesis replay")
+		}
+		fmt.Fprintf(stdout, "data dir: %s (checkpoint every %d ticks, archive=%v)\n",
+			o.dataDir, o.ckptEvery, o.archiveLog)
+	}
 	fmt.Fprintf(stdout, "listening on http://%s (POST /v1/events, GET /v1/health, GET /metrics)\n", ln.Addr())
 	if o.eventLog != "" {
 		fmt.Fprintf(stdout, "event log: %s (replay: xheal-sim -replay %s -kappa %d -seed %d)\n",
@@ -284,6 +398,10 @@ func serve(o options, stdout, stderr io.Writer) int {
 	c := d.srv.Counters()
 	fmt.Fprintf(stdout, "served %d events in %d ticks (%d rejected, %d deferred)\n",
 		c.EventsApplied, c.Ticks, c.EventsRejected, c.EventsDeferred)
+	if o.dataDir != "" {
+		fmt.Fprintf(stdout, "checkpoints: %d saved, %d errors, final watermark tick=%d events=%d\n",
+			c.Checkpoints, c.CheckpointErrors, c.LastCheckpointTick, c.LastCheckpointEvents)
+	}
 	if d.rec != nil {
 		fmt.Fprintf(stdout, "spans: %d emitted, %d dropped (%s)\n",
 			d.rec.Spans(), d.rec.Dropped(), d.spanPath)

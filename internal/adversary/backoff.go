@@ -1,0 +1,35 @@
+package adversary
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff computes full-jitter exponential backoff delays for retryable
+// rejections (a loaded daemon answering 503 on queue backpressure). Attempt
+// k draws uniformly from [0, min(Max, Base<<k)): the exponential envelope
+// bounds the wait, and the jitter decorrelates a herd of clients that were
+// all rejected by the same full queue.
+type Backoff struct {
+	// Base scales the envelope: attempt 0 draws from [0, Base).
+	Base time.Duration
+	// Max caps the envelope regardless of attempt count.
+	Max time.Duration
+	// Rng drives the jitter; a seeded source keeps load runs reproducible.
+	Rng *rand.Rand
+}
+
+// Delay returns the wait before retry number attempt (0-based).
+func (b Backoff) Delay(attempt int) time.Duration {
+	env := b.Base
+	for i := 0; i < attempt && env < b.Max; i++ {
+		env *= 2
+	}
+	if env > b.Max {
+		env = b.Max
+	}
+	if env <= 0 {
+		return 0
+	}
+	return time.Duration(b.Rng.Int63n(int64(env)))
+}

@@ -1,0 +1,34 @@
+package adversary
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestBackoffEnvelope pins the full-jitter contract: every delay for attempt
+// k lies in [0, min(Max, Base<<k)), and the envelope saturates at Max.
+func TestBackoffEnvelope(t *testing.T) {
+	b := Backoff{Base: time.Millisecond, Max: 8 * time.Millisecond, Rng: rand.New(rand.NewSource(1))}
+	for attempt := 0; attempt < 12; attempt++ {
+		env := time.Millisecond << attempt
+		if env > b.Max {
+			env = b.Max
+		}
+		for trial := 0; trial < 200; trial++ {
+			d := b.Delay(attempt)
+			if d < 0 || d >= env {
+				t.Fatalf("attempt %d: delay %v outside [0, %v)", attempt, d, env)
+			}
+		}
+	}
+}
+
+// TestBackoffZeroEnvelope: a non-positive envelope yields zero delay rather
+// than panicking in Int63n.
+func TestBackoffZeroEnvelope(t *testing.T) {
+	b := Backoff{Base: 0, Max: 0, Rng: rand.New(rand.NewSource(1))}
+	if d := b.Delay(0); d != 0 {
+		t.Fatalf("zero envelope delay = %v, want 0", d)
+	}
+}

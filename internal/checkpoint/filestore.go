@@ -1,0 +1,154 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// filePrefix and fileSuffix frame checkpoint filenames. The zero-padded
+// tick/event watermarks in between make lexicographic order equal recovery
+// order, so Load can scan newest-first without parsing every file.
+const (
+	filePrefix = "ckpt-"
+	fileSuffix = ".json"
+)
+
+// FileStore persists each checkpoint as its own file under a directory,
+// written with the temp-file + fsync + atomic-rename sequence: a crash at any
+// instant leaves either the previous checkpoint set or the new one. Load
+// scans newest-first and skips files that fail to parse or verify, so one
+// torn write never blocks recovery — the previous checkpoint still restores.
+//
+// FileStore is not safe for concurrent use; the server serializes access
+// through its tick loop.
+type FileStore struct {
+	dir  string
+	keep int // retained checkpoint files; older ones pruned after each Save
+}
+
+// NewFileStore opens (creating if needed) a checkpoint directory. keep bounds
+// how many checkpoint files survive pruning; values below 2 are raised to 2
+// so there is always a fallback if the newest file is torn.
+func NewFileStore(dir string, keep int) (*FileStore, error) {
+	if keep < 2 {
+		keep = 2
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return &FileStore{dir: dir, keep: keep}, nil
+}
+
+// Dir returns the store's directory.
+func (f *FileStore) Dir() string { return f.dir }
+
+func (f *FileStore) nameFor(c *Checkpoint) string { return c.Name() }
+
+// Save writes c durably: temp file in the same directory, fsync, rename to
+// the final name, fsync the directory so the rename itself is durable, then
+// prune old checkpoints beyond the retention count.
+func (f *FileStore) Save(c *Checkpoint) error {
+	if err := c.Verify(); err != nil {
+		return err
+	}
+	data, err := json.Marshal(c)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	final := filepath.Join(f.dir, f.nameFor(c))
+	tmp, err := os.CreateTemp(f.dir, ".tmp-ckpt-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { _ = os.Remove(tmpName) }
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		cleanup()
+		return fmt.Errorf("checkpoint: write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		cleanup()
+		return fmt.Errorf("checkpoint: fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		cleanup()
+		return fmt.Errorf("checkpoint: close: %w", err)
+	}
+	if err := os.Rename(tmpName, final); err != nil {
+		cleanup()
+		return fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	syncDir(f.dir)
+	f.prune()
+	return nil
+}
+
+// Load returns the newest checkpoint that parses and verifies, skipping
+// corrupt files (a torn newest file falls back to its predecessor).
+func (f *FileStore) Load() (*Checkpoint, error) {
+	names, err := f.list()
+	if err != nil {
+		return nil, err
+	}
+	for i := len(names) - 1; i >= 0; i-- {
+		data, err := os.ReadFile(filepath.Join(f.dir, names[i]))
+		if err != nil {
+			continue
+		}
+		var c Checkpoint
+		if err := json.Unmarshal(data, &c); err != nil {
+			continue
+		}
+		if err := c.Verify(); err != nil {
+			continue
+		}
+		return &c, nil
+	}
+	return nil, ErrNotFound
+}
+
+// list returns checkpoint filenames in ascending (oldest-first) order.
+func (f *FileStore) list() ([]string, error) {
+	entries, err := os.ReadDir(f.dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.Type().IsRegular() && strings.HasPrefix(name, filePrefix) && strings.HasSuffix(name, fileSuffix) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// prune removes checkpoint files beyond the retention count, oldest first.
+// Best-effort: pruning failures never fail a Save.
+func (f *FileStore) prune() {
+	names, err := f.list()
+	if err != nil || len(names) <= f.keep {
+		return
+	}
+	for _, name := range names[:len(names)-f.keep] {
+		_ = os.Remove(filepath.Join(f.dir, name))
+	}
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+// Best-effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"slices"
+
+	"github.com/xheal/xheal/internal/expander"
+	"github.com/xheal/xheal/internal/graph"
+)
+
+// This file is the durability boundary of the sequential engine: Snapshot
+// serializes the complete State — graphs, claims, clouds, membership maps,
+// counters, and the position of the private randomness stream — and
+// RestoreState rebuilds a State that is behaviorally indistinguishable from
+// the original: every future event produces bit-identical healing decisions,
+// because the H-graph wirings are restored exactly and the rng resumes from
+// the recorded stream position. Snapshots of a restored state are
+// byte-identical to snapshots of an uncrashed run at the same point, which
+// is how crash-recovery identity is asserted end to end.
+
+// SnapshotVersion identifies the engine snapshot schema.
+const SnapshotVersion = 1
+
+// ErrBadSnapshot wraps all engine-snapshot decode/restore failures.
+var ErrBadSnapshot = errors.New("core: malformed snapshot")
+
+// GraphSnapshot is a graph as flat node and edge lists, both in canonical
+// ascending order.
+type GraphSnapshot struct {
+	Nodes []graph.NodeID `json:"nodes"`
+	Edges []graph.Edge   `json:"edges"`
+}
+
+// TakeGraphSnapshot captures g.
+func TakeGraphSnapshot(g *graph.Graph) GraphSnapshot {
+	return GraphSnapshot{
+		Nodes: append([]graph.NodeID(nil), g.Nodes()...),
+		Edges: append([]graph.Edge(nil), g.Edges()...),
+	}
+}
+
+// Restore rebuilds the graph.
+func (gs GraphSnapshot) Restore() *graph.Graph {
+	g := graph.New()
+	for _, n := range gs.Nodes {
+		g.EnsureNode(n)
+	}
+	for _, e := range gs.Edges {
+		g.EnsureEdge(e.U, e.V)
+	}
+	return g
+}
+
+// ClaimSnapshot is the ownership record of one physical edge.
+type ClaimSnapshot struct {
+	Edge graph.Edge `json:"edge"`
+	// Black marks an original/adversary-inserted edge; Colors lists the
+	// claiming clouds (ascending) otherwise.
+	Black  bool      `json:"black,omitempty"`
+	Colors []ColorID `json:"colors,omitempty"`
+}
+
+// CloudSnapshot is one expander cloud. The physical edge set is not
+// serialized: a cloud's claims always equal its maintainer's logical edges
+// between repairs (invariant 2), so restore derives them.
+type CloudSnapshot struct {
+	ID         ColorID            `json:"id"`
+	Kind       CloudKind          `json:"kind"`
+	Maintainer *expander.Snapshot `json:"maintainer"`
+}
+
+// MembershipSnapshot lists the primary clouds one node belongs to.
+type MembershipSnapshot struct {
+	Node   graph.NodeID `json:"node"`
+	Colors []ColorID    `json:"colors"`
+}
+
+// BridgeLinkSnapshot is one node's secondary duty.
+type BridgeLinkSnapshot struct {
+	Node      graph.NodeID `json:"node"`
+	Primary   ColorID      `json:"primary"`
+	Secondary ColorID      `json:"secondary"`
+}
+
+// Snapshot is the complete serializable state of a sequential engine. All
+// collections are sorted, so encoding is deterministic: equal states produce
+// byte-identical JSON.
+type Snapshot struct {
+	Version        int            `json:"version"`
+	Kappa          int            `json:"kappa"`
+	Seed           int64          `json:"seed"`
+	AlwaysCombine  bool           `json:"always_combine,omitempty"`
+	DisableSharing bool           `json:"disable_sharing,omitempty"`
+	RngDraws       uint64         `json:"rng_draws"`
+	Graph          GraphSnapshot  `json:"graph"`
+	Baseline       GraphSnapshot  `json:"baseline"`
+	Deleted        []graph.NodeID `json:"deleted,omitempty"`
+	Claims         []ClaimSnapshot `json:"claims"`
+	Clouds         []CloudSnapshot `json:"clouds,omitempty"`
+	NodePrimaries  []MembershipSnapshot `json:"node_primaries,omitempty"`
+	BridgeLinks    []BridgeLinkSnapshot `json:"bridge_links,omitempty"`
+	SharedOnce     []graph.NodeID       `json:"shared_once,omitempty"`
+	NextColor      ColorID              `json:"next_color"`
+	Stats          Stats                `json:"stats"`
+}
+
+// Snapshot captures the complete current state. The state must be quiescent
+// (between events); the snapshot shares no memory with the live state.
+func (s *State) Snapshot() *Snapshot {
+	snap := &Snapshot{
+		Version:        SnapshotVersion,
+		Kappa:          s.kappa,
+		Seed:           s.seed,
+		AlwaysCombine:  s.alwaysCombine,
+		DisableSharing: s.disableSharing,
+		RngDraws:       s.src.Draws(),
+		Graph:          TakeGraphSnapshot(s.g),
+		Baseline:       TakeGraphSnapshot(s.gp),
+		NextColor:      s.nextColor,
+		Stats:          s.stats,
+	}
+	snap.Deleted = sortedNodeSet(s.deleted)
+	snap.SharedOnce = sortedNodeSet(s.sharedOnce)
+
+	snap.Claims = make([]ClaimSnapshot, 0, len(s.claims))
+	for e, cl := range s.claims {
+		snap.Claims = append(snap.Claims, ClaimSnapshot{
+			Edge:   e,
+			Black:  cl.black,
+			Colors: append([]ColorID(nil), cl.colors...),
+		})
+	}
+	slices.SortFunc(snap.Claims, func(a, b ClaimSnapshot) int {
+		return graph.CompareEdges(a.Edge, b.Edge)
+	})
+
+	for _, id := range s.Clouds() { // ascending
+		c := s.clouds[id]
+		snap.Clouds = append(snap.Clouds, CloudSnapshot{
+			ID: id, Kind: c.kind, Maintainer: c.m.Snapshot(),
+		})
+	}
+
+	for _, n := range sortedNodeKeys(s.nodePrimaries) {
+		set := s.nodePrimaries[n]
+		if len(set) == 0 {
+			continue // empty entries are semantically absent
+		}
+		colors := make([]ColorID, 0, len(set))
+		for id := range set {
+			colors = append(colors, id)
+		}
+		slices.Sort(colors)
+		snap.NodePrimaries = append(snap.NodePrimaries, MembershipSnapshot{Node: n, Colors: colors})
+	}
+
+	for _, n := range sortedNodeKeys(s.bridgeLinks) {
+		link := s.bridgeLinks[n]
+		snap.BridgeLinks = append(snap.BridgeLinks, BridgeLinkSnapshot{
+			Node: n, Primary: link.primary, Secondary: link.secondary,
+		})
+	}
+	return snap
+}
+
+// RestoreState rebuilds a State from a snapshot. The restored state passes
+// CheckInvariants before being returned, so a corrupt snapshot fails here
+// rather than corrupting a serving run; its future behavior is bit-identical
+// to the snapshotted original's.
+func RestoreState(snap *Snapshot) (*State, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("%w: nil", ErrBadSnapshot)
+	}
+	if snap.Version != SnapshotVersion {
+		return nil, fmt.Errorf("%w: version %d (want %d)", ErrBadSnapshot, snap.Version, SnapshotVersion)
+	}
+	if snap.Kappa < 2 || snap.Kappa%2 != 0 {
+		return nil, fmt.Errorf("%w: kappa=%d", ErrBadSnapshot, snap.Kappa)
+	}
+	src := NewCountedSource(snap.Seed)
+	src.Skip(snap.RngDraws)
+	s := &State{
+		kappa:          snap.Kappa,
+		seed:           snap.Seed,
+		src:            src,
+		rng:            rand.New(src),
+		alwaysCombine:  snap.AlwaysCombine,
+		disableSharing: snap.DisableSharing,
+		g:              snap.Graph.Restore(),
+		gp:             snap.Baseline.Restore(),
+		deleted:        nodeSet(snap.Deleted),
+		claims:         make(map[graph.Edge]edgeClaim, len(snap.Claims)),
+		clouds:         make(map[ColorID]*cloud, len(snap.Clouds)),
+		nodePrimaries:  make(map[graph.NodeID]map[ColorID]struct{}, len(snap.NodePrimaries)),
+		bridgeLinks:    make(map[graph.NodeID]bridgeLink, len(snap.BridgeLinks)),
+		sharedOnce:     nodeSet(snap.SharedOnce),
+		nextColor:      snap.NextColor,
+		stats:          snap.Stats,
+	}
+	for _, cl := range snap.Claims {
+		if cl.Black == (len(cl.Colors) > 0) {
+			return nil, fmt.Errorf("%w: claim on %v is not black xor colored", ErrBadSnapshot, cl.Edge)
+		}
+		s.claims[cl.Edge] = edgeClaim{black: cl.Black, colors: append([]ColorID(nil), cl.Colors...)}
+	}
+	for _, cs := range snap.Clouds {
+		if _, dup := s.clouds[cs.ID]; dup {
+			return nil, fmt.Errorf("%w: duplicate cloud %d", ErrBadSnapshot, cs.ID)
+		}
+		if cs.ID >= s.nextColor {
+			return nil, fmt.Errorf("%w: cloud %d at/above next color %d", ErrBadSnapshot, cs.ID, s.nextColor)
+		}
+		m, err := expander.Restore(cs.Maintainer, s.rng)
+		if err != nil {
+			return nil, fmt.Errorf("%w: cloud %d: %v", ErrBadSnapshot, cs.ID, err)
+		}
+		if m.Kappa() != s.kappa {
+			return nil, fmt.Errorf("%w: cloud %d kappa %d != engine kappa %d", ErrBadSnapshot, cs.ID, m.Kappa(), s.kappa)
+		}
+		s.clouds[cs.ID] = &cloud{id: cs.ID, kind: cs.Kind, m: m, edges: m.EdgeSet()}
+	}
+	for _, ms := range snap.NodePrimaries {
+		set := make(map[ColorID]struct{}, len(ms.Colors))
+		for _, id := range ms.Colors {
+			set[id] = struct{}{}
+		}
+		s.nodePrimaries[ms.Node] = set
+	}
+	for _, bl := range snap.BridgeLinks {
+		s.bridgeLinks[bl.Node] = bridgeLink{primary: bl.Primary, secondary: bl.Secondary}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("%w: restored state: %v", ErrBadSnapshot, err)
+	}
+	return s, nil
+}
+
+// SnapshotState serializes the complete engine state as deterministic JSON —
+// the engine-agnostic form a checkpoint store persists (see internal/server's
+// Snapshotter).
+func (s *State) SnapshotState() ([]byte, error) {
+	return json.Marshal(s.Snapshot())
+}
+
+// LoadSnapshot decodes an engine snapshot serialized by SnapshotState.
+func LoadSnapshot(data []byte) (*Snapshot, error) {
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	return &snap, nil
+}
+
+func sortedNodeSet(set map[graph.NodeID]struct{}) []graph.NodeID {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]graph.NodeID, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	slices.Sort(out)
+	return out
+}
+
+func sortedNodeKeys[V any](m map[graph.NodeID]V) []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	slices.Sort(out)
+	return out
+}
+
+func nodeSet(nodes []graph.NodeID) map[graph.NodeID]struct{} {
+	set := make(map[graph.NodeID]struct{}, len(nodes))
+	for _, n := range nodes {
+		set[n] = struct{}{}
+	}
+	return set
+}

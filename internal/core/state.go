@@ -39,6 +39,8 @@ type Config struct {
 // Not safe for concurrent mutation; concurrent reads are safe.
 type State struct {
 	kappa          int
+	seed           int64
+	src            *CountedSource // the stream behind rng, counted for snapshots
 	rng            *rand.Rand
 	alwaysCombine  bool
 	disableSharing bool
@@ -91,9 +93,12 @@ func NewState(cfg Config, g0 *graph.Graph) (*State, error) {
 	if kappa < 2 || kappa%2 != 0 {
 		return nil, fmt.Errorf("kappa=%d: %w", kappa, ErrBadKappa)
 	}
+	src := NewCountedSource(cfg.Seed)
 	s := &State{
 		kappa:          kappa,
-		rng:            rand.New(rand.NewSource(cfg.Seed)),
+		seed:           cfg.Seed,
+		src:            src,
+		rng:            rand.New(src),
 		alwaysCombine:  cfg.AlwaysCombine,
 		disableSharing: cfg.DisableSharing,
 		g:              g0.Clone(),

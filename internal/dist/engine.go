@@ -55,8 +55,10 @@ var ErrClosed = errors.New("dist: engine is closed")
 //
 // The zero value is not usable; call NewEngine. Not safe for concurrent use.
 type Engine struct {
-	st  *core.State
-	rng *rand.Rand
+	st   *core.State
+	seed int64
+	src  *core.CountedSource // the stream behind rng, counted for snapshots
+	rng  *rand.Rand
 
 	nodes map[graph.NodeID]*node
 	wg    sync.WaitGroup
@@ -88,9 +90,12 @@ func NewEngine(cfg Config, g0 *graph.Graph) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	src := core.NewCountedSource(cfg.Seed ^ rankSeedSalt)
 	e := &Engine{
 		st:    st,
-		rng:   rand.New(rand.NewSource(cfg.Seed ^ 0x5f3759df)),
+		seed:  cfg.Seed,
+		src:   src,
+		rng:   rand.New(src),
 		nodes: make(map[graph.NodeID]*node, g0.NumNodes()),
 	}
 	for _, id := range st.Graph().Nodes() {

@@ -1,0 +1,146 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"slices"
+
+	"github.com/xheal/xheal/internal/core"
+	"github.com/xheal/xheal/internal/graph"
+)
+
+// rankSeedSalt derives the engine's rank stream from the config seed (kept
+// distinct from the healing stream the inner reference state consumes).
+const rankSeedSalt = 0x5f3759df
+
+// ErrBadSnapshot wraps all engine-snapshot decode/restore failures.
+var ErrBadSnapshot = errors.New("dist: malformed snapshot")
+
+// NodeRank is one alive node's private leader-election rank.
+type NodeRank struct {
+	Node graph.NodeID `json:"node"`
+	Rank int64        `json:"rank"`
+}
+
+// Snapshot is the complete serializable state of a distributed engine: the
+// inner reference state, every alive node's election rank, the position of
+// the rank stream (future spawns draw from it), and the cost ledger. The
+// nodes' local views are not serialized — between repairs every view equals
+// the healed graph's neighbor sets exactly (ValidateLocalViews), so restore
+// derives them. All collections are sorted: equal states produce
+// byte-identical JSON.
+type Snapshot struct {
+	Version     int             `json:"version"`
+	Core        *core.Snapshot  `json:"core"`
+	Ranks       []NodeRank      `json:"ranks"`
+	RngDraws    uint64          `json:"rng_draws"`
+	Costs       []DeletionCost  `json:"costs,omitempty"`
+	Totals      Totals          `json:"totals"`
+	BlackDegSum int             `json:"black_deg_sum"`
+}
+
+// Snapshot captures the complete current state. The engine must be quiescent
+// (between events; the protocol runs to completion inside each mutating
+// call, so any moment outside Insert/Delete/ApplyBatch qualifies).
+func (e *Engine) Snapshot() *Snapshot {
+	snap := &Snapshot{
+		Version:     core.SnapshotVersion,
+		Core:        e.st.Snapshot(),
+		Ranks:       make([]NodeRank, 0, len(e.nodes)),
+		RngDraws:    e.src.Draws(),
+		Costs:       append([]DeletionCost(nil), e.costs...),
+		Totals:      e.totals,
+		BlackDegSum: e.blackDegSum,
+	}
+	for id, nd := range e.nodes {
+		snap.Ranks = append(snap.Ranks, NodeRank{Node: id, Rank: nd.rank})
+	}
+	slices.SortFunc(snap.Ranks, func(a, b NodeRank) int {
+		switch {
+		case a.Node < b.Node:
+			return -1
+		case a.Node > b.Node:
+			return 1
+		}
+		return 0
+	})
+	return snap
+}
+
+// RestoreEngine rebuilds an engine from a snapshot: the reference state is
+// restored exactly, one goroutine per alive node is spawned with its
+// recorded rank, and each node's local view is seeded from the healed
+// graph's neighbor sets (the protocol's own invariant between repairs). The
+// restored engine's future behavior is bit-identical to the snapshotted
+// original's. Close the engine when done.
+func RestoreEngine(snap *Snapshot) (*Engine, error) {
+	if snap == nil || snap.Core == nil {
+		return nil, fmt.Errorf("%w: nil", ErrBadSnapshot)
+	}
+	if snap.Version != core.SnapshotVersion {
+		return nil, fmt.Errorf("%w: version %d (want %d)", ErrBadSnapshot, snap.Version, core.SnapshotVersion)
+	}
+	st, err := core.RestoreState(snap.Core)
+	if err != nil {
+		return nil, err
+	}
+	src := core.NewCountedSource(snap.Core.Seed ^ rankSeedSalt)
+	src.Skip(snap.RngDraws)
+	e := &Engine{
+		st:          st,
+		seed:        snap.Core.Seed,
+		src:         src,
+		rng:         rand.New(src),
+		nodes:       make(map[graph.NodeID]*node, len(snap.Ranks)),
+		costs:       append([]DeletionCost(nil), snap.Costs...),
+		totals:      snap.Totals,
+		blackDegSum: snap.BlackDegSum,
+	}
+	g := st.Graph()
+	alive := g.Nodes()
+	if len(snap.Ranks) != len(alive) {
+		return nil, fmt.Errorf("%w: %d ranks for %d alive nodes", ErrBadSnapshot, len(snap.Ranks), len(alive))
+	}
+	for _, nr := range snap.Ranks {
+		if !g.HasNode(nr.Node) {
+			return nil, fmt.Errorf("%w: rank for non-alive node %d", ErrBadSnapshot, nr.Node)
+		}
+		if _, dup := e.nodes[nr.Node]; dup {
+			return nil, fmt.Errorf("%w: duplicate rank for node %d", ErrBadSnapshot, nr.Node)
+		}
+		nd := newNode(nr.Node, nr.Rank, e)
+		for _, w := range g.Neighbors(nr.Node) {
+			nd.view[w] = struct{}{}
+		}
+		e.nodes[nr.Node] = nd
+		e.wg.Add(1)
+		go nd.run()
+	}
+	return e, nil
+}
+
+// SnapshotState serializes the complete engine state as deterministic JSON —
+// the engine-agnostic form a checkpoint store persists (see internal/server's
+// Snapshotter).
+func (e *Engine) SnapshotState() ([]byte, error) {
+	if e.closed {
+		return nil, ErrClosed
+	}
+	return json.Marshal(e.Snapshot())
+}
+
+// LoadSnapshot decodes an engine snapshot serialized by SnapshotState.
+func LoadSnapshot(data []byte) (*Snapshot, error) {
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	return &snap, nil
+}
+
+// Stats returns the healing-work counters of the inner reference state
+// (facade parity with core.State.Stats, used by recovery to reseed serving
+// counters).
+func (e *Engine) Stats() core.Stats { return e.st.Stats() }

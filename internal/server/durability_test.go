@@ -1,0 +1,243 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"github.com/xheal/xheal/internal/adversary"
+	"github.com/xheal/xheal/internal/checkpoint"
+	"github.com/xheal/xheal/internal/core"
+	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/trace"
+)
+
+const recoverySeed = 5
+
+func ringGraph(n int) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.EnsureEdge(graph.NodeID(i), graph.NodeID((i+1)%n))
+	}
+	return g
+}
+
+type schedEvent struct {
+	del  bool
+	node graph.NodeID
+	nbrs []graph.NodeID
+}
+
+func (ev schedEvent) adversary() adversary.Event {
+	if ev.del {
+		return adversary.Event{Kind: adversary.Delete, Node: ev.node}
+	}
+	return adversary.Event{Kind: adversary.Insert, Node: ev.node, Neighbors: ev.nbrs}
+}
+
+func mustEngine(t *testing.T, name string, g0 *graph.Graph) Engine {
+	t.Helper()
+	eng, err := freshEngine(name, 4, recoverySeed, g0)
+	if err != nil {
+		t.Fatalf("%s engine: %v", name, err)
+	}
+	return eng
+}
+
+func applySched(t *testing.T, eng Engine, ev schedEvent) {
+	t.Helper()
+	var b core.Batch
+	if ev.del {
+		b.Deletions = []graph.NodeID{ev.node}
+	} else {
+		b.Insertions = []core.BatchInsertion{{Node: ev.node, Neighbors: ev.nbrs}}
+	}
+	if err := eng.ApplyBatch(b); err != nil {
+		t.Fatalf("apply %+v: %v", ev, err)
+	}
+}
+
+// genServerSchedule records a random insert/delete schedule by driving a
+// scratch engine of the target type, so the same sequence replays valid
+// through every incarnation of the run.
+func genServerSchedule(t *testing.T, engineName string, g0 *graph.Graph, steps int, seed int64) []schedEvent {
+	t.Helper()
+	eng := mustEngine(t, engineName, g0.Clone())
+	defer closeEngine(eng)
+	rng := rand.New(rand.NewSource(seed))
+	next := graph.NodeID(500000)
+	events := make([]schedEvent, 0, steps)
+	for step := 0; step < steps; step++ {
+		alive := eng.Graph().Nodes()
+		var ev schedEvent
+		if len(alive) > 5 && rng.Float64() < 0.45 {
+			ev = schedEvent{del: true, node: alive[rng.Intn(len(alive))]}
+		} else {
+			k := 1 + rng.Intn(3)
+			if k > len(alive) {
+				k = len(alive)
+			}
+			nbrs := make([]graph.NodeID, 0, k)
+			for _, i := range rng.Perm(len(alive))[:k] {
+				nbrs = append(nbrs, alive[i])
+			}
+			ev = schedEvent{node: next, nbrs: nbrs}
+			next++
+		}
+		applySched(t, eng, ev)
+		events = append(events, ev)
+	}
+	return events
+}
+
+func snapshotBytes(t *testing.T, eng Engine) []byte {
+	t.Helper()
+	data, err := eng.(Snapshotter).SnapshotState()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	return data
+}
+
+// TestServerCrashRecoveryIdentity is the serving-stack recovery-identity
+// property, for both engines: at every crash point k, a daemon that applied
+// and acknowledged k events is abandoned mid-run (no shutdown, exactly what a
+// SIGKILL leaves on disk), a new incarnation recovers from checkpoint +
+// durable log tail, the recovered state must byte-match a from-genesis replay
+// of the log, and after serving the remaining events the final state must
+// byte-match an uncrashed run. A final clean restart must replay zero tail
+// events (the shutdown checkpoint covers the whole log).
+func TestServerCrashRecoveryIdentity(t *testing.T) {
+	for _, engineName := range []string{EngineCore, EngineDist} {
+		t.Run(engineName, func(t *testing.T) {
+			g0 := ringGraph(14)
+			const steps = 40
+			schedule := genServerSchedule(t, engineName, g0, steps, 101)
+
+			genesis := mustEngine(t, engineName, g0.Clone())
+			defer closeEngine(genesis)
+			for _, ev := range schedule {
+				applySched(t, genesis, ev)
+			}
+			want := snapshotBytes(t, genesis)
+
+			ctx := context.Background()
+			for k := 0; k <= steps; k += 8 {
+				dir := t.TempDir()
+				logDir := filepath.Join(dir, "log")
+				store, err := checkpoint.NewFileStore(filepath.Join(dir, "checkpoints"), 3)
+				if err != nil {
+					t.Fatalf("k=%d: store: %v", k, err)
+				}
+				fl, err := trace.OpenFileLog(logDir, g0, 0, 0, "")
+				if err != nil {
+					t.Fatalf("k=%d: log: %v", k, err)
+				}
+				durable := Config{
+					Log: fl, Checkpoints: store, CheckpointEvery: 3, ArchiveLog: true,
+					EngineName: engineName, Seed: recoverySeed,
+				}
+				engA := mustEngine(t, engineName, g0.Clone())
+				sA := New(engA, durable)
+				for i, ev := range schedule[:k] {
+					if err := sA.Submit(ctx, ev.adversary()); err != nil {
+						t.Fatalf("k=%d: submit %d: %v", k, i, err)
+					}
+				}
+				// Crash: abandon sA without shutdown. Disk now holds exactly
+				// what a SIGKILL would leave; sA is cleaned up after every
+				// assertion against the directory is done.
+
+				rc := RecoverConfig{
+					Store: store, LogDir: logDir,
+					Engine: engineName, Kappa: 4, Seed: recoverySeed, Genesis: g0.Clone(),
+				}
+				rec, err := Recover(rc)
+				if err != nil {
+					t.Fatalf("k=%d: recover: %v", k, err)
+				}
+				if rec.Events != uint64(k) {
+					t.Fatalf("k=%d: recovered %d events (replayed %d), want %d",
+						k, rec.Events, rec.Replayed, k)
+				}
+				if err := VerifyRecovery(rec.Engine, engineName, logDir, 4, recoverySeed); err != nil {
+					t.Fatalf("k=%d: recovery identity: %v", k, err)
+				}
+
+				// Resume serving the rest of the schedule on a new daemon.
+				flB, err := trace.OpenFileLog(logDir, g0, rec.Tick, rec.Events, "")
+				if err != nil {
+					t.Fatalf("k=%d: reopen log: %v", k, err)
+				}
+				cfgB := durable
+				cfgB.Log = flB
+				cfgB.Resume = Resume{Tick: rec.Tick, Events: rec.Events}
+				sB := New(rec.Engine, cfgB)
+				for i, ev := range schedule[k:] {
+					if err := sB.Submit(ctx, ev.adversary()); err != nil {
+						t.Fatalf("k=%d: resume submit %d: %v", k, i, err)
+					}
+				}
+				if err := sB.Close(); err != nil {
+					t.Fatalf("k=%d: close resumed server: %v", k, err)
+				}
+				if got := snapshotBytes(t, rec.Engine); !bytes.Equal(want, got) {
+					t.Fatalf("k=%d: final state diverged from uncrashed run", k)
+				}
+
+				// A clean restart recovers from the shutdown checkpoint with
+				// an empty tail: compaction left nothing to replay.
+				rec2, err := Recover(rc)
+				if err != nil {
+					t.Fatalf("k=%d: clean restart: %v", k, err)
+				}
+				if rec2.Replayed != 0 || rec2.Events != steps {
+					t.Fatalf("k=%d: clean restart replayed %d events at watermark %d, want 0 at %d",
+						k, rec2.Replayed, rec2.Events, steps)
+				}
+				if got := snapshotBytes(t, rec2.Engine); !bytes.Equal(want, got) {
+					t.Fatalf("k=%d: clean-restart state diverged", k)
+				}
+
+				closeEngine(rec2.Engine)
+				closeEngine(rec.Engine)
+				// Tear down the abandoned first incarnation last: its Close
+				// scribbles a stale checkpoint into the now-dead directory.
+				sA.Close()
+				closeEngine(engA)
+			}
+		})
+	}
+}
+
+// TestRecoverRejectsMismatchedRun pins the config-mismatch guard.
+func TestRecoverRejectsMismatchedRun(t *testing.T) {
+	g0 := ringGraph(10)
+	store := checkpoint.NewMemStore()
+	eng := mustEngine(t, EngineCore, g0.Clone())
+	state := snapshotBytes(t, eng)
+	c := &checkpoint.Checkpoint{
+		Version: checkpoint.Version, Tick: 0, Events: 0,
+		Engine: EngineCore, Kappa: 4, Seed: recoverySeed, State: state,
+	}
+	c.Seal()
+	if err := store.Save(c); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	for _, rc := range []RecoverConfig{
+		{Store: store, Engine: EngineDist, Kappa: 4, Seed: recoverySeed},
+		{Store: store, Engine: EngineCore, Kappa: 6, Seed: recoverySeed},
+		{Store: store, Engine: EngineCore, Kappa: 4, Seed: recoverySeed + 1},
+	} {
+		if _, err := Recover(rc); err == nil {
+			t.Fatalf("mismatched recovery %+v accepted", rc)
+		}
+	}
+	if rec, err := Recover(RecoverConfig{Store: store, Engine: EngineCore, Kappa: 4, Seed: recoverySeed}); err != nil {
+		t.Fatalf("matched recovery: %v", err)
+	} else {
+		closeEngine(rec.Engine)
+	}
+}

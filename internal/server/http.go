@@ -194,6 +194,11 @@ func ReplayLog(r io.Reader, kappa int, seed int64) (*graph.Graph, error) {
 	if err != nil {
 		return nil, err
 	}
+	if tr.BaseEvents > 0 {
+		// An anchored segment holds only a tail; replaying it from the
+		// genesis header would silently skip the prefix.
+		return nil, fmt.Errorf("server: log segment is anchored at event %d; recover via checkpoint + tail instead", tr.BaseEvents)
+	}
 	st, err := core.NewState(core.Config{Kappa: kappa, Seed: seed}, tr.Initial())
 	if err != nil {
 		return nil, err

@@ -71,6 +71,16 @@ func (s *Server) buildRegistry() {
 	})
 	reg.Gauge("xheal_serve_uptime_seconds", "Seconds since the daemon started.",
 		func() float64 { return time.Since(s.start).Seconds() })
+	if s.cfg.Checkpoints != nil {
+		reg.Counter("xheal_serve_checkpoints_total", "Checkpoints saved by this process.",
+			c(func(c Counters) float64 { return float64(c.Checkpoints) }))
+		reg.Counter("xheal_serve_checkpoint_errors_total", "Checkpoint snapshot/save/compact failures.",
+			c(func(c Counters) float64 { return float64(c.CheckpointErrors) }))
+		reg.Gauge("xheal_serve_checkpoint_last_tick", "Tick watermark of the newest saved checkpoint.",
+			c(func(c Counters) float64 { return float64(c.LastCheckpointTick) }))
+		reg.Gauge("xheal_serve_checkpoint_last_events", "Event watermark of the newest saved checkpoint.",
+			c(func(c Counters) float64 { return float64(c.LastCheckpointEvents) }))
+	}
 
 	s.tickHist = obs.MustHistogram(obs.LatencyBuckets())
 	s.batchHist = obs.MustHistogram(obs.SizeBuckets())

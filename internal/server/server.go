@@ -10,11 +10,11 @@ import (
 	"time"
 
 	"github.com/xheal/xheal/internal/adversary"
+	"github.com/xheal/xheal/internal/checkpoint"
 	"github.com/xheal/xheal/internal/core"
 	"github.com/xheal/xheal/internal/graph"
 	"github.com/xheal/xheal/internal/metrics"
 	"github.com/xheal/xheal/internal/obs"
-	"github.com/xheal/xheal/internal/trace"
 )
 
 // Engine is the healing engine a Server drives. Both core.State (the
@@ -64,13 +64,66 @@ type Config struct {
 	// (default 2: healing and measurement both want a non-trivial graph).
 	MinNodes int
 	// Log, when set, receives every applied event in application order.
-	// The server serializes Append calls and Closes the log on Close.
-	Log *trace.LogWriter
+	// The server serializes Append calls and Closes the log on Close. If the
+	// log also implements RotatingLog (trace.FileLog does), the server
+	// rotates to a fresh segment after every checkpoint and compacts the
+	// segments the checkpoint covers.
+	Log EventLog
+	// Checkpoints, when set alongside an engine that implements Snapshotter,
+	// enables durability: the server saves a checkpoint every
+	// CheckpointEvery applied ticks (default 32) and once more during the
+	// final drain, then rotates and compacts the event log behind it.
+	Checkpoints checkpoint.Store
+	// CheckpointEvery is the checkpoint cadence in applied ticks (default 32).
+	CheckpointEvery int
+	// ArchiveLog makes compaction move covered log segments to the log
+	// directory's archive/ subdirectory instead of deleting them, preserving
+	// the from-genesis history that recovery verification replays.
+	ArchiveLog bool
+	// EngineName ("core" or "dist") and Seed are stamped into checkpoint
+	// envelopes so a store can't be resumed against a differently-configured
+	// daemon.
+	EngineName string
+	Seed       int64
+	// Resume seeds the tick/event watermarks after recovery, so checkpoint
+	// and log-segment anchors continue the run's global numbering. Only the
+	// watermarks resume; per-kind counters restart at zero for this
+	// process's serving window.
+	Resume Resume
 	// Recorder, when set, traces every wound repair as a span: the server
 	// stamps the tick, the engine stamps the phases. It is handed to the
 	// engine at New if the engine accepts one (core.State and dist.Engine
 	// do). nil disables per-wound tracing at zero cost.
 	Recorder *obs.Recorder
+}
+
+// EventLog is the append-only sink for applied events. *trace.LogWriter and
+// *trace.FileLog both satisfy it.
+type EventLog interface {
+	Append(adversary.Event) error
+	Close() error
+}
+
+// RotatingLog is the optional segmented-log surface: Rotate seals the current
+// segment and starts a fresh one anchored at the given tick; Compact drops
+// (or archives) segments fully covered by a checkpoint at beforeEvents.
+// *trace.FileLog satisfies it.
+type RotatingLog interface {
+	Rotate(tick uint64, checkpoint string) error
+	Compact(beforeEvents uint64, archive bool) error
+}
+
+// Snapshotter is the optional engine surface durability needs: the complete
+// engine state as deterministic JSON. core.State and dist.Engine both
+// satisfy it.
+type Snapshotter interface {
+	SnapshotState() ([]byte, error)
+}
+
+// Resume carries the run-global watermarks a recovered daemon restarts from.
+type Resume struct {
+	Tick   uint64
+	Events uint64
 }
 
 func (c Config) queueDepth() int {
@@ -101,6 +154,13 @@ func (c Config) minNodes() int {
 	return 2
 }
 
+func (c Config) checkpointEvery() uint64 {
+	if c.CheckpointEvery > 0 {
+		return uint64(c.CheckpointEvery)
+	}
+	return 32
+}
+
 // Counters are the serving-work counters, readable via Counters or the
 // /metrics endpoint while the daemon runs.
 type Counters struct {
@@ -125,6 +185,13 @@ type Counters struct {
 	// events. Divide by Ticks / EventsApplied for means.
 	ApplySeconds float64
 	WaitSeconds  float64
+	// Checkpoints counts checkpoints saved by this process;
+	// CheckpointErrors counts snapshot/save/rotate failures. The Last*
+	// watermarks name the newest saved checkpoint.
+	Checkpoints          uint64
+	CheckpointErrors     uint64
+	LastCheckpointTick   uint64
+	LastCheckpointEvents uint64
 }
 
 // Server is the maintenance daemon. Create with New, drive with Submit (or
@@ -181,6 +248,10 @@ func New(eng Engine, cfg Config) *Server {
 		done:  make(chan struct{}),
 		start: time.Now(),
 	}
+	// A recovered daemon continues the run's global numbering so checkpoint
+	// and log-segment anchors stay monotone across restarts.
+	s.counters.Ticks = cfg.Resume.Tick
+	s.counters.EventsApplied = cfg.Resume.Events
 	if cfg.Recorder != nil {
 		if re, ok := eng.(recordableEngine); ok {
 			re.SetRecorder(cfg.Recorder)
@@ -316,6 +387,9 @@ func (s *Server) drain() {
 		}
 		if len(pending) == 0 {
 			s.mu.Lock()
+			// Final checkpoint: a clean shutdown restarts from here with an
+			// empty log tail.
+			s.checkpointLocked()
 			if s.cfg.Log != nil {
 				if err := s.cfg.Log.Close(); s.logErr == nil {
 					s.logErr = err
@@ -458,6 +532,10 @@ func (s *Server) apply(pending []*submission) {
 		s.counters.WaitSeconds += now.Sub(sub.at).Seconds()
 		sub.done <- nil
 	}
+
+	if s.counters.Ticks%s.cfg.checkpointEvery() == 0 {
+		s.checkpointLocked()
+	}
 }
 
 // logBatch appends one applied batch to the event log in exact application
@@ -509,6 +587,24 @@ type Health struct {
 	// Obs summarizes the serving histograms and, when per-wound tracing is
 	// on, the repair spans.
 	Obs ObsHealth `json:"obs"`
+	// Durability reports checkpoint progress; absent when no checkpoint
+	// store is configured.
+	Durability *DurabilityHealth `json:"durability,omitempty"`
+}
+
+// DurabilityHealth is the durability slice of a health snapshot.
+type DurabilityHealth struct {
+	// Checkpoints / CheckpointErrors count saves and failures by this
+	// process; the Last* watermarks name the newest saved checkpoint.
+	Checkpoints          uint64 `json:"checkpoints"`
+	CheckpointErrors     uint64 `json:"checkpoint_errors"`
+	LastCheckpointTick   uint64 `json:"last_checkpoint_tick"`
+	LastCheckpointEvents uint64 `json:"last_checkpoint_events"`
+	// Resumed is true when this process recovered prior state at startup.
+	Resumed bool `json:"resumed"`
+	// ResumeTick / ResumeEvents are the watermarks serving resumed from.
+	ResumeTick   uint64 `json:"resume_tick,omitempty"`
+	ResumeEvents uint64 `json:"resume_events,omitempty"`
 }
 
 // ObsHealth is the observability slice of a health snapshot: latency
@@ -551,6 +647,19 @@ func (s *Server) Health() Health {
 		}
 	}
 
+	var dur *DurabilityHealth
+	if s.cfg.Checkpoints != nil {
+		dur = &DurabilityHealth{
+			Checkpoints:          c.Checkpoints,
+			CheckpointErrors:     c.CheckpointErrors,
+			LastCheckpointTick:   c.LastCheckpointTick,
+			LastCheckpointEvents: c.LastCheckpointEvents,
+			Resumed:              s.cfg.Resume != (Resume{}),
+			ResumeTick:           s.cfg.Resume.Tick,
+			ResumeEvents:         s.cfg.Resume.Events,
+		}
+	}
+
 	status := "ok"
 	if !snap.Connected {
 		status = "degraded"
@@ -566,6 +675,7 @@ func (s *Server) Health() Health {
 		QueueDepth:    s.QueueDepth(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Obs:           ob,
+		Durability:    dur,
 	}
 }
 

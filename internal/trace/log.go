@@ -37,11 +37,22 @@ type LogWriter struct {
 // NewLogWriter starts an event log over the initial graph g0, writing the
 // header immediately.
 func NewLogWriter(w io.Writer, g0 *graph.Graph) (*LogWriter, error) {
+	return NewLogWriterAt(w, g0, 0, 0, "")
+}
+
+// NewLogWriterAt starts an event log segment anchored after baseEvents events
+// (at tick baseTick), recording which checkpoint the segment follows. The
+// header still carries the genesis graph; a zero anchor produces the same
+// header as NewLogWriter.
+func NewLogWriterAt(w io.Writer, g0 *graph.Graph, baseTick, baseEvents uint64, checkpoint string) (*LogWriter, error) {
 	lw := &LogWriter{w: w, enc: json.NewEncoder(w)}
 	header := Trace{
-		Version: FormatVersion,
-		Nodes:   g0.Nodes(),
-		Edges:   g0.Edges(),
+		Version:    FormatVersion,
+		Nodes:      g0.Nodes(),
+		Edges:      g0.Edges(),
+		BaseTick:   baseTick,
+		BaseEvents: baseEvents,
+		Checkpoint: checkpoint,
 	}
 	if err := lw.enc.Encode(&header); err != nil {
 		return nil, fmt.Errorf("trace: log header: %w", err)

@@ -111,8 +111,11 @@ func TestLogMatchesRecordedTrace(t *testing.T) {
 	}
 }
 
-// A crash-truncated log (partial final line) fails to load with a clear
-// error rather than silently dropping the tail.
+// A crash-truncated log (partial final line) loads with the torn line
+// dropped and TornTail set: by log-before-ack ordering the torn event was
+// never acknowledged, so recovery must tolerate it rather than refuse to
+// start. Every truncation point within the final line must behave this way —
+// and a full byte-truncation sweep must never lose more than that one event.
 func TestLogTruncatedTail(t *testing.T) {
 	g0, events := logFixture(t)
 	var buf bytes.Buffer
@@ -125,9 +128,71 @@ func TestLogTruncatedTail(t *testing.T) {
 			t.Fatalf("Append: %v", err)
 		}
 	}
-	cut := buf.String()
-	cut = cut[:len(cut)-5] // chop into the last event's JSON
-	if _, err := Load(strings.NewReader(cut)); err == nil {
-		t.Fatal("Load of truncated log succeeded, want error")
+	full := buf.String()
+	// The log is header + one line per event; the last line starts after the
+	// second-to-last newline.
+	lastStart := strings.LastIndex(strings.TrimRight(full, "\n"), "\n") + 1
+
+	for cut := len(full) - 1; cut > lastStart; cut-- {
+		got, err := Load(strings.NewReader(full[:cut]))
+		if err != nil {
+			t.Fatalf("cut=%d: Load: %v", cut, err)
+		}
+		switch len(got.Events) {
+		case len(events) - 1:
+			if !got.TornTail {
+				t.Fatalf("cut=%d: dropped final event but TornTail not set", cut)
+			}
+		case len(events):
+			// Only the trailing newline was cut; the final line is still
+			// complete JSON and must load clean.
+			if cut != len(full)-1 {
+				t.Fatalf("cut=%d: kept all events on a mid-line cut", cut)
+			}
+			if got.TornTail {
+				t.Fatalf("cut=%d: complete log reported torn", cut)
+			}
+		default:
+			t.Fatalf("cut=%d: %d events, want %d or %d",
+				cut, len(got.Events), len(events)-1, len(events))
+		}
+	}
+	// Cutting exactly at the line boundary is a clean (untorn) shorter log.
+	got, err := Load(strings.NewReader(full[:lastStart]))
+	if err != nil {
+		t.Fatalf("boundary cut: %v", err)
+	}
+	if got.TornTail || len(got.Events) != len(events)-1 {
+		t.Fatalf("boundary cut: events=%d torn=%v, want %d/false",
+			len(got.Events), got.TornTail, len(events)-1)
+	}
+	// An intact log never reports a torn tail.
+	intact, err := Load(strings.NewReader(full))
+	if err != nil {
+		t.Fatalf("intact: %v", err)
+	}
+	if intact.TornTail || len(intact.Events) != len(events) {
+		t.Fatalf("intact: events=%d torn=%v", len(intact.Events), intact.TornTail)
+	}
+}
+
+// A malformed line in the *middle* of a log — followed by more content — is
+// corruption, not a torn tail, and must still fail.
+func TestLogRejectsMidstreamGarbage(t *testing.T) {
+	g0, events := logFixture(t)
+	var buf bytes.Buffer
+	lw, err := NewLogWriter(&buf, g0)
+	if err != nil {
+		t.Fatalf("NewLogWriter: %v", err)
+	}
+	for _, ev := range events {
+		if err := lw.Append(ev); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	lines := strings.SplitAfter(buf.String(), "\n")
+	lines[2] = strings.TrimSuffix(lines[2], "\n")[:3] + "\n" // tear an interior line
+	if _, err := Load(strings.NewReader(strings.Join(lines, ""))); err == nil {
+		t.Fatal("Load of midstream-corrupted log succeeded, want error")
 	}
 }

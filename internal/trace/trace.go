@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -36,6 +38,21 @@ type Trace struct {
 	Nodes   []graph.NodeID `json:"nodes"`
 	Edges   []graph.Edge   `json:"edges"`
 	Events  []Event        `json:"events"`
+
+	// BaseTick and BaseEvents anchor a log segment written after a
+	// checkpoint: the segment's events start BaseEvents events into the run,
+	// not at genesis (Nodes/Edges still describe the genesis graph).
+	// Replaying such a segment from its header alone is wrong — recovery
+	// must first restore the checkpoint named by Checkpoint.
+	BaseTick   uint64 `json:"base_tick,omitempty"`
+	BaseEvents uint64 `json:"base_events,omitempty"`
+	Checkpoint string `json:"checkpoint,omitempty"`
+
+	// TornTail reports that the final log line was truncated mid-write (a
+	// crash artifact) and was dropped. By log-before-ack ordering a torn
+	// event was never acknowledged, so dropping it is lossless; callers
+	// should still surface a warning.
+	TornTail bool `json:"-"`
 }
 
 // New starts a trace over the given initial graph.
@@ -119,18 +136,16 @@ func (t *Trace) Save(w io.Writer) error {
 // LogWriter (the header value followed by one Event value per line — the
 // trailing events are folded into Trace.Events, so both forms replay
 // identically).
+//
+// A final log line truncated mid-write — the artifact a crash leaves — is
+// dropped and reported via Trace.TornTail rather than failing the load: by
+// log-before-ack ordering the torn event was never acknowledged. A malformed
+// line *followed by more content* is real corruption and still fails.
 func Load(r io.Reader) (*Trace, error) {
 	dec := json.NewDecoder(r)
 	var t Trace
 	if err := dec.Decode(&t); err != nil {
 		return nil, fmt.Errorf("trace: decode: %w", err)
-	}
-	for dec.More() {
-		var ev Event
-		if err := dec.Decode(&ev); err != nil {
-			return nil, fmt.Errorf("trace: decode log event %d: %w", len(t.Events), err)
-		}
-		t.Events = append(t.Events, ev)
 	}
 	if t.Version != FormatVersion {
 		return nil, fmt.Errorf("version %d: %w", t.Version, ErrBadVersion)
@@ -140,6 +155,33 @@ func Load(r io.Reader) (*Trace, error) {
 			return nil, fmt.Errorf("event %d has kind %q: %w", i, ev.Kind, ErrBadEvent)
 		}
 	}
+	// Log-form events follow one per line; read line-wise so only a torn
+	// *final* line is tolerated.
+	sc := bufio.NewScanner(io.MultiReader(dec.Buffered(), r))
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var badLine error
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if badLine != nil {
+			return nil, badLine // malformed line followed by more content
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			badLine = fmt.Errorf("trace: decode log event %d: %w", len(t.Events), err)
+			continue
+		}
+		if ev.Kind != "insert" && ev.Kind != "delete" {
+			return nil, fmt.Errorf("event %d has kind %q: %w", len(t.Events), ev.Kind, ErrBadEvent)
+		}
+		t.Events = append(t.Events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	t.TornTail = badLine != nil
 	return &t, nil
 }
 
