@@ -248,6 +248,7 @@ func buildDaemon(o options) (*daemon, error) {
 		cfg.ArchiveLog = o.archiveLog
 		cfg.EngineName = engName
 		cfg.Seed = o.seed
+		cfg.GenesisDigest = server.GenesisDigest(g0)
 		cfg.Resume = server.Resume{Tick: rec.Tick, Events: rec.Events}
 	} else {
 		switch o.engine {

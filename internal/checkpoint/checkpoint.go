@@ -45,6 +45,11 @@ type Checkpoint struct {
 	Engine string `json:"engine"`
 	Kappa  int    `json:"kappa"`
 	Seed   int64  `json:"seed"`
+	// Genesis, when set, fingerprints the run's initial graph (the producer
+	// decides the digest; internal/server uses GenesisDigest). Recovery fails
+	// on mismatch, so a daemon restarted under different topology flags can't
+	// silently resume another run's checkpoint. Empty skips the check.
+	Genesis string `json:"genesis,omitempty"`
 	// State is the engine snapshot, opaque to the store.
 	State json.RawMessage `json:"state"`
 	// Checksum is hex(sha256(State)), verified on load so a torn or

@@ -93,6 +93,40 @@ func TestFileStoreRoundTripAndPrune(t *testing.T) {
 	}
 }
 
+// A crash between CreateTemp and rename orphans a temp file; reopening the
+// store must sweep such leftovers so they don't accumulate across crash
+// cycles, while leaving real checkpoints alone.
+func TestFileStoreSweepsStaleTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir, 2)
+	if err != nil {
+		t.Fatalf("NewFileStore: %v", err)
+	}
+	if err := fs.Save(mkCheckpoint(1, 4, `{"a":1}`)); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	for _, name := range []string{tmpPrefix + "111", tmpPrefix + "222"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("torn"), 0o644); err != nil {
+			t.Fatalf("plant %s: %v", name, err)
+		}
+	}
+	if _, err := NewFileStore(dir, 2); err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("readdir: %v", err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), tmpPrefix) {
+			t.Fatalf("stale temp file %s survived reopen", e.Name())
+		}
+	}
+	if got, err := fs.Load(); err != nil || got.Tick != 1 {
+		t.Fatalf("checkpoint lost by sweep: %+v, %v", got, err)
+	}
+}
+
 func TestFileStoreSkipsCorruptNewest(t *testing.T) {
 	dir := t.TempDir()
 	fs, err := NewFileStore(dir, 3)

@@ -15,6 +15,9 @@ import (
 const (
 	filePrefix = "ckpt-"
 	fileSuffix = ".json"
+	// tmpPrefix names in-flight temp files; a crash between CreateTemp and
+	// rename orphans one, so NewFileStore sweeps leftovers at open.
+	tmpPrefix = ".tmp-ckpt-"
 )
 
 // FileStore persists each checkpoint as its own file under a directory,
@@ -40,6 +43,16 @@ func NewFileStore(dir string, keep int) (*FileStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
+	// Sweep temp files orphaned by a crash mid-Save: nothing references them
+	// (list filters them out), so left alone they accumulate forever across
+	// crash/restart cycles. Best-effort, like prune.
+	if entries, err := os.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), tmpPrefix) {
+				_ = os.Remove(filepath.Join(dir, e.Name()))
+			}
+		}
+	}
 	return &FileStore{dir: dir, keep: keep}, nil
 }
 
@@ -60,7 +73,7 @@ func (f *FileStore) Save(c *Checkpoint) error {
 		return fmt.Errorf("checkpoint: encode: %w", err)
 	}
 	final := filepath.Join(f.dir, f.nameFor(c))
-	tmp, err := os.CreateTemp(f.dir, ".tmp-ckpt-*")
+	tmp, err := os.CreateTemp(f.dir, tmpPrefix+"*")
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}

@@ -2,6 +2,8 @@ package server
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"os"
@@ -30,9 +32,26 @@ const (
 )
 
 // ErrRecoveryMismatch reports that a checkpoint store belongs to a
-// differently-configured run (engine, κ, or seed) than the daemon resuming
-// from it, or that the recovered state diverges from the from-genesis replay.
+// differently-configured run (engine, κ, seed, or genesis graph) than the
+// daemon resuming from it, or that the recovered state diverges from the
+// from-genesis replay.
 var ErrRecoveryMismatch = errors.New("server: recovery mismatch")
+
+// GenesisDigest fingerprints an initial graph: hex(sha256) over the sorted
+// node and edge lists (graph.Nodes and graph.Edges are canonical). Stamped
+// into checkpoint envelopes (Config.GenesisDigest) and checked by Recover, so
+// a daemon restarted under different workload flags fails loudly instead of
+// resuming a checkpoint whose genesis its log headers would misdescribe.
+func GenesisDigest(g *graph.Graph) string {
+	h := sha256.New()
+	for _, n := range g.Nodes() {
+		fmt.Fprintf(h, "n%d;", n)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(h, "e%d-%d;", e.U, e.V)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
 
 // checkpointLocked snapshots the engine and saves a checkpoint, then rotates
 // and compacts the event log behind it. Caller holds s.mu. Failures are
@@ -70,6 +89,7 @@ func (s *Server) checkpointLocked() {
 		Engine:  s.cfg.EngineName,
 		Kappa:   s.eng.Kappa(),
 		Seed:    s.cfg.Seed,
+		Genesis: s.cfg.GenesisDigest,
 		State:   data,
 	}
 	c.Seal()
@@ -107,7 +127,10 @@ type RecoverConfig struct {
 	Kappa  int
 	Seed   int64
 	// Genesis is the initial graph, used when neither a checkpoint nor a log
-	// exists (first boot) — a log's own header also carries it.
+	// exists (first boot) — a log's own header also carries it. When the
+	// newest checkpoint recorded a genesis digest, Genesis is checked against
+	// it (GenesisDigest) and a mismatch — e.g. restarting under different
+	// -workload/-n flags — fails with ErrRecoveryMismatch.
 	Genesis *graph.Graph
 }
 
@@ -130,6 +153,15 @@ type Recovered struct {
 // checkpoint (if any), then replay of the durable log tail past the
 // checkpoint's Events watermark. Each replayed event is applied as its own
 // timestep, so the recovered Tick watermark advances by one per tail event.
+//
+// That per-event replay means the recovered Tick deliberately diverges from
+// the crashed process's tick count whenever the original run batched several
+// events into one timestep: the log records event order, not batch
+// boundaries, and engine state is batching-insensitive (replay-identity),
+// so only the Events watermark is exact across a restart. Tick stays
+// monotone — which is all its consumers (checkpoint names, log-segment
+// anchors, span tick stamps, last_checkpoint_tick) require — but tick-keyed
+// artifacts from before and after a crash must not be compared numerically.
 func Recover(rc RecoverConfig) (*Recovered, error) {
 	var ck *checkpoint.Checkpoint
 	if rc.Store != nil {
@@ -146,6 +178,10 @@ func Recover(rc RecoverConfig) (*Recovered, error) {
 		if ck.Engine != rc.Engine || ck.Kappa != rc.Kappa || ck.Seed != rc.Seed {
 			return nil, fmt.Errorf("%w: checkpoint is %s/κ=%d/seed=%d, daemon is %s/κ=%d/seed=%d",
 				ErrRecoveryMismatch, ck.Engine, ck.Kappa, ck.Seed, rc.Engine, rc.Kappa, rc.Seed)
+		}
+		if ck.Genesis != "" && rc.Genesis != nil && ck.Genesis != GenesisDigest(rc.Genesis) {
+			return nil, fmt.Errorf("%w: checkpoint was taken over a different genesis graph (check -workload/-n flags)",
+				ErrRecoveryMismatch)
 		}
 	}
 

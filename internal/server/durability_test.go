@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"context"
+	"errors"
 	"math/rand"
 	"path/filepath"
 	"testing"
@@ -137,7 +138,7 @@ func TestServerCrashRecoveryIdentity(t *testing.T) {
 				}
 				durable := Config{
 					Log: fl, Checkpoints: store, CheckpointEvery: 3, ArchiveLog: true,
-					EngineName: engineName, Seed: recoverySeed,
+					EngineName: engineName, Seed: recoverySeed, GenesisDigest: GenesisDigest(g0),
 				}
 				engA := mustEngine(t, engineName, g0.Clone())
 				sA := New(engA, durable)
@@ -212,7 +213,8 @@ func TestServerCrashRecoveryIdentity(t *testing.T) {
 	}
 }
 
-// TestRecoverRejectsMismatchedRun pins the config-mismatch guard.
+// TestRecoverRejectsMismatchedRun pins the config-mismatch guard: engine,
+// κ, seed, and genesis graph must all match the checkpoint being resumed.
 func TestRecoverRejectsMismatchedRun(t *testing.T) {
 	g0 := ringGraph(10)
 	store := checkpoint.NewMemStore()
@@ -220,7 +222,8 @@ func TestRecoverRejectsMismatchedRun(t *testing.T) {
 	state := snapshotBytes(t, eng)
 	c := &checkpoint.Checkpoint{
 		Version: checkpoint.Version, Tick: 0, Events: 0,
-		Engine: EngineCore, Kappa: 4, Seed: recoverySeed, State: state,
+		Engine: EngineCore, Kappa: 4, Seed: recoverySeed,
+		Genesis: GenesisDigest(g0), State: state,
 	}
 	c.Seal()
 	if err := store.Save(c); err != nil {
@@ -230,13 +233,30 @@ func TestRecoverRejectsMismatchedRun(t *testing.T) {
 		{Store: store, Engine: EngineDist, Kappa: 4, Seed: recoverySeed},
 		{Store: store, Engine: EngineCore, Kappa: 6, Seed: recoverySeed},
 		{Store: store, Engine: EngineCore, Kappa: 4, Seed: recoverySeed + 1},
+		// Same engine/κ/seed but a different initial topology — the
+		// restarted-with-different-workload-flags mistake.
+		{Store: store, Engine: EngineCore, Kappa: 4, Seed: recoverySeed, Genesis: ringGraph(12)},
 	} {
-		if _, err := Recover(rc); err == nil {
-			t.Fatalf("mismatched recovery %+v accepted", rc)
+		if _, err := Recover(rc); !errors.Is(err, ErrRecoveryMismatch) {
+			t.Fatalf("mismatched recovery %+v: %v, want ErrRecoveryMismatch", rc, err)
 		}
 	}
-	if rec, err := Recover(RecoverConfig{Store: store, Engine: EngineCore, Kappa: 4, Seed: recoverySeed}); err != nil {
+	// The matching genesis passes, as does a legacy checkpoint without a
+	// recorded digest.
+	if rec, err := Recover(RecoverConfig{Store: store, Engine: EngineCore, Kappa: 4,
+		Seed: recoverySeed, Genesis: ringGraph(10)}); err != nil {
 		t.Fatalf("matched recovery: %v", err)
+	} else {
+		closeEngine(rec.Engine)
+	}
+	c.Genesis = ""
+	c.Seal()
+	if err := store.Save(c); err != nil {
+		t.Fatalf("save legacy: %v", err)
+	}
+	if rec, err := Recover(RecoverConfig{Store: store, Engine: EngineCore, Kappa: 4,
+		Seed: recoverySeed, Genesis: ringGraph(12)}); err != nil {
+		t.Fatalf("legacy checkpoint without digest: %v", err)
 	} else {
 		closeEngine(rec.Engine)
 	}

@@ -153,7 +153,7 @@ func decodeIngest(body []byte) ([]adversary.Event, error) {
 // disconnect), and anything unrecognized is a server-side failure, 500.
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, ErrBacklog), errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrBacklog), errors.Is(err, ErrClosed), errors.Is(err, ErrNotDurable):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrTooManyConflicts), errors.Is(err, core.ErrBatchConflict):
 		return http.StatusConflict

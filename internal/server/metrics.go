@@ -71,6 +71,17 @@ func (s *Server) buildRegistry() {
 	})
 	reg.Gauge("xheal_serve_uptime_seconds", "Seconds since the daemon started.",
 		func() float64 { return time.Since(s.start).Seconds() })
+	if s.cfg.Log != nil {
+		reg.Counter("xheal_serve_events_not_durable_total", "Submissions refused with ErrNotDurable after an event-log failure.",
+			c(func(c Counters) float64 { return float64(c.EventsNotDurable) }))
+		reg.Gauge("xheal_serve_log_failed", "1 when the event log has failed and the daemon refuses writes.",
+			func() float64 {
+				if s.degraded.Load() {
+					return 1
+				}
+				return 0
+			})
+	}
 	if s.cfg.Checkpoints != nil {
 		reg.Counter("xheal_serve_checkpoints_total", "Checkpoints saved by this process.",
 			c(func(c Counters) float64 { return float64(c.Checkpoints) }))

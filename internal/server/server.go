@@ -42,6 +42,12 @@ var (
 	// ErrTooFewNodes rejects a deletion that would shrink the network below
 	// Config.MinNodes.
 	ErrTooFewNodes = errors.New("server: deletion refused, too few nodes would remain")
+	// ErrNotDurable reports that the event log failed (disk full, I/O error):
+	// the log-before-ack contract can no longer be honored, so the batch that
+	// hit the failure and every later submission are failed rather than
+	// acknowledged non-durably. The daemon stays up for reads (health,
+	// metrics, graph) but refuses writes until restarted over healthy storage.
+	ErrNotDurable = errors.New("server: event log failed, refusing non-durable writes")
 )
 
 // Config parameterizes a Server. The zero value is usable: immediate ticks,
@@ -82,9 +88,12 @@ type Config struct {
 	ArchiveLog bool
 	// EngineName ("core" or "dist") and Seed are stamped into checkpoint
 	// envelopes so a store can't be resumed against a differently-configured
-	// daemon.
-	EngineName string
-	Seed       int64
+	// daemon. GenesisDigest (see the GenesisDigest function) additionally pins
+	// the initial topology, so restarting under different workload flags fails
+	// recovery instead of silently serving a mismatched genesis.
+	EngineName    string
+	Seed          int64
+	GenesisDigest string
 	// Resume seeds the tick/event watermarks after recovery, so checkpoint
 	// and log-segment anchors continue the run's global numbering. Only the
 	// watermarks resume; per-kind counters restart at zero for this
@@ -111,6 +120,16 @@ type EventLog interface {
 type RotatingLog interface {
 	Rotate(tick uint64, checkpoint string) error
 	Compact(beforeEvents uint64, archive bool) error
+}
+
+// SyncingLog is the optional stable-storage surface: Sync flushes everything
+// appended so far to disk. When the configured log implements it (both
+// *trace.LogWriter over an *os.File and *trace.FileLog do), the server syncs
+// once per applied batch before acknowledging its members, upgrading the
+// log-before-ack guarantee from process-crash durability to power-loss
+// durability at the cost of one fsync per tick.
+type SyncingLog interface {
+	Sync() error
 }
 
 // Snapshotter is the optional engine surface durability needs: the complete
@@ -173,10 +192,12 @@ type Counters struct {
 	// EventsRejected counts events refused with an error (invalid target,
 	// defer cap, engine rejection); EventsBacklogged counts ErrBacklog
 	// refusals at the queue; EventsDeferred counts tick-to-tick deferrals
-	// (one event deferred twice counts twice).
+	// (one event deferred twice counts twice); EventsNotDurable counts
+	// submissions failed with ErrNotDurable after an event-log write failure.
 	EventsRejected   uint64
 	EventsBacklogged uint64
 	EventsDeferred   uint64
+	EventsNotDurable uint64
 	// BatchLast and BatchMax track applied batch sizes in events.
 	BatchLast int
 	BatchMax  int
@@ -211,6 +232,11 @@ type Server struct {
 	mu       sync.Mutex // guards eng, counters, cfg.Log
 	counters Counters
 	logErr   error
+
+	// degraded mirrors logErr != nil for lock-free Submit fast-fail: once the
+	// event log has failed, writes are refused (ErrNotDurable) instead of
+	// being applied and acknowledged non-durably.
+	degraded atomic.Bool
 
 	backlogged atomic.Uint64
 	carried    atomic.Int64 // mirrors len(carry) for QueueDepth readers
@@ -287,6 +313,14 @@ func (s *Server) submitAsync(ev adversary.Event) (*submission, error) {
 	if s.closed {
 		s.closeMu.RUnlock()
 		return nil, ErrClosed
+	}
+	if s.degraded.Load() {
+		s.closeMu.RUnlock()
+		s.mu.Lock()
+		s.counters.EventsNotDurable++
+		err := s.logErr
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %v", ErrNotDurable, err)
 	}
 	sub := &submission{ev: ev, done: make(chan error, 1), at: time.Now()}
 	select {
@@ -466,6 +500,15 @@ func (s *Server) apply(pending []*submission) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
+	// A failed event log means nothing further can be made durable: refuse
+	// the whole tick instead of applying and acknowledging events that would
+	// vanish on the next crash. (Submissions racing the failure can still
+	// reach here after the degraded fast-fail in submitAsync.)
+	if s.logErr != nil && s.cfg.Log != nil {
+		s.failNotDurable(pending)
+		return
+	}
+
 	bs := &batchState{}
 	for _, sub := range pending {
 		ok, rejection := s.admit(bs, sub)
@@ -508,8 +551,18 @@ func (s *Server) apply(pending []*submission) {
 		return
 	}
 
-	if s.cfg.Log != nil && s.logErr == nil {
-		s.logErr = s.logBatch(bs.batch)
+	// Log-before-ack: the batch becomes durable (appended and, when the log
+	// supports it, fsynced) before any member unblocks. On failure the
+	// members are failed, not acked — they were applied in memory but are not
+	// durable, and acknowledging them would break the contract that recovery
+	// (and trace.Load's torn-tail tolerance) relies on.
+	if s.cfg.Log != nil {
+		if err := s.logBatch(bs.batch); err != nil {
+			s.logErr = err
+			s.degraded.Store(true)
+			s.failNotDurable(bs.members)
+			return
+		}
 	}
 
 	s.counters.Ticks++
@@ -538,8 +591,10 @@ func (s *Server) apply(pending []*submission) {
 	}
 }
 
-// logBatch appends one applied batch to the event log in exact application
-// order: all insertions, then all deletions.
+// logBatch makes one applied batch durable: every event is appended to the
+// event log in exact application order (all insertions, then all deletions),
+// then the log is synced to stable storage when it supports that — one fsync
+// per tick, amortized over the whole batch.
 func (s *Server) logBatch(b core.Batch) error {
 	for _, ins := range b.Insertions {
 		ev := adversary.Event{Kind: adversary.Insert, Node: ins.Node, Neighbors: ins.Neighbors}
@@ -552,7 +607,19 @@ func (s *Server) logBatch(b core.Batch) error {
 			return err
 		}
 	}
+	if sl, ok := s.cfg.Log.(SyncingLog); ok {
+		return sl.Sync()
+	}
 	return nil
+}
+
+// failNotDurable answers every submission with ErrNotDurable (wrapping the
+// recorded log failure). Caller holds s.mu with s.logErr set.
+func (s *Server) failNotDurable(subs []*submission) {
+	for _, sub := range subs {
+		s.counters.EventsNotDurable++
+		sub.done <- fmt.Errorf("%w: %v", ErrNotDurable, s.logErr)
+	}
 }
 
 // Counters returns a snapshot of the serving-work counters.
@@ -570,8 +637,13 @@ func (s *Server) QueueDepth() int { return len(s.queue) + int(s.carried.Load()) 
 
 // Health is one live health snapshot.
 type Health struct {
-	// Status is "ok", or "degraded" when the healed graph is disconnected.
+	// Status is "ok", or "degraded" when the healed graph is disconnected or
+	// the event log has failed (see LogError).
 	Status string `json:"status"`
+	// LogError, when set, is the event-log write failure that put the daemon
+	// into the refuse-writes degraded state (every Submit fails with
+	// ErrNotDurable until restart).
+	LogError string `json:"log_error,omitempty"`
 	// Engine-level facts.
 	Nodes     int  `json:"nodes"`
 	Edges     int  `json:"edges"`
@@ -630,6 +702,7 @@ func (s *Server) Health() Health {
 	g, gp := s.eng.Graph().Clone(), s.eng.Baseline().Clone()
 	kappa := s.eng.Kappa()
 	c := s.counters
+	logErr := s.logErr
 	s.mu.Unlock()
 	snap := metrics.Measure(g, gp, metrics.Config{
 		SkipSpectral:   true,
@@ -660,12 +733,16 @@ func (s *Server) Health() Health {
 		}
 	}
 
-	status := "ok"
+	status, logMsg := "ok", ""
 	if !snap.Connected {
 		status = "degraded"
 	}
+	if logErr != nil {
+		status, logMsg = "degraded", logErr.Error()
+	}
 	return Health{
 		Status:        status,
+		LogError:      logMsg,
 		Nodes:         snap.Nodes,
 		Edges:         snap.Edges,
 		Connected:     snap.Connected,

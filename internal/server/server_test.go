@@ -243,9 +243,11 @@ func (w *failAfterWriter) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
-// A mid-run event-log write failure must survive to Close — not be papered
-// over by the log's own clean Close.
-func TestLogWriteFailureSurfacesAtClose(t *testing.T) {
+// A mid-run event-log write failure must break the daemon loudly: the batch
+// that hit the failure and every later submission fail with ErrNotDurable
+// (never an ack-nil for a non-durable event), health reports the degraded
+// state, and the failure still surfaces at Close.
+func TestLogWriteFailureRefusesWrites(t *testing.T) {
 	g0, _ := testTopology(t, 8)
 	lw, err := trace.NewLogWriter(&failAfterWriter{n: 600}, g0)
 	if err != nil {
@@ -253,12 +255,34 @@ func TestLogWriteFailureSurfacesAtClose(t *testing.T) {
 	}
 	s, _ := newSeqServer(t, g0, Config{Log: lw})
 	ctx := context.Background()
+	acked, failed := 0, 0
 	for i := 0; i < 20; i++ {
 		ev := adversary.Event{Kind: adversary.Insert,
 			Node: graph.NodeID(100 + i), Neighbors: []graph.NodeID{0}}
-		if err := s.Submit(ctx, ev); err != nil {
-			t.Fatalf("Submit %d: %v", i, err)
+		switch err := s.Submit(ctx, ev); {
+		case err == nil:
+			if failed > 0 {
+				t.Fatalf("Submit %d acked nil after the log failed", i)
+			}
+			acked++
+		case errors.Is(err, ErrNotDurable):
+			failed++
+		default:
+			t.Fatalf("Submit %d: %v, want nil or ErrNotDurable", i, err)
 		}
+	}
+	if acked == 0 || failed == 0 {
+		t.Fatalf("acked=%d failed=%d: want the log to fail mid-run", acked, failed)
+	}
+	h := s.Health()
+	if h.Status != "degraded" || !strings.Contains(h.LogError, "disk full") {
+		t.Fatalf("Health = %q/%q, want degraded with the log failure", h.Status, h.LogError)
+	}
+	if got := s.Counters().EventsNotDurable; got != uint64(failed) {
+		t.Fatalf("EventsNotDurable = %d, want %d", got, failed)
+	}
+	if !strings.Contains(s.PrometheusText(), "xheal_serve_log_failed 1") {
+		t.Fatal("metrics: xheal_serve_log_failed gauge not set")
 	}
 	if err := s.Close(); err == nil || !strings.Contains(err.Error(), "disk full") {
 		t.Fatalf("Close = %v, want the recorded log write failure", err)

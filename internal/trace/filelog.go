@@ -65,6 +65,12 @@ func OpenFileLog(dir string, g0 *graph.Graph, baseTick, baseEvents uint64, check
 		f.Close()
 		return nil, err
 	}
+	// Sync the header so a power loss before the first batch leaves a
+	// loadable (empty) segment, not a torn or missing one.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("trace: sync header: %w", err)
+	}
 	return &FileLog{dir: dir, g0: g0.Clone(), f: f, lw: lw, base: baseEvents}, nil
 }
 
@@ -83,6 +89,16 @@ func (fl *FileLog) Append(ev adversary.Event) error {
 // Events returns the total run position: base + events in this segment.
 func (fl *FileLog) Events() uint64 { return fl.base + fl.events }
 
+// Sync flushes the live segment to stable storage. The server calls it once
+// per applied batch, before acknowledging the batch, so acknowledged events
+// survive power loss as well as process crashes.
+func (fl *FileLog) Sync() error {
+	if err := fl.f.Sync(); err != nil {
+		return fmt.Errorf("trace: log sync: %w", err)
+	}
+	return nil
+}
+
 // Rotate seals the current segment and starts a fresh one anchored at the
 // current position, recording the checkpoint that covers everything before
 // it. Called by the server right after each successful checkpoint.
@@ -100,6 +116,10 @@ func (fl *FileLog) Rotate(tick uint64, checkpoint string) error {
 	if err != nil {
 		f.Close()
 		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("trace: sync header: %w", err)
 	}
 	fl.f, fl.lw, fl.base, fl.events = f, lw, base, 0
 	return nil

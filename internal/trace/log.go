@@ -24,6 +24,10 @@ var ErrLogClosed = errors.New("trace: event log is closed")
 // LogWriter appends an adversarial event stream to w as it happens. Each
 // Append writes one complete line, so a log truncated by a crash loses at
 // most the event being written; everything flushed before it still loads.
+// Append alone makes events durable against process crashes (the write
+// reaches the kernel); call Sync to flush them to stable storage so they
+// also survive power loss (internal/server does, once per applied batch,
+// before acknowledging the batch).
 //
 // Not safe for concurrent use; serialize Appends (internal/server appends
 // from its single tick loop).
@@ -84,6 +88,17 @@ func (lw *LogWriter) Append(ev adversary.Event) error {
 
 // Events returns the number of events appended so far.
 func (lw *LogWriter) Events() int { return lw.events }
+
+// Sync flushes appended events to stable storage when the underlying writer
+// supports it (*os.File does); for plain in-memory writers it is a no-op.
+func (lw *LogWriter) Sync() error {
+	if f, ok := lw.w.(interface{ Sync() error }); ok {
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("trace: log sync: %w", err)
+		}
+	}
+	return nil
+}
 
 // Close marks the log complete. It does not close the underlying writer —
 // the caller owns the file handle.
