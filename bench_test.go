@@ -60,6 +60,8 @@ func BenchmarkE14Congestion(b *testing.B)          { benchExperiment(b, "E14") }
 // the committed BENCH_*.json trajectory measures exactly this code.
 
 func BenchmarkHealDeletion(b *testing.B)        { benchcases.HealDeletion(b) }
+func BenchmarkApplyBatchSerial(b *testing.B)    { benchcases.ApplyBatchSerial(b) }
+func BenchmarkApplyBatchParallel(b *testing.B)  { benchcases.ApplyBatchParallel(b) }
 func BenchmarkDistributedDeletion(b *testing.B) { benchcases.DistributedDeletion(b) }
 func BenchmarkHGraphChurn(b *testing.B)         { benchcases.HGraphChurn(b) }
 func BenchmarkLambda2Jacobi(b *testing.B)       { benchcases.Lambda2Jacobi(b) }

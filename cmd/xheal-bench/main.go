@@ -49,6 +49,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file (taken at exit)")
 
+		parScaling = fs.String("parallel-scaling", "", "measure ApplyBatchParallel throughput at GOMAXPROCS 1/2/4/8 and write the curve to this JSON file (see BENCH_PR8.json)")
+
 		conf       = fs.Bool("conformance", false, "run the lockstep centralized-vs-distributed conformance matrix instead of experiments")
 		confN      = fs.Int("conf-n", 64, "conformance: initial topology size per cell")
 		confSteps  = fs.Int("conf-steps", 34, "conformance: adversarial events per cell")
@@ -60,6 +62,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *parScaling != "" {
+		return runParallelScaling(stderr, *parScaling)
+	}
 	if *confReplay != "" {
 		return replayConformance(stdout, stderr, *confReplay, *confSeed, *confKappa)
 	}

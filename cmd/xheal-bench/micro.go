@@ -27,6 +27,8 @@ func runMicroBenches() []microResult {
 		fn   func(b *testing.B)
 	}{
 		{"HealDeletion", benchcases.HealDeletion},
+		{"ApplyBatchSerial", benchcases.ApplyBatchSerial},
+		{"ApplyBatchParallel", benchcases.ApplyBatchParallel},
 		{"DistributedDeletion", benchcases.DistributedDeletion},
 		{"HGraphChurn", benchcases.HGraphChurn},
 		{"Lambda2Jacobi", benchcases.Lambda2Jacobi},

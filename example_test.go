@@ -38,7 +38,7 @@ func ExampleCompare() {
 	}
 	snaps, err := xheal.Compare(g, 0,
 		[]string{xheal.HealerXheal, xheal.HealerForgivingTree},
-		xheal.WithKappa(4), xheal.WithSeed(7))
+		xheal.WithKappa(4), xheal.WithSeed(6))
 	if err != nil {
 		panic(err)
 	}

@@ -115,6 +115,70 @@ func HGraphChurn(b *testing.B) {
 	}
 }
 
+// churnBatch assembles one steady-state timestep against the alive set:
+// deletes distinct victims and re-inserts as many fresh nodes attached to
+// surviving neighbors, keeping the network size constant. Returns the
+// updated alive slice (victims removed, fresh IDs appended).
+func churnBatch(rng *rand.Rand, alive []xheal.NodeID, next *xheal.NodeID, dels int) (xheal.Batch, []xheal.NodeID) {
+	var batch xheal.Batch
+	for i := 0; i < dels && len(alive) > 4; i++ {
+		var victim xheal.NodeID
+		alive, victim = removeAt(alive, rng.Intn(len(alive)))
+		batch.Deletions = append(batch.Deletions, victim)
+	}
+	for range batch.Deletions {
+		u, v := alive[rng.Intn(len(alive))], alive[rng.Intn(len(alive))]
+		nbrs := []xheal.NodeID{u, v}
+		if u == v {
+			nbrs = nbrs[:1]
+		}
+		batch.Insertions = append(batch.Insertions, xheal.BatchInsertion{Node: *next, Neighbors: nbrs})
+		alive = append(alive, *next)
+		*next++
+	}
+	return batch, alive
+}
+
+// applyBatchChurn measures multi-deletion timesteps on a large sparse
+// network — the disjoint-footprint regime where ApplyBatchParallel fans
+// repairs out across groups. workers ≤ 1 takes the serial ApplyBatch path;
+// both paths produce byte-identical states, so the two benchmarks measure
+// exactly the scheduling overhead/speedup.
+func applyBatchChurn(b *testing.B, workers int) {
+	g, err := xheal.RandomRegularGraph(512, 3, 21)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := xheal.NewNetwork(g, xheal.WithKappa(4), xheal.WithSeed(22))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	alive := append([]xheal.NodeID(nil), n.Graph().Nodes()...)
+	next := xheal.NodeID(1 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var batch xheal.Batch
+		batch, alive = churnBatch(rng, alive, &next, 12)
+		if workers > 1 {
+			err = n.ApplyBatchParallel(batch, workers)
+		} else {
+			err = n.ApplyBatch(batch)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ApplyBatchSerial measures a 12-deletion churn timestep healed serially.
+func ApplyBatchSerial(b *testing.B) { applyBatchChurn(b, 1) }
+
+// ApplyBatchParallel measures the same timestep with disjoint wounds healed
+// concurrently on 4 workers.
+func ApplyBatchParallel(b *testing.B) { applyBatchChurn(b, 4) }
+
 // Lambda2Jacobi measures the dense eigensolver path (n <= 220).
 func Lambda2Jacobi(b *testing.B) {
 	g, err := xheal.RandomRegularGraph(128, 3, 8)

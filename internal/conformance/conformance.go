@@ -61,6 +61,13 @@ type Options struct {
 	// per-wound spans (the centralized reference runs untraced — it is the
 	// oracle, not the subject).
 	Recorder *obs.Recorder
+	// Parallelism > 1 makes RunBatched apply each batch to the centralized
+	// reference via ApplyBatchParallel with that many workers, while the
+	// distributed engine stays serial — graph identity then proves the
+	// parallel schedule equivalent to the serial one, and the per-repair-
+	// group ledger checks bound each group's protocol work. Ignored by the
+	// per-event Run.
+	Parallelism int
 }
 
 func (o Options) stretchC() float64 {
@@ -311,6 +318,9 @@ func (rs *runState) checkLedger(ev adversary.Event, before dist.Totals, wound, e
 	}
 	if c.BlackDegree != expectBlack {
 		return fmt.Errorf("delete %d: ledger black degree %d, state says %d", ev.Node, c.BlackDegree, expectBlack)
+	}
+	if c.Wound != wound {
+		return fmt.Errorf("delete %d: ledger wound %d, state says %d", ev.Node, c.Wound, wound)
 	}
 	if c.Rounds != dRounds || c.Messages != dMsgs {
 		return fmt.Errorf("delete %d: totals moved by %d rounds / %d messages, ledger says %d / %d",

@@ -44,6 +44,9 @@ var ErrBatchConflict = errors.New("core: conflicting batch")
 // (internal/server) use it to decide which events can share a timestep
 // before committing any of them.
 func (s *State) ValidateBatch(b Batch) error {
+	if s.poisoned != nil {
+		return s.poisonedErr()
+	}
 	inserted := make(map[graph.NodeID]struct{}, len(b.Insertions))
 	for _, ins := range b.Insertions {
 		if _, dup := inserted[ins.Node]; dup {
@@ -104,22 +107,56 @@ func (s *State) ValidateBatch(b Batch) error {
 
 // ApplyBatch applies a multi-event timestep: all insertions (in order; an
 // insertion may attach to nodes inserted earlier in the same batch), then
-// all deletions, healing after each. The batch is validated up front and
-// rejected wholesale on conflict, so a failed ApplyBatch leaves the state
-// unchanged.
-func (s *State) ApplyBatch(b Batch) error {
+// all deletions, healing after each.
+//
+// Failure contract: the batch is validated up front and rejected wholesale
+// on conflict, and a validation failure leaves the state unchanged. A
+// post-validation failure — which ValidateBatch's admission mirror makes
+// unreachable short of a bug, and which includes a panic escaping a repair —
+// is converted to an error and fail-stops the State: the batch may be half
+// applied, so every subsequent mutating or exporting call returns
+// ErrPoisoned rather than serving a state no serial schedule produced.
+// ApplyBatchParallel inherits the same contract.
+func (s *State) ApplyBatch(b Batch) (err error) {
+	if s.poisoned != nil {
+		return s.poisonedErr()
+	}
 	if err := s.ValidateBatch(b); err != nil {
 		return err
 	}
+	defer s.convertPanic(&err)
 	for _, ins := range b.Insertions {
 		if err := s.InsertNode(ins.Node, ins.Neighbors); err != nil {
-			return fmt.Errorf("batch insertion %d: %w", ins.Node, err)
+			return s.poison(fmt.Errorf("batch insertion %d: %w", ins.Node, err))
 		}
 	}
 	for _, d := range b.Deletions {
 		if err := s.DeleteNode(d); err != nil {
-			return fmt.Errorf("batch deletion %d: %w", d, err)
+			return s.poison(fmt.Errorf("batch deletion %d: %w", d, err))
 		}
 	}
 	return nil
+}
+
+// poison fail-stops the State with cause and returns the error that every
+// later call will observe (wrapped in ErrPoisoned).
+func (s *State) poison(cause error) error {
+	if s.poisoned == nil {
+		s.poisoned = cause
+	}
+	return s.poisonedErr()
+}
+
+// poisonedErr returns the sticky fail-stop error.
+func (s *State) poisonedErr() error {
+	return fmt.Errorf("%w: %w", ErrPoisoned, s.poisoned)
+}
+
+// convertPanic turns a panic escaping a batch apply into a poisoning error:
+// the repair machinery has no recovery points mid-heal, so an escaped panic
+// means the state is mid-mutation and must not be used again.
+func (s *State) convertPanic(err *error) {
+	if r := recover(); r != nil {
+		*err = s.poison(fmt.Errorf("core: panic during batch apply: %v", r))
+	}
 }

@@ -215,7 +215,7 @@ func (s *State) makePrimaryCloud(nodes []graph.NodeID) *cloud {
 	}
 	s.reconcileCloud(c)
 	s.stats.PrimaryClouds++
-	s.rec.CloudWired(len(nodes))
+	s.traceCloudWired(len(nodes))
 	return c
 }
 
@@ -274,7 +274,7 @@ func (s *State) makeSecondary(groups []*cloud) {
 	}
 	s.reconcileCloud(f)
 	s.stats.SecondaryClouds++
-	s.rec.CloudWired(len(bridges))
+	s.traceCloudWired(len(bridges))
 }
 
 // addToSecondary inserts bridge z (anchoring primary cloud primaryID) into

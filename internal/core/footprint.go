@@ -1,0 +1,180 @@
+package core
+
+import (
+	"slices"
+
+	"github.com/xheal/xheal/internal/graph"
+)
+
+// Conflict detection for parallel batched repair.
+//
+// Theorem 5's locality argument is what makes this sound: a repair of
+// deletion v only ever touches v's wound (v and its neighbors), the clouds
+// those nodes participate in, and — through the combine fallback — the
+// secondary clouds reachable from those clouds' members. The footprint
+// computed here is the transitive closure of that reach, taken against the
+// pre-batch state:
+//
+//	S0      = {v} ∪ N(v)
+//	cloudsA = primaries(v) ∪ {secondary(v)} ∪ primariesAnchoredIn(secondary(v))
+//	N1      = S0 ∪ members(cloudsA)
+//	cloudsB = {secondary(n) : n ∈ N1}      (combine can re-point their bridges)
+//	N2      = members(cloudsB)
+//	footprint(v) = (N1 ∪ N2, cloudsA ∪ cloudsB)
+//
+// Every node, claim, and cloud the repair of v reads or writes lies inside
+// footprint(v), and the set is closed under the repairs of any other
+// deletions with overlapping footprints (they are forced into the same
+// group). Two deletions whose footprint node sets are disjoint therefore
+// commute: every edge either repair touches has both endpoints inside its
+// own footprint, and a cloud shared by two footprints would put its member
+// nodes in both. Grouping by node overlap alone is thus sufficient; the
+// cloud sets ride along to scope the state extraction.
+
+// repairGroup is one maximal set of batch deletions with transitively
+// overlapping footprints, plus the state scope their repairs may touch.
+type repairGroup struct {
+	deletions []graph.NodeID // in batch order
+	nodes     []graph.NodeID // sorted union of member footprints
+	nodeSet   map[graph.NodeID]struct{}
+	clouds    map[ColorID]struct{}
+	// edges is the subgraph induced on nodes at plan time — the complete
+	// edge universe the group's repairs can see or mutate.
+	edges []graph.Edge
+}
+
+// footprint computes deletion v's claimed footprint against the current
+// state (see the package comment above for the closure rule).
+func (s *State) footprint(v graph.NodeID) (map[graph.NodeID]struct{}, map[ColorID]struct{}) {
+	nodes := map[graph.NodeID]struct{}{v: {}}
+	for _, w := range s.g.Neighbors(v) {
+		nodes[w] = struct{}{}
+	}
+	clouds := make(map[ColorID]struct{})
+	for id := range s.nodePrimaries[v] {
+		clouds[id] = struct{}{}
+	}
+	if link, ok := s.bridgeLinks[v]; ok {
+		clouds[link.secondary] = struct{}{}
+		// The repair may dissolve or re-anchor every primary anchored in
+		// v's secondary (caseSecondaryBridge / fixSecondary).
+		if f, live := s.clouds[link.secondary]; live {
+			for _, n := range f.members() {
+				if ln, ok := s.bridgeLinks[n]; ok && ln.secondary == f.id {
+					clouds[ln.primary] = struct{}{}
+				}
+			}
+		}
+	}
+	// N1: close over the members of the directly affected clouds.
+	for id := range clouds {
+		if c, live := s.clouds[id]; live {
+			for _, n := range c.members() {
+				nodes[n] = struct{}{}
+			}
+		}
+	}
+	// cloudsB/N2: combine can re-point the bridge of any N1 node, touching
+	// the secondary it anchors and (on dissolution) that secondary's members.
+	second := make(map[ColorID]struct{})
+	for n := range nodes {
+		if ln, ok := s.bridgeLinks[n]; ok {
+			if _, have := clouds[ln.secondary]; !have {
+				second[ln.secondary] = struct{}{}
+			}
+		}
+	}
+	for id := range second {
+		clouds[id] = struct{}{}
+		if c, live := s.clouds[id]; live {
+			for _, n := range c.members() {
+				nodes[n] = struct{}{}
+			}
+		}
+	}
+	return nodes, clouds
+}
+
+// planRepairGroups partitions the batch's deletions into repair groups by
+// union-find over footprint-node overlap, then scopes each group: sorted
+// node union, cloud union, and the induced edge list. Runs entirely on the
+// coordinating goroutine (graph reads fill lazy caches, so they must not be
+// concurrent with anything).
+func (s *State) planRepairGroups(deletions []graph.NodeID) []*repairGroup {
+	k := len(deletions)
+	parent := make([]int, k)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		if parent[i] != i {
+			parent[i] = find(parent[i])
+		}
+		return parent[i]
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if ra > rb { // keep the earliest batch index as root
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+
+	fpNodes := make([]map[graph.NodeID]struct{}, k)
+	fpClouds := make([]map[ColorID]struct{}, k)
+	nodeOwner := make(map[graph.NodeID]int)
+	for i, v := range deletions {
+		fpNodes[i], fpClouds[i] = s.footprint(v)
+		for n := range fpNodes[i] {
+			if j, ok := nodeOwner[n]; ok {
+				union(i, j)
+			} else {
+				nodeOwner[n] = i
+			}
+		}
+	}
+
+	byRoot := make(map[int]*repairGroup)
+	var groups []*repairGroup
+	for i, v := range deletions {
+		r := find(i)
+		g, ok := byRoot[r]
+		if !ok {
+			g = &repairGroup{
+				nodeSet: make(map[graph.NodeID]struct{}),
+				clouds:  make(map[ColorID]struct{}),
+			}
+			byRoot[r] = g
+			groups = append(groups, g) // batch order of first members
+		}
+		g.deletions = append(g.deletions, v)
+		for n := range fpNodes[i] {
+			g.nodeSet[n] = struct{}{}
+		}
+		for id := range fpClouds[i] {
+			g.clouds[id] = struct{}{}
+		}
+	}
+
+	for _, g := range groups {
+		g.nodes = make([]graph.NodeID, 0, len(g.nodeSet))
+		for n := range g.nodeSet {
+			g.nodes = append(g.nodes, n)
+		}
+		slices.Sort(g.nodes)
+		for _, n := range g.nodes {
+			for _, w := range s.g.Neighbors(n) {
+				if w <= n {
+					continue
+				}
+				if _, in := g.nodeSet[w]; in {
+					g.edges = append(g.edges, graph.NewEdge(n, w))
+				}
+			}
+		}
+	}
+	return groups
+}

@@ -1,0 +1,459 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/obs"
+)
+
+// Parallel batched repair: disjoint wounds heal concurrently.
+//
+// ApplyBatchParallel partitions the batch's deletions into repair groups
+// with pairwise-disjoint footprints (see footprint.go), extracts each
+// group's scope into a private sub-State, heals the groups concurrently on a
+// bounded worker pool, and merges the results back in deterministic (batch)
+// order. The schedule is equivalent to the serial one:
+//
+//   - Randomness: every repair draws exactly one value from the main counted
+//     stream — the seed of its private sub-stream (see deleteNode). Seeds
+//     are pre-drawn in batch order, so the main stream position and every
+//     repair's randomness match the serial run exactly.
+//   - Colors: each scope allocates from the same base; the merge remaps
+//     scope colors to the IDs a serial run would have assigned (contiguous
+//     in batch order). The remap is monotone within each scope, so sorted
+//     color lists stay sorted.
+//   - State: a group's repairs read and write only its footprint, so groups
+//     compose by disjoint union; the merge is a per-group splice.
+//
+// The result is byte-identical to ApplyBatch — graph, claims, clouds,
+// Snapshot() — for any worker count.
+
+// recCall is one captured recorder callback (see repairCapture).
+type recCall struct {
+	kind  recCallKind
+	node  graph.NodeID
+	a, b  int
+	phase obs.Phase
+}
+
+type recCallKind uint8
+
+const (
+	callRepairBegin recCallKind = iota + 1
+	callPhase
+	callCloudWired
+	callRepairEnd
+)
+
+// repairCapture buffers recorder callbacks emitted inside a scoped repair.
+// The obs.Recorder is not safe for concurrent repairs (one span at a time),
+// so scoped states capture instead and the coordinator replays the calls in
+// batch order after the merge.
+type repairCapture struct {
+	calls []recCall
+}
+
+// The trace* wrappers route repair trace callbacks either to the live
+// recorder (serial path) or into the capture buffer (scoped parallel path).
+
+func (s *State) traceRepairBegin(v graph.NodeID, wound, black int) {
+	if s.capture != nil {
+		s.capture.calls = append(s.capture.calls, recCall{kind: callRepairBegin, node: v, a: wound, b: black})
+		return
+	}
+	s.rec.RepairBegin(v, wound, black)
+}
+
+func (s *State) tracePhase(p obs.Phase) {
+	if s.capture != nil {
+		s.capture.calls = append(s.capture.calls, recCall{kind: callPhase, phase: p})
+		return
+	}
+	s.rec.Phase(p)
+}
+
+func (s *State) traceCloudWired(size int) {
+	if s.capture != nil {
+		s.capture.calls = append(s.capture.calls, recCall{kind: callCloudWired, a: size})
+		return
+	}
+	s.rec.CloudWired(size)
+}
+
+func (s *State) traceRepairEnd() {
+	if s.capture != nil {
+		s.capture.calls = append(s.capture.calls, recCall{kind: callRepairEnd})
+		return
+	}
+	s.rec.RepairEnd()
+}
+
+// replayCall re-emits one captured callback against the live recorder.
+func (s *State) replayCall(c recCall) {
+	switch c.kind {
+	case callRepairBegin:
+		s.rec.RepairBegin(c.node, c.a, c.b)
+	case callPhase:
+		s.rec.Phase(c.phase)
+	case callCloudWired:
+		s.rec.CloudWired(c.a)
+	case callRepairEnd:
+		s.rec.RepairEnd()
+	}
+}
+
+// groupResult is one worker's output.
+type groupResult struct {
+	sub      *State      // the healed scope
+	colors   []int       // colors allocated per deletion, in group order
+	captures [][]recCall // captured trace calls per deletion, in group order
+	err      error
+}
+
+// LastRepairGroups returns the deletion groups of the most recent
+// ApplyBatchParallel call, in merge order (each group's deletions in batch
+// order), or nil when the last batch took the plain serial path (worker
+// count ≤ 1 or fewer than two deletions). Observability hook for the
+// conformance harness's per-group ledger checks.
+func (s *State) LastRepairGroups() [][]graph.NodeID {
+	if s.lastGroups == nil {
+		return nil
+	}
+	out := make([][]graph.NodeID, len(s.lastGroups))
+	for i, g := range s.lastGroups {
+		out[i] = append([]graph.NodeID(nil), g...)
+	}
+	return out
+}
+
+// ApplyBatchParallel is ApplyBatch with the batch's deletions healed
+// concurrently where their footprints are disjoint. workers bounds the
+// worker pool; values ≤ 1 (and batches with fewer than two deletions) take
+// the serial path. Conflicting deletions share a group and heal serially
+// within it, so the schedule is always equivalent to the serial order — the
+// final state is byte-identical to ApplyBatch's for any worker count.
+//
+// The failure contract is ApplyBatch's: validation failures leave the state
+// unchanged; a post-validation failure (including a panicking repair worker)
+// poisons the State.
+func (s *State) ApplyBatchParallel(b Batch, workers int) (err error) {
+	if s.poisoned != nil {
+		return s.poisonedErr()
+	}
+	s.lastGroups = nil
+	if workers <= 1 || len(b.Deletions) < 2 {
+		return s.ApplyBatch(b)
+	}
+	if err := s.ValidateBatch(b); err != nil {
+		return err
+	}
+	defer s.convertPanic(&err)
+	for _, ins := range b.Insertions {
+		if err := s.InsertNode(ins.Node, ins.Neighbors); err != nil {
+			return s.poison(fmt.Errorf("batch insertion %d: %w", ins.Node, err))
+		}
+	}
+
+	groups := s.planRepairGroups(b.Deletions)
+	s.lastGroups = make([][]graph.NodeID, len(groups))
+	for i, g := range groups {
+		s.lastGroups[i] = append([]graph.NodeID(nil), g.deletions...)
+	}
+	if len(groups) == 1 {
+		// Everything conflicts: nothing to fan out, heal in place.
+		for _, d := range b.Deletions {
+			if err := s.deleteNode(d, true); err != nil {
+				return s.poison(fmt.Errorf("batch deletion %d: %w", d, err))
+			}
+		}
+		return nil
+	}
+
+	// Pre-draw each repair's sub-stream seed in batch order, so the main
+	// stream advances exactly as a serial run's would.
+	seedOf := make(map[graph.NodeID]int64, len(b.Deletions))
+	for _, d := range b.Deletions {
+		seedOf[d] = int64(s.src.Uint64())
+	}
+
+	base := s.nextColor
+	results := make([]*groupResult, len(groups))
+	sem := make(chan struct{}, min(workers, len(groups)))
+	var wg sync.WaitGroup
+	for gi, g := range groups {
+		seeds := make([]int64, len(g.deletions))
+		for i, d := range g.deletions {
+			seeds[i] = seedOf[d]
+		}
+		wg.Add(1)
+		go func(gi int, g *repairGroup, seeds []int64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[gi] = s.runGroup(g, seeds, base)
+		}(gi, g, seeds)
+	}
+	wg.Wait()
+
+	for gi := range groups {
+		if e := results[gi].err; e != nil {
+			// Insertions are already applied and no serial prefix exists to
+			// roll back to; fail-stop rather than expose a half-applied tick.
+			return s.poison(fmt.Errorf("parallel repair group %d: %w", gi, e))
+		}
+	}
+	s.mergeGroups(b, groups, results, base)
+	return nil
+}
+
+// runGroup heals one repair group inside a private scoped sub-State.
+// Panics are contained here so one bad group cannot take down the
+// coordinator before the join.
+func (s *State) runGroup(g *repairGroup, seeds []int64, base ColorID) (res *groupResult) {
+	res = &groupResult{}
+	defer func() {
+		if r := recover(); r != nil {
+			res.err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	sub := s.extractScope(g, base)
+	res.sub = sub
+	sub.seedQueue = seeds
+	for _, v := range g.deletions {
+		before := sub.nextColor
+		var cur int
+		if sub.capture != nil {
+			cur = len(sub.capture.calls)
+		}
+		if err := sub.deleteNode(v, true); err != nil {
+			res.err = fmt.Errorf("deletion %d: %w", v, err)
+			return res
+		}
+		res.colors = append(res.colors, int(sub.nextColor-before))
+		if sub.capture != nil {
+			calls := sub.capture.calls
+			res.captures = append(res.captures, calls[cur:len(calls):len(calls)])
+		}
+	}
+	return res
+}
+
+// extractScope builds a private sub-State holding exactly the group's
+// footprint: the induced subgraph, its claims, deep copies of the footprint
+// clouds, and the footprint nodes' membership records. Scope color
+// allocation starts at base (the main state's nextColor at fan-out); the
+// merge remaps. Only concurrency-safe reads of the parent state happen here
+// — map lookups and deep copies of clouds no other group shares (a shared
+// cloud's members would have forced the groups to merge).
+func (s *State) extractScope(g *repairGroup, base ColorID) *State {
+	sw := &switchableSource{} // installed per repair; no main stream in scope
+	sub := &State{
+		kappa:          s.kappa,
+		seed:           s.seed,
+		sw:             sw,
+		rng:            rand.New(sw),
+		alwaysCombine:  s.alwaysCombine,
+		disableSharing: s.disableSharing,
+		g:              graph.New(),
+		gp:             graph.New(), // deletions never read G′
+		deleted:        make(map[graph.NodeID]struct{}, len(g.deletions)),
+		claims:         make(map[graph.Edge]edgeClaim, len(g.edges)),
+		clouds:         make(map[ColorID]*cloud, len(g.clouds)),
+		nodePrimaries:  make(map[graph.NodeID]map[ColorID]struct{}),
+		bridgeLinks:    make(map[graph.NodeID]bridgeLink),
+		sharedOnce:     make(map[graph.NodeID]struct{}),
+		nextColor:      base,
+	}
+	if s.rec != nil {
+		sub.capture = &repairCapture{}
+	}
+	for _, n := range g.nodes {
+		sub.g.EnsureNode(n)
+	}
+	for _, e := range g.edges {
+		sub.g.EnsureEdge(e.U, e.V)
+		cl := s.claims[e]
+		sub.claims[e] = edgeClaim{black: cl.black, colors: append([]ColorID(nil), cl.colors...)}
+	}
+	for id := range g.clouds {
+		c, live := s.clouds[id]
+		if !live {
+			continue
+		}
+		sub.clouds[id] = &cloud{
+			id:    id,
+			kind:  c.kind,
+			m:     c.m.Clone(sub.rng),
+			edges: copyEdgeSet(c.edges),
+		}
+	}
+	for _, n := range g.nodes {
+		if set, ok := s.nodePrimaries[n]; ok {
+			ns := make(map[ColorID]struct{}, len(set))
+			for id := range set {
+				ns[id] = struct{}{}
+			}
+			sub.nodePrimaries[n] = ns
+		}
+		if l, ok := s.bridgeLinks[n]; ok {
+			sub.bridgeLinks[n] = l
+		}
+		if _, ok := s.sharedOnce[n]; ok {
+			sub.sharedOnce[n] = struct{}{}
+		}
+	}
+	return sub
+}
+
+func copyEdgeSet(set map[graph.Edge]struct{}) map[graph.Edge]struct{} {
+	out := make(map[graph.Edge]struct{}, len(set))
+	for e := range set {
+		out[e] = struct{}{}
+	}
+	return out
+}
+
+// mergeGroups splices the healed scopes back into the main state, in
+// deterministic order, remapping scope colors to the IDs a serial run would
+// have assigned: color blocks are laid out per deletion in batch order
+// starting at base. The remap is monotone within each scope (both sides
+// follow the group-restricted batch order), so sorted color lists remain
+// sorted and the merged state is byte-identical to the serial result.
+func (s *State) mergeGroups(b Batch, groups []*repairGroup, results []*groupResult, base ColorID) {
+	// Where is each deletion within its group?
+	type slot struct{ group, idx int }
+	slots := make(map[graph.NodeID]slot, len(b.Deletions))
+	for gi, g := range groups {
+		for k, v := range g.deletions {
+			slots[v] = slot{group: gi, idx: k}
+		}
+	}
+
+	// Final color layout: per deletion in batch order, contiguous from base.
+	finalStart := make(map[graph.NodeID]ColorID, len(b.Deletions))
+	next := base
+	for _, v := range b.Deletions {
+		sl := slots[v]
+		finalStart[v] = next
+		next += ColorID(results[sl.group].colors[sl.idx])
+	}
+
+	// Per-group remap tables: scope color (offset from base) → final color.
+	remaps := make([][]ColorID, len(groups))
+	for gi, g := range groups {
+		total := 0
+		for _, c := range results[gi].colors {
+			total += c
+		}
+		rm := make([]ColorID, total)
+		cursor := 0
+		for k, v := range g.deletions {
+			for t := 0; t < results[gi].colors[k]; t++ {
+				rm[cursor] = finalStart[v] + ColorID(t)
+				cursor++
+			}
+		}
+		remaps[gi] = rm
+	}
+
+	for gi, g := range groups {
+		sub := results[gi].sub
+		rm := remaps[gi]
+		remap := func(c ColorID) ColorID {
+			if c >= base {
+				return rm[c-base]
+			}
+			return c
+		}
+
+		// Victims leave the main graph exactly as deleteNode would have
+		// removed them; their incident claims die in the edge sync below.
+		for _, v := range g.deletions {
+			if _, err := s.g.RemoveNode(v); err != nil {
+				panic(fmt.Sprintf("core: merge: victim %d not in graph: %v", v, err))
+			}
+			s.deleted[v] = struct{}{}
+			delete(s.nodePrimaries, v)
+			delete(s.bridgeLinks, v)
+			delete(s.sharedOnce, v)
+		}
+
+		// Edge sync, claims as source of truth: scope edges that vanished
+		// are released; surviving and new ones adopt the scope's claims.
+		for _, e := range g.edges {
+			if _, kept := sub.claims[e]; kept {
+				continue
+			}
+			delete(s.claims, e)
+			if s.g.HasEdge(e.U, e.V) {
+				if err := s.g.RemoveEdge(e.U, e.V); err != nil {
+					panic(fmt.Sprintf("core: merge: remove edge %v: %v", e, err))
+				}
+			}
+		}
+		for e, cl := range sub.claims {
+			for i, id := range cl.colors {
+				cl.colors[i] = remap(id)
+			}
+			s.claims[e] = cl
+			s.g.EnsureEdge(e.U, e.V)
+		}
+
+		// Clouds: footprint clouds are replaced wholesale by the scope's
+		// survivors, rebound to the main rng stream.
+		for id := range g.clouds {
+			delete(s.clouds, id)
+		}
+		for id, c := range sub.clouds {
+			nid := remap(id)
+			c.id = nid
+			c.m.SetRand(s.rng)
+			s.clouds[nid] = c
+		}
+
+		// Membership records of surviving footprint nodes.
+		for _, n := range g.nodes {
+			if _, dead := sub.deleted[n]; dead {
+				continue
+			}
+			if set, ok := sub.nodePrimaries[n]; ok && len(set) > 0 {
+				ns := make(map[ColorID]struct{}, len(set))
+				for id := range set {
+					ns[remap(id)] = struct{}{}
+				}
+				s.nodePrimaries[n] = ns
+			} else {
+				delete(s.nodePrimaries, n)
+			}
+			if l, ok := sub.bridgeLinks[n]; ok {
+				s.bridgeLinks[n] = bridgeLink{primary: remap(l.primary), secondary: remap(l.secondary)}
+			} else {
+				delete(s.bridgeLinks, n)
+			}
+			if _, ok := sub.sharedOnce[n]; ok {
+				s.sharedOnce[n] = struct{}{}
+			} else {
+				delete(s.sharedOnce, n)
+			}
+		}
+
+		s.stats.add(sub.stats)
+	}
+	s.nextColor = next
+
+	// Replay the captured repair traces in batch order, the order the
+	// recorder would have seen serially.
+	if s.rec != nil {
+		for _, v := range b.Deletions {
+			sl := slots[v]
+			if sl.idx < len(results[sl.group].captures) {
+				for _, call := range results[sl.group].captures[sl.idx] {
+					s.replayCall(call)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/xheal/xheal/internal/graph"
+)
+
+// chordedCycle returns a cycle over n nodes with extra random chords — a
+// connected, roughly regular playground whose deletions are mostly
+// disjoint-footprint when spaced out.
+func chordedCycle(n, chords int, seed int64) *graph.Graph {
+	g := cycle(n)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < chords; i++ {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		if u != v {
+			g.EnsureEdge(u, v)
+		}
+	}
+	return g
+}
+
+// randomBatch assembles a ValidateBatch-clean batch against s: fresh-ID
+// insertions attached to alive nodes and deletions of distinct alive nodes
+// not referenced by the insertions.
+func randomBatch(s *State, rng *rand.Rand, next *graph.NodeID, inserts, deletes int) Batch {
+	var b Batch
+	alive := append([]graph.NodeID(nil), s.AliveNodes()...)
+	rng.Shuffle(len(alive), func(i, j int) { alive[i], alive[j] = alive[j], alive[i] })
+	if deletes > len(alive)-4 {
+		deletes = len(alive) - 4
+	}
+	victims := make(map[graph.NodeID]struct{}, deletes)
+	for _, v := range alive[:max(deletes, 0)] {
+		b.Deletions = append(b.Deletions, v)
+		victims[v] = struct{}{}
+	}
+	for i := 0; i < inserts; i++ {
+		var nbrs []graph.NodeID
+		want := 1 + rng.Intn(3)
+		for _, w := range alive[max(deletes, 0):] {
+			if _, gone := victims[w]; gone {
+				continue
+			}
+			nbrs = append(nbrs, w)
+			if len(nbrs) == want {
+				break
+			}
+		}
+		if len(nbrs) == 0 {
+			break
+		}
+		b.Insertions = append(b.Insertions, BatchInsertion{Node: *next, Neighbors: nbrs})
+		*next++
+	}
+	return b
+}
+
+// TestParallelMatchesSerial is the byte-identity property: for random batch
+// schedules, ApplyBatchParallel at worker counts 2/4/8 leaves a state whose
+// graph, claim table, and SnapshotState JSON are identical to serial
+// ApplyBatch's after every tick. Runs under -race in CI, so it also shakes
+// out data races between repair workers.
+func TestParallelMatchesSerial(t *testing.T) {
+	cases := []struct {
+		name     string
+		initial  func() *graph.Graph
+		deletes  int
+		schedule int64
+	}{
+		{"disjoint-heavy", func() *graph.Graph { return chordedCycle(64, 20, 3) }, 6, 101},
+		{"star-conflicts", func() *graph.Graph { return star(24) }, 4, 102},
+		{"dense", func() *graph.Graph { return complete(16) }, 3, 103},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			workers := []int{2, 4, 8}
+			serial := mustState(t, Config{Kappa: 4, Seed: 9}, tc.initial())
+			par := make([]*State, len(workers))
+			for i := range workers {
+				par[i] = mustState(t, Config{Kappa: 4, Seed: 9}, tc.initial())
+			}
+			rng := rand.New(rand.NewSource(tc.schedule))
+			next := graph.NodeID(50000)
+			for tick := 0; tick < 12; tick++ {
+				b := randomBatch(serial, rng, &next, 1+rng.Intn(3), 1+rng.Intn(tc.deletes))
+				if err := serial.ApplyBatch(b); err != nil {
+					t.Fatalf("tick %d serial: %v", tick, err)
+				}
+				wantSnap, err := serial.SnapshotState()
+				if err != nil {
+					t.Fatalf("tick %d serial snapshot: %v", tick, err)
+				}
+				for i, w := range workers {
+					if err := par[i].ApplyBatchParallel(b, w); err != nil {
+						t.Fatalf("tick %d workers=%d: %v", tick, w, err)
+					}
+					if err := par[i].CheckInvariants(); err != nil {
+						t.Fatalf("tick %d workers=%d invariants: %v", tick, w, err)
+					}
+					if !par[i].Graph().Equal(serial.Graph()) {
+						t.Fatalf("tick %d workers=%d: graph differs from serial", tick, w)
+					}
+					gotSnap, err := par[i].SnapshotState()
+					if err != nil {
+						t.Fatalf("tick %d workers=%d snapshot: %v", tick, w, err)
+					}
+					if !bytes.Equal(gotSnap, wantSnap) {
+						t.Fatalf("tick %d workers=%d: SnapshotState differs from serial\nserial: %s\nparallel: %s",
+							tick, w, wantSnap, gotSnap)
+					}
+					// The reported repair groups must partition the batch's
+					// deletions, preserving batch order within each group.
+					if groups := par[i].LastRepairGroups(); groups != nil {
+						seen := make(map[graph.NodeID]int)
+						for _, g := range groups {
+							for _, v := range g {
+								seen[v]++
+							}
+						}
+						if len(seen) != len(b.Deletions) {
+							t.Fatalf("tick %d workers=%d: groups cover %d deletions, want %d",
+								tick, w, len(seen), len(b.Deletions))
+						}
+						for _, v := range b.Deletions {
+							if seen[v] != 1 {
+								t.Fatalf("tick %d workers=%d: deletion %d appears %d times in groups",
+									tick, w, v, seen[v])
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelDeletionOnlySweep hammers wide deletion-only batches on a
+// large sparse graph — the disjoint-footprint fast path where fan-out
+// actually spreads across groups.
+func TestParallelDeletionOnlySweep(t *testing.T) {
+	serial := mustState(t, Config{Kappa: 4, Seed: 5}, chordedCycle(200, 40, 11))
+	parallel := mustState(t, Config{Kappa: 4, Seed: 5}, chordedCycle(200, 40, 11))
+	rng := rand.New(rand.NewSource(77))
+	for tick := 0; tick < 8; tick++ {
+		alive := append([]graph.NodeID(nil), serial.AliveNodes()...)
+		rng.Shuffle(len(alive), func(i, j int) { alive[i], alive[j] = alive[j], alive[i] })
+		b := Batch{Deletions: alive[:12]}
+		if err := serial.ApplyBatch(b); err != nil {
+			t.Fatalf("tick %d serial: %v", tick, err)
+		}
+		if err := parallel.ApplyBatchParallel(b, 4); err != nil {
+			t.Fatalf("tick %d parallel: %v", tick, err)
+		}
+		want, err := serial.SnapshotState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := parallel.SnapshotState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("tick %d: parallel snapshot diverged from serial", tick)
+		}
+		if err := parallel.CheckInvariants(); err != nil {
+			t.Fatalf("tick %d invariants: %v", tick, err)
+		}
+	}
+}
+
+// TestParallelFallbackSerial pins the serial fallbacks: workers ≤ 1 and
+// single-deletion batches bypass the planner (LastRepairGroups nil), and a
+// fully conflicting batch collapses to one group healed in place.
+func TestParallelFallbackSerial(t *testing.T) {
+	s := mustState(t, Config{Kappa: 4, Seed: 3}, star(12))
+	if err := s.ApplyBatchParallel(Batch{Deletions: []graph.NodeID{1, 2}}, 1); err != nil {
+		t.Fatalf("workers=1: %v", err)
+	}
+	if g := s.LastRepairGroups(); len(g) != 0 {
+		t.Fatalf("workers=1 recorded groups %v, want none", g)
+	}
+	if err := s.ApplyBatchParallel(Batch{Deletions: []graph.NodeID{3}}, 4); err != nil {
+		t.Fatalf("single deletion: %v", err)
+	}
+	if g := s.LastRepairGroups(); len(g) != 0 {
+		t.Fatalf("single deletion recorded groups %v, want none", g)
+	}
+	// Star spokes share the hub's footprint: one conflicting group.
+	if err := s.ApplyBatchParallel(Batch{Deletions: []graph.NodeID{4, 5, 6}}, 4); err != nil {
+		t.Fatalf("conflicting batch: %v", err)
+	}
+	groups := s.LastRepairGroups()
+	if len(groups) != 1 || len(groups[0]) != 3 {
+		t.Fatalf("conflicting batch groups = %v, want one group of 3", groups)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}
+
+// TestBatchPoisoning pins the fail-stop contract: a post-validation failure
+// (here a panic induced by corrupting a cloud's maintainer) converts to an
+// error and poisons the State — every subsequent call reports ErrPoisoned.
+func TestBatchPoisoning(t *testing.T) {
+	s := mustState(t, Config{Kappa: 4, Seed: 1}, star(10))
+	if err := s.DeleteNode(0); err != nil { // hub repair builds a cloud
+		t.Fatalf("seed deletion: %v", err)
+	}
+	if len(s.clouds) == 0 {
+		t.Fatal("expected a cloud after healing the hub")
+	}
+	for _, c := range s.clouds {
+		c.m = nil // sabotage: the next repair touching this cloud panics
+	}
+	victim := s.AliveNodes()[0]
+	err := s.ApplyBatch(Batch{Deletions: []graph.NodeID{victim}})
+	if !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("ApplyBatch after sabotage = %v, want ErrPoisoned", err)
+	}
+	// Fail-stop: everything refuses, including snapshots and validation.
+	if err := s.InsertNode(999, []graph.NodeID{s.AliveNodes()[0]}); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("InsertNode on poisoned state = %v, want ErrPoisoned", err)
+	}
+	if err := s.DeleteNode(s.AliveNodes()[0]); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("DeleteNode on poisoned state = %v, want ErrPoisoned", err)
+	}
+	if err := s.ValidateBatch(Batch{}); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("ValidateBatch on poisoned state = %v, want ErrPoisoned", err)
+	}
+	if _, err := s.SnapshotState(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("SnapshotState on poisoned state = %v, want ErrPoisoned", err)
+	}
+	if err := s.ApplyBatchParallel(Batch{}, 4); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("ApplyBatchParallel on poisoned state = %v, want ErrPoisoned", err)
+	}
+}
+
+// TestParallelWorkerPanicPoisons pins panic containment on the fan-out
+// path: a panicking repair worker must not crash the process; the batch
+// fails with ErrPoisoned and the state fail-stops.
+func TestParallelWorkerPanicPoisons(t *testing.T) {
+	s := mustState(t, Config{Kappa: 4, Seed: 2}, chordedCycle(64, 10, 9))
+	// Create clouds, then sabotage them all so any group touching one panics
+	// inside its worker.
+	if err := s.ApplyBatch(Batch{Deletions: []graph.NodeID{0, 20, 40}}); err != nil {
+		t.Fatalf("seed batch: %v", err)
+	}
+	if len(s.clouds) == 0 {
+		t.Fatal("expected clouds after seeding")
+	}
+	for _, c := range s.clouds {
+		c.m = nil
+	}
+	var victims []graph.NodeID
+	for id := range s.nodePrimaries {
+		victims = append(victims, id)
+		if len(victims) == 2 {
+			break
+		}
+	}
+	if len(victims) < 2 {
+		t.Skip("no cloud members to target")
+	}
+	err := s.ApplyBatchParallel(Batch{Deletions: victims}, 4)
+	if !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("ApplyBatchParallel with sabotaged clouds = %v, want ErrPoisoned", err)
+	}
+	if err := s.DeleteNode(victims[0]); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("state not fail-stopped after worker panic: %v", err)
+	}
+}

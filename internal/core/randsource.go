@@ -49,6 +49,24 @@ func (c *CountedSource) Seed(seed int64) {
 // Draws returns the number of values produced since seeding.
 func (c *CountedSource) Draws() uint64 { return c.draws }
 
+// switchableSource is the one level of indirection between a State's
+// *rand.Rand and the stream actually feeding it. Cloud maintainers capture
+// the *rand.Rand pointer for their lifetime, so redirecting randomness for
+// the duration of one repair (see deleteNode's per-repair sub-stream) must
+// happen behind the Rand, not by handing out a different Rand.
+//
+// Not safe for concurrent use; each State (including the scoped states built
+// by ApplyBatchParallel) owns exactly one.
+type switchableSource struct {
+	cur rand.Source64
+}
+
+var _ rand.Source64 = (*switchableSource)(nil)
+
+func (w *switchableSource) Int63() int64  { return w.cur.Int63() }
+func (w *switchableSource) Uint64() uint64 { return w.cur.Uint64() }
+func (w *switchableSource) Seed(seed int64) { w.cur.Seed(seed) }
+
 // Skip fast-forwards the stream by n values (used by snapshot restore to
 // reach the recorded position).
 func (c *CountedSource) Skip(n uint64) {

@@ -182,11 +182,13 @@ func RestoreState(snap *Snapshot) (*State, error) {
 	}
 	src := NewCountedSource(snap.Seed)
 	src.Skip(snap.RngDraws)
+	sw := &switchableSource{cur: src}
 	s := &State{
 		kappa:          snap.Kappa,
 		seed:           snap.Seed,
 		src:            src,
-		rng:            rand.New(src),
+		sw:             sw,
+		rng:            rand.New(sw),
 		alwaysCombine:  snap.AlwaysCombine,
 		disableSharing: snap.DisableSharing,
 		g:              snap.Graph.Restore(),
@@ -242,6 +244,9 @@ func RestoreState(snap *Snapshot) (*State, error) {
 // the engine-agnostic form a checkpoint store persists (see internal/server's
 // Snapshotter).
 func (s *State) SnapshotState() ([]byte, error) {
+	if s.poisoned != nil {
+		return nil, s.poisonedErr()
+	}
 	return json.Marshal(s.Snapshot())
 }
 

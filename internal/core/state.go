@@ -40,8 +40,9 @@ type Config struct {
 type State struct {
 	kappa          int
 	seed           int64
-	src            *CountedSource // the stream behind rng, counted for snapshots
-	rng            *rand.Rand
+	src            *CountedSource // the counted main stream (snapshot position)
+	sw             *switchableSource
+	rng            *rand.Rand // reads through sw; normally sw.cur == src
 	alwaysCombine  bool
 	disableSharing bool
 
@@ -77,6 +78,26 @@ type State struct {
 	// admission, rewiring, cloud construction). All obs.Recorder methods
 	// no-op on nil, so the disabled hot path pays one nil check.
 	rec *obs.Recorder
+
+	// capture, when non-nil, diverts recorder callbacks into an in-memory
+	// list instead of rec. ApplyBatchParallel sets it on the scoped states so
+	// concurrent repairs never touch the shared recorder; the coordinator
+	// replays the captured calls in batch order after the merge.
+	capture *repairCapture
+
+	// seedQueue, when non-nil, feeds deleteNode its per-repair sub-stream
+	// seeds instead of the main stream. ApplyBatchParallel pre-draws one seed
+	// per deletion in batch order and routes each group's share here, so the
+	// main stream advances identically to a serial run.
+	seedQueue []int64
+
+	// poisoned, once set, fail-stops the State: every mutating or exporting
+	// call returns ErrPoisoned wrapping this cause. See ApplyBatch's contract.
+	poisoned error
+
+	// lastGroups records the repair groups of the most recent
+	// ApplyBatchParallel call, in merge order; see LastRepairGroups.
+	lastGroups [][]graph.NodeID
 }
 
 // NewState builds a State over a copy of the initial graph g0, whose edges
@@ -94,11 +115,13 @@ func NewState(cfg Config, g0 *graph.Graph) (*State, error) {
 		return nil, fmt.Errorf("kappa=%d: %w", kappa, ErrBadKappa)
 	}
 	src := NewCountedSource(cfg.Seed)
+	sw := &switchableSource{cur: src}
 	s := &State{
 		kappa:          kappa,
 		seed:           cfg.Seed,
 		src:            src,
-		rng:            rand.New(src),
+		sw:             sw,
+		rng:            rand.New(sw),
 		alwaysCombine:  cfg.AlwaysCombine,
 		disableSharing: cfg.DisableSharing,
 		g:              g0.Clone(),
@@ -216,6 +239,9 @@ func (s *State) Clouds() []ColorID {
 //
 // Node IDs of deleted nodes cannot be reused: G′ still contains them.
 func (s *State) InsertNode(u graph.NodeID, nbrs []graph.NodeID) error {
+	if s.poisoned != nil {
+		return s.poisonedErr()
+	}
 	if s.g.HasNode(u) {
 		return fmt.Errorf("insert %d: %w", u, ErrNodeExists)
 	}
@@ -267,14 +293,29 @@ func (s *State) DeleteNode(v graph.NodeID) error {
 // with the message protocol (election and dissemination) and it settles the
 // span itself.
 func (s *State) deleteNode(v graph.NodeID, settle bool) error {
+	if s.poisoned != nil {
+		return s.poisonedErr()
+	}
 	if !s.g.HasNode(v) {
 		return fmt.Errorf("delete %d: %w", v, ErrNodeMissing)
 	}
+
+	// Every repair consumes exactly one value from the main counted stream:
+	// the seed of an ephemeral, uncounted sub-stream that supplies all of the
+	// repair's randomness (H-graph wiring, shuffles). This is the draw-merge
+	// rule that keeps Snapshot byte-deterministic under parallel batching:
+	// src.Draws() advances by one per deletion regardless of how repairs are
+	// grouped or interleaved, and a repair's outcome depends only on its own
+	// seed — never on how many values earlier repairs happened to draw.
+	prev := s.sw.cur
+	s.sw.cur = rand.NewSource(s.nextRepairSeed()).(rand.Source64)
+	defer func() { s.sw.cur = prev }()
+
 	// Gather v's situation before mutating anything.
 	blackNbrs := s.blackNeighborsOf(v)
 	primaries := s.PrimariesOf(v)
 	link, hasLink := s.bridgeLinks[v]
-	s.rec.RepairBegin(v, len(s.g.Neighbors(v)), len(blackNbrs))
+	s.traceRepairBegin(v, len(s.g.Neighbors(v)), len(blackNbrs))
 
 	// Physically remove v; its incident edges and their claims die with it.
 	nbrs, err := s.g.RemoveNode(v)
@@ -299,11 +340,26 @@ func (s *State) deleteNode(v graph.NodeID, settle bool) error {
 		s.caseSecondaryBridge(v, link, primaries, blackNbrs)
 	}
 	s.stats.Deletions++
-	s.rec.Phase(obs.PhaseRewired)
+	s.tracePhase(obs.PhaseRewired)
 	if settle {
-		s.rec.RepairEnd()
+		s.traceRepairEnd()
 	}
 	return nil
+}
+
+// nextRepairSeed returns the sub-stream seed for the next repair: popped
+// from the pre-drawn queue when one is installed (scoped parallel runs),
+// otherwise one counted draw from the main stream.
+func (s *State) nextRepairSeed() int64 {
+	if s.seedQueue != nil {
+		if len(s.seedQueue) == 0 {
+			panic("core: repair seed queue exhausted")
+		}
+		seed := s.seedQueue[0]
+		s.seedQueue = s.seedQueue[1:]
+		return seed
+	}
+	return int64(s.src.Uint64())
 }
 
 // EdgeDelta is the net physical edge change one healing repair made,

@@ -51,6 +51,10 @@ var (
 	ErrSelfInsert   = errors.New("core: node cannot neighbor itself")
 	ErrNilGraph     = errors.New("core: initial graph is nil")
 	ErrReusedNodeID = errors.New("core: node IDs cannot be reused after deletion")
+	// ErrPoisoned marks a State fail-stopped by a post-validation batch
+	// failure: the state may be half applied, so it refuses further use.
+	// See ApplyBatch's failure contract.
+	ErrPoisoned = errors.New("core: state poisoned by failed batch apply")
 )
 
 // cloud is one expander cloud: a color, a kind, and the maintained wiring.
@@ -134,4 +138,17 @@ type Stats struct {
 	// amortizes; Shares counts free-node sharing events.
 	Combines int
 	Shares   int
+}
+
+// add accumulates o's counters; used when merging the per-scope stats of
+// parallel repair groups back into the main state.
+func (st *Stats) add(o Stats) {
+	st.Insertions += o.Insertions
+	st.Deletions += o.Deletions
+	st.HealEdgesAdded += o.HealEdgesAdded
+	st.HealEdgesRemoved += o.HealEdgesRemoved
+	st.PrimaryClouds += o.PrimaryClouds
+	st.SecondaryClouds += o.SecondaryClouds
+	st.Combines += o.Combines
+	st.Shares += o.Shares
 }

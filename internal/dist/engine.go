@@ -31,6 +31,9 @@ type DeletionCost struct {
 	// edges incident to the node at deletion time — the deg_G′ term of
 	// Lemma 5's Θ(deg) lower bound.
 	BlackDegree int
+	// Wound is the node's full degree at deletion time (the number of
+	// wound members), the parameter of Theorem 5's per-repair bounds.
+	Wound int
 	// Rounds is the number of synchronous rounds the repair took.
 	Rounds int
 	// Messages is the number of protocol messages delivered for the repair.
@@ -229,7 +232,7 @@ func (e *Engine) Delete(v graph.NodeID) error {
 	}
 
 	e.costs = append(e.costs, DeletionCost{
-		Node: v, BlackDegree: blackDeg, Rounds: rounds, Messages: msgs,
+		Node: v, BlackDegree: blackDeg, Wound: len(wound), Rounds: rounds, Messages: msgs,
 	})
 	e.rec.Cost(rounds, msgs)
 	e.rec.RepairEnd()

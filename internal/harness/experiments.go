@@ -281,6 +281,10 @@ func E5ExpanderPreservation() (*Table, error) {
 		},
 	}
 	sizes := []int{64, 128, 256}
+	// Each row averages over a few independent churn/healer seeds: the
+	// single-trial spectral gap is noisy enough that one unlucky draw can
+	// invert a comparison the distributions clearly order.
+	const trials = 3
 	err := t.fillRows(len(sizes), func(i int) ([]string, error) {
 		n := sizes[i]
 		rng := rand.New(rand.NewSource(int64(1250 + i)))
@@ -289,33 +293,39 @@ func E5ExpanderPreservation() (*Table, error) {
 			return nil, err
 		}
 		lam0 := spectral.NormalizedAlgebraicConnectivity(g0, rng)
-		xh, err := baseline.NewXheal(g0, 6, int64(1300+i))
-		if err != nil {
-			return nil, err
+		var xhMean, treeMean float64
+		var steps int
+		for trial := 0; trial < trials; trial++ {
+			healerSeed := int64(1300 + i + 100*trial)
+			xh, err := baseline.NewXheal(g0, 6, healerSeed)
+			if err != nil {
+				return nil, err
+			}
+			tree, err := baseline.New(baseline.NameForgivingTree, g0, 6, healerSeed)
+			if err != nil {
+				return nil, err
+			}
+			res, err := Run(Scenario{
+				Name:      fmt.Sprintf("E5-%d-%d", n, trial),
+				Initial:   g0,
+				Adversary: adversary.NewRandomChurn(n/2, 1.0, 1, int64(1400+i+100*trial)),
+				Healers:   []baseline.Healer{xh, tree},
+				Metrics:   metrics.Config{StretchSources: 2},
+			})
+			if err != nil {
+				return nil, err
+			}
+			steps = res.Steps
+			xhMean += res.SeriesFor(baseline.NameXheal).Final().Lambda2Norm / trials
+			treeMean += res.SeriesFor(baseline.NameForgivingTree).Final().Lambda2Norm / trials
 		}
-		tree, err := baseline.New(baseline.NameForgivingTree, g0, 6, int64(1300+i))
-		if err != nil {
-			return nil, err
-		}
-		res, err := Run(Scenario{
-			Name:      fmt.Sprintf("E5-%d", n),
-			Initial:   g0,
-			Adversary: adversary.NewRandomChurn(n/2, 1.0, 1, int64(1400+i)),
-			Healers:   []baseline.Healer{xh, tree},
-			Metrics:   metrics.Config{StretchSources: 2},
-		})
-		if err != nil {
-			return nil, err
-		}
-		xhFinal := res.SeriesFor(baseline.NameXheal).Final()
-		treeFinal := res.SeriesFor(baseline.NameForgivingTree).Final()
 		ratio := math.Inf(1)
-		if treeFinal.Lambda2Norm > 0 {
-			ratio = xhFinal.Lambda2Norm / treeFinal.Lambda2Norm
+		if treeMean > 0 {
+			ratio = xhMean / treeMean
 		}
-		ok := xhFinal.Lambda2Norm >= 0.05 && ratio > 1
-		return []string{I(n), F(lam0), I(res.Steps), F(xhFinal.Lambda2Norm),
-			F(treeFinal.Lambda2Norm), F1(ratio), B(ok)}, nil
+		ok := xhMean >= 0.05 && ratio > 1
+		return []string{I(n), F(lam0), I(steps), F(xhMean),
+			F(treeMean), F1(ratio), B(ok)}, nil
 	})
 	return t, err
 }

@@ -104,6 +104,19 @@ type Config struct {
 	// engine at New if the engine accepts one (core.State and dist.Engine
 	// do). nil disables per-wound tracing at zero cost.
 	Recorder *obs.Recorder
+	// Parallelism, when > 1 and the engine implements ParallelBatcher
+	// (core.State does), heals disjoint wounds of each tick's batch
+	// concurrently on that many workers. 0 or 1 applies batches serially.
+	// The final state is byte-identical either way; see core.State's
+	// ApplyBatchParallel.
+	Parallelism int
+}
+
+// ParallelBatcher is the optional engine surface Config.Parallelism uses:
+// apply one batch with disjoint-wound repairs fanned out to a bounded
+// worker pool. core.State satisfies it.
+type ParallelBatcher interface {
+	ApplyBatchParallel(b core.Batch, workers int) error
 }
 
 // EventLog is the append-only sink for applied events. *trace.LogWriter and
@@ -425,8 +438,15 @@ func (s *Server) drain() {
 			// empty log tail.
 			s.checkpointLocked()
 			if s.cfg.Log != nil {
-				if err := s.cfg.Log.Close(); s.logErr == nil {
-					s.logErr = err
+				// A failed final close means the log tail may not have
+				// reached stable storage: surface it (Close returns logErr,
+				// cmd/xheal-serve exits non-zero) and mark the daemon
+				// degraded so health probes see it too.
+				if err := s.cfg.Log.Close(); err != nil {
+					s.degraded.Store(true)
+					if s.logErr == nil {
+						s.logErr = fmt.Errorf("event log close: %w", err)
+					}
 				}
 			}
 			s.mu.Unlock()
@@ -539,7 +559,7 @@ func (s *Server) apply(pending []*submission) {
 	// under once the batch lands.
 	s.cfg.Recorder.SetTick(s.counters.Ticks + 1)
 	applyStart := time.Now()
-	err := s.eng.ApplyBatch(bs.batch)
+	err := s.applyBatch(bs.batch)
 	applied := time.Since(applyStart)
 	if err != nil {
 		// Admission should have prevented this; fail the whole timestep
@@ -589,6 +609,19 @@ func (s *Server) apply(pending []*submission) {
 	if s.counters.Ticks%s.cfg.checkpointEvery() == 0 {
 		s.checkpointLocked()
 	}
+}
+
+// applyBatch routes one admitted batch into the engine: through the
+// parallel disjoint-wound path when Config.Parallelism asks for it and the
+// engine supports it, serially otherwise. Both paths produce byte-identical
+// engine state (see core.State.ApplyBatchParallel's contract).
+func (s *Server) applyBatch(b core.Batch) error {
+	if s.cfg.Parallelism > 1 {
+		if pb, ok := s.eng.(ParallelBatcher); ok {
+			return pb.ApplyBatchParallel(b, s.cfg.Parallelism)
+		}
+	}
+	return s.eng.ApplyBatch(b)
 }
 
 // logBatch makes one applied batch durable: every event is appended to the
@@ -774,7 +807,10 @@ func (s *Server) Graph() *graph.Graph {
 
 // Close stops intake, drains and applies everything already accepted,
 // finishes the event log, and waits for the loop to exit. Idempotent. The
-// returned error is the first event-log write failure, if any.
+// returned error is the first event-log failure — a write failure during
+// serving or a failed flush/close of the log during the final drain — so a
+// shutdown whose tail may not have reached stable storage is visible to the
+// caller (cmd/xheal-serve exits non-zero on it).
 func (s *Server) Close() error {
 	s.closeMu.Lock()
 	already := s.closed

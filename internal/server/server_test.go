@@ -401,3 +401,107 @@ func TestHealthSnapshot(t *testing.T) {
 		t.Fatalf("health kappa = %d, want 4", h.Kappa)
 	}
 }
+
+// faultCloseLog is an EventLog whose Close fails after delegating — the
+// FaultStore-style injection for the shutdown flush path.
+type faultCloseLog struct {
+	inner    EventLog
+	closeErr error
+}
+
+func (f *faultCloseLog) Append(ev adversary.Event) error { return f.inner.Append(ev) }
+
+func (f *faultCloseLog) Close() error {
+	if err := f.inner.Close(); err != nil {
+		return err
+	}
+	return f.closeErr
+}
+
+// TestCloseSurfacesLogCloseFailure pins the graceful-drain contract: a
+// failed event-log close during the final drain must come back out of
+// Server.Close (cmd/xheal-serve exits non-zero on it) and flip the daemon
+// to degraded, not vanish into a private field.
+func TestCloseSurfacesLogCloseFailure(t *testing.T) {
+	g0, anchors := testTopology(t, 8)
+	var logBuf bytes.Buffer
+	lw, err := trace.NewLogWriter(&logBuf, g0)
+	if err != nil {
+		t.Fatalf("log writer: %v", err)
+	}
+	injected := errors.New("injected close failure")
+	s, st := newSeqServer(t, g0, Config{Log: &faultCloseLog{inner: lw, closeErr: injected}})
+
+	// Traffic before shutdown, so the log has a tail worth flushing.
+	if err := s.Submit(context.Background(), adversary.Event{
+		Kind: adversary.Insert, Node: 1000, Neighbors: anchors[:1],
+	}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+
+	if err := s.Close(); !errors.Is(err, injected) {
+		t.Fatalf("Close = %v, want the injected log-close failure", err)
+	}
+	h := s.Health()
+	if h.Status != "degraded" {
+		t.Fatalf("health after failed log close = %q, want degraded", h.Status)
+	}
+	if !strings.Contains(h.LogError, "injected close failure") {
+		t.Fatalf("health.LogError = %q, want the injected failure", h.LogError)
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatalf("CheckInvariants: %v", err)
+	}
+}
+
+// TestConcurrentClientsParallel is TestConcurrentClients with the parallel
+// disjoint-wound path on: the engine state must stay invariant-clean and
+// the event log must replay (serially) to the identical final graph —
+// the serial-equivalence guarantee observed end to end through the server.
+func TestConcurrentClientsParallel(t *testing.T) {
+	const clients, events = 8, 60
+	g0, anchors := testTopology(t, 24)
+
+	var logBuf bytes.Buffer
+	lw, err := trace.NewLogWriter(&logBuf, g0)
+	if err != nil {
+		t.Fatalf("log writer: %v", err)
+	}
+	s, st := newSeqServer(t, g0, Config{Tick: 200 * time.Microsecond, Log: lw, Parallelism: 4})
+
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			stream := adversary.NewClientStream(c, anchors, 0.35, 3, 500)
+			for i := 0; i < events; i++ {
+				if err := s.Submit(context.Background(), stream.Next()); err != nil {
+					errs[c] = fmt.Errorf("client %d event %d: %w", c, i, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatalf("CheckInvariants after parallel load: %v", err)
+	}
+	replayed, err := ReplayLog(&logBuf, st.Kappa(), 11)
+	if err != nil {
+		t.Fatalf("ReplayLog: %v", err)
+	}
+	if !replayed.Equal(st.Graph()) {
+		t.Fatalf("serial replay diverged from parallel-applied state: replay n=%d m=%d, live n=%d m=%d",
+			replayed.NumNodes(), replayed.NumEdges(), st.Graph().NumNodes(), st.Graph().NumEdges())
+	}
+}
