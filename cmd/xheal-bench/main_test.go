@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -176,5 +177,37 @@ func TestProfileFlags(t *testing.T) {
 		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
 			t.Fatalf("profile %s missing or empty (err=%v)", p, err)
 		}
+	}
+}
+
+// TestParallelScalingCPUAnnotation pins the undersized-host caveat: when the
+// host has fewer CPUs than the top of the worker curve, -parallel-scaling
+// must warn on stderr and annotate the archived report's note, and must stay
+// quiet on hosts wide enough to measure the real curve.
+func TestParallelScalingCPUAnnotation(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "scaling.json")
+	code, _, errOut := runCLI(t, "-parallel-scaling", out)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep scalingReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 4 {
+		t.Fatalf("scaling curve has %d points, want 4", len(rep.Points))
+	}
+	undersized := runtime.NumCPU() < rep.Points[len(rep.Points)-1].Workers
+	if got := strings.Contains(errOut, "oversubscription, not speedup"); got != undersized {
+		t.Fatalf("NumCPU=%d: stderr warning present=%v, want %v\nstderr: %s",
+			runtime.NumCPU(), got, undersized, errOut)
+	}
+	if got := strings.Contains(rep.Note, "WARNING"); got != undersized {
+		t.Fatalf("NumCPU=%d: note annotated=%v, want %v\nnote: %s",
+			runtime.NumCPU(), got, undersized, rep.Note)
 	}
 }

@@ -115,8 +115,17 @@ func runParallelScaling(stderr io.Writer, outPath string) int {
 			"points with go_max_procs > num_cpu measure scheduling overhead, not parallel speedup — " +
 			"compare against a multi-core host for the real curve",
 	}
+	points := []int{1, 2, 4, 8}
+	if ncpu, maxW := runtime.NumCPU(), points[len(points)-1]; ncpu < maxW {
+		// An undersized host can only oversubscribe past its core count, so
+		// flag the curve both interactively and in the archived JSON — a CI
+		// artifact consumer must not read the tail points as real speedup.
+		fmt.Fprintf(stderr, "parallel-scaling: warning: host has %d CPUs but the curve runs up to %d workers; "+
+			"points beyond %d CPUs measure oversubscription, not speedup\n", ncpu, maxW, ncpu)
+		report.Note += fmt.Sprintf("; WARNING: this host has only %d CPUs — points beyond %d workers are oversubscribed", ncpu, ncpu)
+	}
 	var base float64
-	for _, gmp := range []int{1, 2, 4, 8} {
+	for _, gmp := range points {
 		runtime.GOMAXPROCS(gmp)
 		net, err := xheal.NewNetwork(g0, xheal.WithKappa(4), xheal.WithSeed(32))
 		if err != nil {

@@ -13,6 +13,8 @@
 //	xheal-serve -data-dir /var/lib/xheal                   # durable: checkpoints + segmented log, crash recovery
 //	xheal-serve -smoke                                     # CI smoke: 100 events end-to-end
 //	xheal-serve -loadgen -clients 8 -events 500 -bench-out BENCH_PR4.json
+//	xheal-serve -scenario flashcrowd -scenario-out report.json   # chaos scenario over HTTP with SLO gate
+//	xheal-serve -scenario readmix -engine dist -soak-minutes 10  # durable long soak with recovery probes
 //	xheal-serve -crashloop 10                              # SIGKILL/restart harness: zero acknowledged loss
 //
 // Endpoints:
@@ -33,6 +35,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -43,6 +46,7 @@ import (
 	"github.com/xheal/xheal/internal/dist"
 	"github.com/xheal/xheal/internal/graph"
 	"github.com/xheal/xheal/internal/obs"
+	"github.com/xheal/xheal/internal/scenario"
 	"github.com/xheal/xheal/internal/server"
 	"github.com/xheal/xheal/internal/trace"
 	"github.com/xheal/xheal/internal/workload"
@@ -82,9 +86,23 @@ type options struct {
 	benchOut     string
 	sloP99TickMS float64
 
+	scenarioName string
+	scenarioOut  string
+	soakMinutes  float64
+	wave         int
+	rate         float64
+	sloMaxQueue  int
+
 	crashloop     int
 	crashInterval time.Duration
+
+	// set records which flags were passed explicitly, so scenario mode can
+	// tell a deliberate -n/-events/-seed override from a flag default.
+	set map[string]bool
 }
+
+// flagSet reports whether the named flag was passed on the command line.
+func (o options) flagSet(name string) bool { return o.set[name] }
 
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("xheal-serve", flag.ContinueOnError)
@@ -115,15 +133,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.IntVar(&o.attach, "attach", 3, "loadgen: max attachments per insertion")
 	fs.StringVar(&o.benchOut, "bench-out", "", "loadgen: write throughput results to this JSON file (BENCH_PR4.json)")
 	fs.Float64Var(&o.sloP99TickMS, "slo-p99-tick-ms", 0, "loadgen: fail unless p99 tick latency is at most this many ms (0 = no bound)")
+	fs.StringVar(&o.scenarioName, "scenario", "", "chaos scenario mode: run this named scenario over HTTP with SLO assertions (valid: "+strings.Join(scenario.Names(), " ")+")")
+	fs.StringVar(&o.scenarioOut, "scenario-out", "", "scenario mode: write the machine-readable pass/fail report to this JSON file")
+	fs.Float64Var(&o.soakMinutes, "soak-minutes", 0, "scenario mode: run a durable long soak for this many minutes with periodic checkpoint/recovery-identity probes (0 = finite run of the scenario's event budget)")
+	fs.IntVar(&o.wave, "wave", 0, "scenario mode: events per burst wave (0 = scenario default)")
+	fs.Float64Var(&o.rate, "rate", 0, "scenario mode: target sustained events/sec (0 = scenario default)")
+	fs.IntVar(&o.sloMaxQueue, "slo-max-queue", 0, "scenario mode: fail if the sampled ingest queue depth ever exceeds this (0 = the -queue bound)")
 	fs.IntVar(&o.crashloop, "crashloop", 0, "crash harness: run this many SIGKILL/restart cycles against a child daemon under load, then verify zero acknowledged loss")
 	fs.DurationVar(&o.crashInterval, "crash-interval", 150*time.Millisecond, "crashloop: load duration before each SIGKILL")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	o.set = make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { o.set[f.Name] = true })
 
 	switch {
 	case o.crashloop > 0:
 		return runCrashloop(o, stdout, stderr)
+	case o.scenarioName != "":
+		return runScenario(o, stdout, stderr)
 	case o.smoke:
 		o.clients, o.events = 1, 100
 		return runLoad(o, stdout, stderr, true)
@@ -137,6 +165,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // daemon is one assembled serving stack.
 type daemon struct {
 	srv      *server.Server
+	eng      server.Engine // the engine the server owns (read only after srv.Close)
 	g0       *graph.Graph
 	logPath  string
 	spanPath string
@@ -298,6 +327,7 @@ func buildDaemon(o options) (*daemon, error) {
 	}
 	d := &daemon{
 		srv:       server.New(eng, cfg),
+		eng:       eng,
 		g0:        g0,
 		logPath:   o.eventLog,
 		spanPath:  o.spanLog,

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestScenarioFiniteMode drives a trimmed flashcrowd run over real HTTP and
+// checks the SLO report: everything applied, nothing rejected, replay and
+// byte identity both green.
+func TestScenarioFiniteMode(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.json")
+	var stdout, stderr bytes.Buffer
+	args := []string{
+		"-scenario", "flashcrowd", "-events", "96", "-rate", "4000",
+		"-scenario-out", out,
+	}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("scenario exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "scenario flashcrowd: PASS") {
+		t.Fatalf("missing verdict:\n%s", stdout.String())
+	}
+	var rep scenarioReport
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass || len(rep.Failures) != 0 {
+		t.Fatalf("report not passing: %+v", rep)
+	}
+	if rep.EventsTotal != 96 || rep.Rejected != 0 {
+		t.Fatalf("events=%d rejected=%d, want 96/0", rep.EventsTotal, rep.Rejected)
+	}
+	if !rep.ReplayIdentical || !rep.ByteIdentical {
+		t.Fatalf("identity checks: replay=%v byte=%v", rep.ReplayIdentical, rep.ByteIdentical)
+	}
+	if rep.Soak {
+		t.Fatal("finite run flagged as soak")
+	}
+}
+
+// TestScenarioFiniteModeParallelDist exercises the scenario driver against
+// the other engine at parallelism > 1 — the production-shaped path.
+func TestScenarioFiniteModeParallelDist(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dist scenario run is the slow path")
+	}
+	var stdout, stderr bytes.Buffer
+	args := []string{
+		"-scenario", "readmix", "-engine", "dist", "-parallelism", "4",
+		"-events", "64", "-rate", "4000",
+	}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("dist scenario exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "scenario readmix: PASS") {
+		t.Fatalf("missing verdict:\n%s", stdout.String())
+	}
+}
+
+// TestScenarioSoakMode runs a few seconds of durable soak: at least one
+// recovery probe must fire and the final recovery-identity check must pass.
+func TestScenarioSoakMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak is the slow path")
+	}
+	out := filepath.Join(t.TempDir(), "soak.json")
+	var stdout, stderr bytes.Buffer
+	args := []string{
+		"-scenario", "slowdrip", "-soak-minutes", "0.08", "-rate", "400",
+		"-data-dir", t.TempDir(), "-scenario-out", out,
+	}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("soak exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	var rep scenarioReport
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("soak failed: %v", rep.Failures)
+	}
+	if !rep.Soak || rep.Probes == nil || rep.Probes.Probes == 0 {
+		t.Fatalf("soak report missing probes: %+v", rep.Probes)
+	}
+	if rep.Probes.Failures != 0 {
+		t.Fatalf("%d probe failures (first: %s)", rep.Probes.Failures, rep.Probes.FirstError)
+	}
+	if !rep.ReplayIdentical || !rep.ByteIdentical {
+		t.Fatalf("recovery identity: replay=%v byte=%v", rep.ReplayIdentical, rep.ByteIdentical)
+	}
+}
+
+// TestScenarioFlagValidation pins the mode's flag contract.
+func TestScenarioFlagValidation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-scenario", "nope"}, &stdout, &stderr); code == 0 {
+		t.Fatal("unknown scenario accepted")
+	}
+	stderr.Reset()
+	if code := run([]string{"-scenario", "flashcrowd", "-data-dir", t.TempDir()}, &stdout, &stderr); code == 0 {
+		t.Fatal("finite scenario accepted -data-dir")
+	}
+	if !strings.Contains(stderr.String(), "-soak-minutes") {
+		t.Fatalf("unhelpful -data-dir error: %s", stderr.String())
+	}
+	stderr.Reset()
+	args := []string{"-scenario", "flashcrowd", "-soak-minutes", "0.05", "-event-log", filepath.Join(t.TempDir(), "x.log")}
+	if code := run(args, &stdout, &stderr); code == 0 {
+		t.Fatal("soak accepted -event-log")
+	}
+}

@@ -2,9 +2,9 @@
 
 // Generates the testdata/*.json corpus: shrunk schedules produced by running
 // the delta-debugging shrinker against synthetic injected bugs on three
-// representative matrix cells. The artifacts are (a) regression fixtures —
-// TestCorpus replays each one through the strict lockstep runner — and (b)
-// fuzz seeds for FuzzConformance.
+// representative matrix cells plus every registered chaos scenario. The
+// artifacts are (a) regression fixtures — TestCorpus replays each one through
+// the strict lockstep runner — and (b) fuzz seeds for FuzzConformance.
 //
 // Run from internal/conformance: go run gen_corpus.go
 package main
@@ -18,6 +18,7 @@ import (
 	"github.com/xheal/xheal/internal/adversary"
 	"github.com/xheal/xheal/internal/conformance"
 	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/scenario"
 	"github.com/xheal/xheal/internal/workload"
 )
 
@@ -107,5 +108,62 @@ func main() {
 			log.Fatalf("%s: %v", file, err)
 		}
 		fmt.Printf("%s: %d events (from %d), failure: %v\n", path, len(minimal), len(clean.Events), fail)
+	}
+
+	// One seed per chaos scenario: compile, fault-inject the midpoint
+	// deletion victim, and shrink — the same workflow a real scenario-exposed
+	// bug would follow. Scenario genesis is workload.ByName(wl, N,
+	// rand(Seed)), so the shrunk-<workload>-n<N>-s<SEED> filename convention
+	// lets FuzzConformance rebuild the exact substrate. regionfail's default
+	// n=81 exceeds the fuzzer's 8..64 window, so its corpus cell compiles at
+	// a 7x7 grid instead.
+	scenarioCases := []struct {
+		name string
+		p    scenario.Params
+	}{
+		{scenario.NameFlashCrowd, scenario.Params{Events: 96}},
+		{scenario.NameRegionFail, scenario.Params{N: 49, Events: 96}},
+		{scenario.NamePartition, scenario.Params{Events: 96}},
+		{scenario.NameSlowDrip, scenario.Params{Events: 64}},
+		{scenario.NameReadMix, scenario.Params{Events: 96}},
+	}
+	for _, tc := range scenarioCases {
+		comp, err := scenario.Compile(tc.name, tc.p)
+		if err != nil {
+			log.Fatalf("scenario %s: %v", tc.name, err)
+		}
+		p := comp.Params
+		file := fmt.Sprintf("shrunk-%s-n%d-s%d-scenario-%s.json", comp.Scenario.Workload, p.N, p.Seed, tc.name)
+		var victim graph.NodeID
+		total := 0
+		for _, ev := range comp.Events {
+			if ev.Kind == adversary.Delete {
+				total++
+			}
+		}
+		deletes := 0
+		for _, ev := range comp.Events {
+			if ev.Kind == adversary.Delete {
+				if deletes++; deletes == max(1, total/2) {
+					victim = ev.Node
+					break
+				}
+			}
+		}
+		opts := conformance.Options{Kappa: 4, Seed: p.Seed, Fault: func(_ int, ev adversary.Event, _ *graph.Graph) error {
+			if ev.Kind == adversary.Delete && ev.Node == victim {
+				return fmt.Errorf("injected: delete %d", victim)
+			}
+			return nil
+		}}
+		minimal, fail := conformance.Shrink(comp.Genesis, comp.Events, opts)
+		if fail == nil {
+			log.Fatalf("%s: injected bug did not fire", file)
+		}
+		path := filepath.Join("testdata", file)
+		if err := conformance.WriteArtifact(path, comp.Genesis, minimal); err != nil {
+			log.Fatalf("%s: %v", file, err)
+		}
+		fmt.Printf("%s: %d events (from %d), failure: %v\n", path, len(minimal), len(comp.Events), fail)
 	}
 }

@@ -148,3 +148,130 @@ func TestLatencySummary(t *testing.T) {
 		t.Fatalf("summary p99: got %g ms, want in (0, 10]", sum.P99MS)
 	}
 }
+
+// TestHistogramQuantileEdgeCases pins the quantile estimator's behavior on
+// the degenerate inputs that show up in real scrapes: an empty histogram, a
+// single observation, and every observation past the highest finite bound.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	bounds := []float64{1, 2, 4, 8}
+	cases := []struct {
+		name    string
+		observe []float64
+		q       float64
+		want    float64
+	}{
+		{"empty median", nil, 0.5, 0},
+		{"empty p99", nil, 0.99, 0},
+		{"empty extreme q", nil, 1, 0},
+		// A single observation interpolates inside its own bucket: rank
+		// q*1 lands in (2,4] for the value 3, so every quantile stays
+		// within that bucket's bounds.
+		{"single observation p50", []float64{3}, 0.5, 3},     // 2 + (4-2)*0.5
+		{"single observation p99", []float64{3}, 0.99, 3.98}, // 2 + (4-2)*0.99
+		{"single observation q=1", []float64{3}, 1, 4},
+		// All mass in the +Inf overflow bucket clamps to the highest
+		// finite bound for every q — the estimator never invents a value
+		// past the layout.
+		{"overflow p50", []float64{100, 200, 300}, 0.5, 8},
+		{"overflow p99", []float64{100, 200, 300}, 0.99, 8},
+		{"overflow q=1", []float64{100, 200, 300}, 1, 8},
+		// Out-of-range q is clamped, not rejected. Rank 0 resolves in the
+		// first (empty) bucket, whose upper bound is the estimate.
+		{"q below 0", []float64{3}, -1, 1},
+		{"q above 1", []float64{3}, 2, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := MustHistogram(bounds)
+			for _, v := range tc.observe {
+				h.Observe(v)
+			}
+			got := h.Snapshot().Quantile(tc.q)
+			if math.Abs(got-tc.want) > 1e-9 {
+				t.Fatalf("Quantile(%g) over %v = %g, want %g", tc.q, tc.observe, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestHistogramEmptySummary asserts an untouched histogram summarizes to all
+// zeros rather than NaNs — /v1/health serves this before the first tick.
+func TestHistogramEmptySummary(t *testing.T) {
+	sum := MustHistogram(LatencyBuckets()).Snapshot().Summary()
+	if sum != (LatencySummary{}) {
+		t.Fatalf("empty summary = %+v, want zero value", sum)
+	}
+	if m := MustHistogram([]float64{1}).Snapshot().Mean(); m != 0 {
+		t.Fatalf("empty mean = %g, want 0", m)
+	}
+}
+
+// TestHistogramMergeEdgeCases covers the snapshot-merge paths the registry
+// relies on when folding per-worker histograms: merge into an empty
+// snapshot adopts the layout, and merging disjoint snapshots is exact.
+func TestHistogramMergeEdgeCases(t *testing.T) {
+	bounds := []float64{1, 2, 4, 8}
+
+	t.Run("into empty", func(t *testing.T) {
+		h := MustHistogram(bounds)
+		h.Observe(3)
+		var acc HistSnapshot
+		acc.Merge(h.Snapshot())
+		if acc.Count != 1 || acc.Sum != 3 {
+			t.Fatalf("merge into empty: count=%d sum=%g", acc.Count, acc.Sum)
+		}
+		if got := acc.Quantile(0.5); math.Abs(got-3) > 1e-9 {
+			t.Fatalf("merged median = %g, want 3", got)
+		}
+		// The adopted counts must be a copy, not an alias of the source.
+		h.Observe(3)
+		if acc.Count != 1 || acc.Counts[2] != 1 {
+			t.Fatalf("merged snapshot aliases its source: %+v", acc)
+		}
+	})
+
+	t.Run("disjoint mass", func(t *testing.T) {
+		lo := MustHistogram(bounds)
+		hi := MustHistogram(bounds)
+		for i := 0; i < 50; i++ {
+			lo.Observe(0.5) // first bucket
+			hi.Observe(7)   // last finite bucket
+		}
+		acc := lo.Snapshot()
+		acc.Merge(hi.Snapshot())
+		if acc.Count != 100 {
+			t.Fatalf("merged count = %d, want 100", acc.Count)
+		}
+		if want := 50*0.5 + 50*7.0; math.Abs(acc.Sum-want) > 1e-9 {
+			t.Fatalf("merged sum = %g, want %g", acc.Sum, want)
+		}
+		// The median rank sits exactly at the boundary between the two
+		// populations; p25 and p75 must land in each half's bucket.
+		if got := acc.Quantile(0.25); got > 1 {
+			t.Fatalf("p25 = %g, want inside (0,1]", got)
+		}
+		if got := acc.Quantile(0.75); got <= 4 || got > 8 {
+			t.Fatalf("p75 = %g, want inside (4,8]", got)
+		}
+	})
+
+	t.Run("empty into populated", func(t *testing.T) {
+		h := MustHistogram(bounds)
+		h.Observe(3)
+		acc := h.Snapshot()
+		acc.Merge(MustHistogram(bounds).Snapshot())
+		if acc.Count != 1 || acc.Sum != 3 {
+			t.Fatalf("merging an empty snapshot changed the state: %+v", acc)
+		}
+	})
+
+	t.Run("layout mismatch panics", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("layout mismatch did not panic")
+			}
+		}()
+		acc := MustHistogram(bounds).Snapshot()
+		acc.Merge(MustHistogram([]float64{1, 2}).Snapshot())
+	})
+}

@@ -1,0 +1,311 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/xheal/xheal/internal/adversary"
+	"github.com/xheal/xheal/internal/graph"
+)
+
+// testParams keeps the unit tests fast while still crossing several wave
+// boundaries for every scenario.
+func testParams() Params { return Params{Events: 120} }
+
+func TestNamesMatchRegistry(t *testing.T) {
+	names := Names()
+	want := []string{NameFlashCrowd, NamePartition, NameReadMix, NameRegionFail, NameSlowDrip}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for _, name := range names {
+		sc, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if sc.Name != name {
+			t.Fatalf("ByName(%q).Name = %q", name, sc.Name)
+		}
+		if sc.Description == "" || sc.Workload == "" {
+			t.Fatalf("%s: missing description or workload", name)
+		}
+		d := sc.Defaults
+		if d.N < 8 || d.Events < 1 || d.Wave < 1 || d.Rate <= 0 || d.Seed == 0 {
+			t.Fatalf("%s: degenerate defaults %+v", name, d)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName accepted an unknown scenario")
+	}
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		a, err := Compile(name, testParams())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := Compile(name, testParams())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !a.Genesis.Equal(b.Genesis) {
+			t.Fatalf("%s: genesis not deterministic", name)
+		}
+		if a.Script() != b.Script() {
+			t.Fatalf("%s: schedule not deterministic", name)
+		}
+		c, err := Compile(name, Params{Events: 120, Seed: a.Params.Seed + 7})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if a.Script() == c.Script() {
+			t.Fatalf("%s: schedule ignores the seed", name)
+		}
+	}
+}
+
+func TestScriptRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		comp, err := Compile(name, testParams())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		parsed, err := adversary.ParseScript(comp.Script())
+		if err != nil {
+			t.Fatalf("%s: ParseScript: %v", name, err)
+		}
+		if !reflect.DeepEqual(parsed, comp.Events) {
+			t.Fatalf("%s: script round trip diverged", name)
+		}
+	}
+}
+
+// TestEventsValidAndWavesConflictFree replays every scenario's schedule
+// against a fresh bookkeeping graph and asserts the two guarantees consumers
+// rely on: each event is applicable given its prefix (inserts of fresh IDs
+// with alive attachments, deletions of alive nodes), and no wave contains a
+// pair the serving batcher would defer (delete of a node inserted or
+// attached-to in the same wave, attachment to a node deleted in the same
+// wave, duplicate IDs).
+func TestEventsValidAndWavesConflictFree(t *testing.T) {
+	for _, name := range Names() {
+		comp, err := Compile(name, testParams())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		book := comp.Genesis.Clone()
+		var deletions int
+		for wi, wave := range comp.Waves() {
+			touched := make(map[graph.NodeID]struct{})
+			deleted := make(map[graph.NodeID]struct{})
+			for _, ev := range wave {
+				switch ev.Kind {
+				case adversary.Insert:
+					if ev.Node < IDBase {
+						t.Fatalf("%s wave %d: insert reuses low ID %d", name, wi, ev.Node)
+					}
+					if len(ev.Neighbors) == 0 {
+						t.Fatalf("%s wave %d: insert %d has no attachments", name, wi, ev.Node)
+					}
+					if err := book.AddNode(ev.Node); err != nil {
+						t.Fatalf("%s wave %d: insert %d: %v", name, wi, ev.Node, err)
+					}
+					for _, w := range ev.Neighbors {
+						if _, dead := deleted[w]; dead {
+							t.Fatalf("%s wave %d: insert %d attaches to %d deleted in the same wave", name, wi, ev.Node, w)
+						}
+						if err := book.AddEdge(ev.Node, w); err != nil {
+							t.Fatalf("%s wave %d: insert %d edge to %d: %v", name, wi, ev.Node, w, err)
+						}
+						touched[w] = struct{}{}
+					}
+					touched[ev.Node] = struct{}{}
+				case adversary.Delete:
+					if _, conflict := touched[ev.Node]; conflict {
+						t.Fatalf("%s wave %d: delete %d conflicts with an earlier event of the wave", name, wi, ev.Node)
+					}
+					if _, err := book.RemoveNode(ev.Node); err != nil {
+						t.Fatalf("%s wave %d: delete %d: %v", name, wi, ev.Node, err)
+					}
+					deleted[ev.Node] = struct{}{}
+					deletions++
+				default:
+					t.Fatalf("%s wave %d: bad kind %v", name, wi, ev.Kind)
+				}
+			}
+			if len(wave) > comp.Params.Wave {
+				t.Fatalf("%s: wave %d has %d events, cap %d", name, wi, len(wave), comp.Params.Wave)
+			}
+		}
+		if deletions == 0 {
+			t.Fatalf("%s: schedule has no deletions — not much of a chaos scenario", name)
+		}
+		if book.NumNodes() < 8 {
+			t.Fatalf("%s: bookkeeping graph shrank to %d nodes", name, book.NumNodes())
+		}
+	}
+}
+
+// TestStreamUnbounded pins the soak-mode contract: a stream keeps producing
+// valid events far past Params.Events without exhausting its graph.
+func TestStreamUnbounded(t *testing.T) {
+	for _, name := range Names() {
+		st, err := NewStream(name, testParams())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		total := 6 * st.Params().Events
+		for i := 0; i < total; i++ {
+			st.Next()
+		}
+		if st.Emitted() != total {
+			t.Fatalf("%s: emitted %d, want %d", name, st.Emitted(), total)
+		}
+		if n := st.book.NumNodes(); n < 8 {
+			t.Fatalf("%s: alive floor breached after long run: %d nodes", name, n)
+		}
+	}
+}
+
+// TestScenarioShapes spot-checks each scenario's signature behavior so a
+// refactor can't quietly turn one shape into another.
+func TestScenarioShapes(t *testing.T) {
+	compiled := make(map[string]*Compiled)
+	for _, name := range Names() {
+		comp, err := Compile(name, testParams())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		compiled[name] = comp
+	}
+
+	// Flash crowd: inserts dominate and attachments concentrate on a small
+	// anchor region of the genesis graph.
+	fc := compiled[NameFlashCrowd]
+	targets := make(map[graph.NodeID]struct{})
+	inserts := 0
+	for _, ev := range fc.Events {
+		if ev.Kind != adversary.Insert {
+			continue
+		}
+		inserts++
+		for _, w := range ev.Neighbors {
+			targets[w] = struct{}{}
+		}
+	}
+	if inserts < len(fc.Events)*2/3 {
+		t.Fatalf("flashcrowd: only %d/%d inserts", inserts, len(fc.Events))
+	}
+	if len(targets) > max(4, fc.Params.N/4) {
+		t.Fatalf("flashcrowd: %d distinct attachment targets — the crowd is not anchored", len(targets))
+	}
+	for v := range targets {
+		if !fc.Genesis.HasNode(v) {
+			t.Fatalf("flashcrowd: attachment target %d is not a genesis region member", v)
+		}
+	}
+
+	// Regional failure: deletions arrive in correlated runs (some wave is
+	// all-deletions), and both kinds appear in bulk.
+	rf := compiled[NameRegionFail]
+	allDeleteWave := false
+	for _, wave := range rf.Waves() {
+		deletes := 0
+		for _, ev := range wave {
+			if ev.Kind == adversary.Delete {
+				deletes++
+			}
+		}
+		if len(wave) == rf.Params.Wave && deletes == len(wave) {
+			allDeleteWave = true
+		}
+	}
+	if !allDeleteWave {
+		t.Fatal("regionfail: no all-deletion wave — failures are not correlated")
+	}
+
+	// Partition churn: every deleted node is either a genesis footprint
+	// member or a scenario-inserted rebuild; genesis deletions stay inside
+	// one BFS ball (the footprint).
+	pc := compiled[NamePartition]
+	foot := ball(pc.Genesis, pc.Genesis.Nodes()[0], 2, max(4, pc.Params.N/4))
+	inFoot := make(map[graph.NodeID]struct{}, len(foot))
+	for _, v := range foot {
+		inFoot[v] = struct{}{}
+	}
+	for _, ev := range pc.Events {
+		if ev.Kind != adversary.Delete || ev.Node >= IDBase {
+			continue
+		}
+		if _, ok := inFoot[ev.Node]; !ok {
+			t.Fatalf("partition: deleted genesis node %d outside the footprint", ev.Node)
+		}
+	}
+
+	// Slow drip: single-event waves, and every deletion targets the current
+	// bookkeeping max degree (checked by replay).
+	sd := compiled[NameSlowDrip]
+	if sd.Params.Wave != 1 {
+		t.Fatalf("slowdrip: wave = %d, want 1", sd.Params.Wave)
+	}
+	book := sd.Genesis.Clone()
+	for i, ev := range sd.Events {
+		if ev.Kind == adversary.Delete {
+			if got, want := book.Degree(ev.Node), book.MaxDegree(); got != want {
+				t.Fatalf("slowdrip event %d: deleted degree-%d node, max degree is %d", i, got, want)
+			}
+		}
+		applyRaw(t, book, ev)
+	}
+
+	// Read mix: deletions only ever remove scenario-owned nodes, and the
+	// scenario advertises interleaved reads.
+	rm := compiled[NameReadMix]
+	if rm.Scenario.ReadsPerWave == 0 {
+		t.Fatal("readmix: ReadsPerWave = 0")
+	}
+	for _, ev := range rm.Events {
+		if ev.Kind == adversary.Delete && ev.Node < IDBase {
+			t.Fatalf("readmix: deleted genesis node %d", ev.Node)
+		}
+	}
+}
+
+func applyRaw(t *testing.T, g *graph.Graph, ev adversary.Event) {
+	t.Helper()
+	switch ev.Kind {
+	case adversary.Insert:
+		if err := g.AddNode(ev.Node); err != nil {
+			t.Fatalf("apply insert %d: %v", ev.Node, err)
+		}
+		for _, w := range ev.Neighbors {
+			if err := g.AddEdge(ev.Node, w); err != nil {
+				t.Fatalf("apply insert %d edge %d: %v", ev.Node, w, err)
+			}
+		}
+	case adversary.Delete:
+		if _, err := g.RemoveNode(ev.Node); err != nil {
+			t.Fatalf("apply delete %d: %v", ev.Node, err)
+		}
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	if _, err := NewStream("nope", Params{}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if _, err := NewStream(NameFlashCrowd, Params{N: 4}); err == nil {
+		t.Fatal("tiny n accepted")
+	}
+	if _, err := NewStream(NameFlashCrowd, Params{Wave: -1}); err == nil {
+		t.Fatal("negative wave accepted")
+	}
+	st, err := NewStream(NameFlashCrowd, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := st.Params(), registry[NameFlashCrowd].Defaults; got != want {
+		t.Fatalf("defaults not applied: got %+v want %+v", got, want)
+	}
+}
