@@ -51,6 +51,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 		parScaling = fs.String("parallel-scaling", "", "measure ApplyBatchParallel throughput at GOMAXPROCS 1/2/4/8 and write the curve to this JSON file (see BENCH_PR8.json)")
 
+		scale          = fs.String("scale", "", "comma-separated network sizes (e.g. 10000,100000): measure serving-path latency/throughput before vs after the incremental-metrics layer (see BENCH_PR10.json)")
+		scaleEvents    = fs.Int("scale-events", 8192, "scale: events ingested through the array path per size")
+		scaleOut       = fs.String("scale-out", "", "scale: write the report to this JSON file")
+		scaleSloHealth = fs.Float64("scale-slo-health-p99-ms", 0, "scale: fail if live health-poll p99 exceeds this at the largest size (0 = no gate)")
+		scaleSloIngest = fs.Float64("scale-slo-ingest-eps", 0, "scale: fail if array-ingest events/sec falls below this at the largest size (0 = no gate)")
+
 		conf       = fs.Bool("conformance", false, "run the lockstep centralized-vs-distributed conformance matrix instead of experiments")
 		confN      = fs.Int("conf-n", 64, "conformance: initial topology size per cell")
 		confSteps  = fs.Int("conf-steps", 34, "conformance: adversarial events per cell")
@@ -64,6 +70,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *parScaling != "" {
 		return runParallelScaling(stderr, *parScaling)
+	}
+	if *scale != "" {
+		return runScale(stderr, *scale, *scaleEvents, *scaleOut, *scaleSloHealth, *scaleSloIngest)
 	}
 	if *confReplay != "" {
 		return replayConformance(stdout, stderr, *confReplay, *confSeed, *confKappa)

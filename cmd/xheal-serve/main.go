@@ -77,6 +77,12 @@ type options struct {
 	archiveLog     bool
 	verifyRecovery bool
 
+	slowHealth   bool
+	refreshEvery int
+	stretchSrcs  int
+	auditEvery   int
+	invBudget    int
+
 	smoke        bool
 	loadgen      bool
 	clients      int
@@ -125,6 +131,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.IntVar(&o.ckptEvery, "checkpoint-every", 32, "durable mode: applied ticks between checkpoints")
 	fs.BoolVar(&o.archiveLog, "archive-log", false, "durable mode: move compacted log segments to <data-dir>/log/archive instead of deleting (keeps from-genesis history)")
 	fs.BoolVar(&o.verifyRecovery, "verify-recovery", false, "durable mode: at startup, assert the recovered state is byte-identical to a from-genesis replay of the archived log")
+	fs.BoolVar(&o.slowHealth, "slow-health", false, "disable the incremental metrics layer: health polls clone and measure the graph (pre-PR-10 behavior)")
+	fs.IntVar(&o.refreshEvery, "refresh-every", 32, "applied ticks between background refreshes of cached connectivity/lambda2/stretch")
+	fs.IntVar(&o.stretchSrcs, "stretch-sources", 4, "BFS source reservoir size for the sampled-stretch estimate")
+	fs.IntVar(&o.auditEvery, "audit-every", 0, "cross-check the incremental metrics against a full recomputation every this many ticks (0 = off)")
+	fs.IntVar(&o.invBudget, "invariant-budget", 0, "sampled invariant checking: nodes/edges/clouds examined per check, rotating over the whole structure (0 = full sweep)")
 	fs.BoolVar(&o.smoke, "smoke", false, "self-test: start the daemon, ingest 100 events over HTTP, verify, shut down")
 	fs.BoolVar(&o.loadgen, "loadgen", false, "load generator: hammer an in-process daemon with concurrent clients")
 	fs.IntVar(&o.clients, "clients", 8, "loadgen: concurrent clients")
@@ -221,10 +232,15 @@ func buildDaemon(o options) (*daemon, error) {
 	}
 
 	cfg := server.Config{
-		Tick:        o.tick,
-		QueueDepth:  o.queue,
-		MaxBatch:    o.maxBatch,
-		Parallelism: o.parallel,
+		Tick:            o.tick,
+		QueueDepth:      o.queue,
+		MaxBatch:        o.maxBatch,
+		Parallelism:     o.parallel,
+		SlowHealth:      o.slowHealth,
+		RefreshEvery:    o.refreshEvery,
+		StretchSources:  o.stretchSrcs,
+		AuditEvery:      o.auditEvery,
+		InvariantBudget: o.invBudget,
 	}
 	var eng server.Engine
 	var closeEng func()

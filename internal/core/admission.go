@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/xheal/xheal/internal/graph"
+)
+
+// BatchAdmission is ValidateBatch unrolled into per-event decisions: events
+// join a batch one at a time in arrival order, and each verdict is identical
+// to validating the assembled prospective batch wholesale — at O(event)
+// instead of O(batch) per decision. The serving daemon admits each tick's
+// batch through this (a 256-event tick costs 256 event checks, not 256²).
+//
+// The equivalence argument: the admitted prefix has already passed every
+// ValidateBatch rule, so validating prefix+event can only fail on the new
+// event's own properties or its interactions with the prefix. Those
+// interactions are exactly membership in three sets — nodes inserted so
+// far, nodes deleted so far, and attachment targets referenced so far —
+// which the admission tracks as it goes. TestAdmissionMatchesValidateBatch
+// pins the equivalence against randomized schedules.
+//
+// A failed Admit leaves the admission state untouched: the caller can defer
+// the event and keep admitting others. The engine must not mutate between
+// Begin and the batch's application (the serving loop is single-threaded, so
+// this holds by construction).
+type BatchAdmission struct {
+	s        *State
+	inserted map[graph.NodeID]struct{}
+	deleted  map[graph.NodeID]struct{}
+	attached map[graph.NodeID]struct{}
+}
+
+// BeginAdmission starts the incremental admission of one batch.
+func (s *State) BeginAdmission() *BatchAdmission {
+	return &BatchAdmission{
+		s:        s,
+		inserted: make(map[graph.NodeID]struct{}),
+		deleted:  make(map[graph.NodeID]struct{}),
+		attached: make(map[graph.NodeID]struct{}),
+	}
+}
+
+// Reset rewinds the admission to an empty batch so the caller can reuse it
+// for the next tick: clearing keeps the map buckets, so a steady-state
+// serving loop admits with zero allocations.
+func (a *BatchAdmission) Reset() {
+	clear(a.inserted)
+	clear(a.deleted)
+	clear(a.attached)
+}
+
+// AdmitInsertion decides whether the insertion may join the batch. The
+// checks mirror ValidateBatch's insertion rules in order; error identities
+// (ErrBatchConflict vs the rest) are the same, so callers defer and reject
+// on exactly the verdicts wholesale validation would give.
+func (a *BatchAdmission) AdmitInsertion(ins BatchInsertion) error {
+	s := a.s
+	if s.poisoned != nil {
+		return s.poisonedErr()
+	}
+	if _, dup := a.inserted[ins.Node]; dup {
+		return fmt.Errorf("node %d inserted twice: %w", ins.Node, ErrBatchConflict)
+	}
+	if s.g.HasNode(ins.Node) {
+		return fmt.Errorf("insert %d: %w", ins.Node, ErrNodeExists)
+	}
+	if _, was := s.deleted[ins.Node]; was || s.gp.HasNode(ins.Node) {
+		return fmt.Errorf("insert %d: %w", ins.Node, ErrReusedNodeID)
+	}
+	// Duplicate-neighbor detection scans the admitted prefix directly:
+	// neighbor lists are degree-sized, so this beats allocating a set —
+	// except for adversarially wide inserts, which fall back to one.
+	var seen map[graph.NodeID]struct{}
+	if len(ins.Neighbors) > 32 {
+		seen = make(map[graph.NodeID]struct{}, len(ins.Neighbors))
+	}
+	for i, w := range ins.Neighbors {
+		if w == ins.Node {
+			return fmt.Errorf("insert %d: %w", ins.Node, ErrSelfInsert)
+		}
+		dup := false
+		if seen != nil {
+			_, dup = seen[w]
+			seen[w] = struct{}{}
+		} else {
+			for _, prev := range ins.Neighbors[:i] {
+				if prev == w {
+					dup = true
+					break
+				}
+			}
+		}
+		if dup {
+			return fmt.Errorf("insert %d: duplicate neighbor %d: %w", ins.Node, w, ErrBadNeighbor)
+		}
+		if _, gone := a.deleted[w]; gone {
+			return fmt.Errorf("insertion %d attaches to node %d deleted in the same batch: %w",
+				ins.Node, w, ErrBatchConflict)
+		}
+		if _, earlier := a.inserted[w]; earlier || s.g.HasNode(w) {
+			continue
+		}
+		return fmt.Errorf("insertion %d attaches to unknown node %d: %w",
+			ins.Node, w, ErrBadNeighbor)
+	}
+	a.inserted[ins.Node] = struct{}{}
+	for _, w := range ins.Neighbors {
+		a.attached[w] = struct{}{}
+	}
+	return nil
+}
+
+// AdmitDeletion decides whether the deletion may join the batch, mirroring
+// ValidateBatch's deletion rules plus the attachment-conflict rule (an
+// already-admitted insertion attaching to the victim).
+func (a *BatchAdmission) AdmitDeletion(d graph.NodeID) error {
+	s := a.s
+	if s.poisoned != nil {
+		return s.poisonedErr()
+	}
+	if _, dup := a.deleted[d]; dup {
+		return fmt.Errorf("node %d deleted twice: %w", d, ErrBatchConflict)
+	}
+	if _, ok := a.inserted[d]; ok {
+		return fmt.Errorf("node %d inserted and deleted in one batch: %w", d, ErrBatchConflict)
+	}
+	if !s.g.HasNode(d) {
+		return fmt.Errorf("delete %d: %w", d, ErrNodeMissing)
+	}
+	if _, ok := a.attached[d]; ok {
+		return fmt.Errorf("insertion attaches to node %d deleted in the same batch: %w",
+			d, ErrBatchConflict)
+	}
+	a.deleted[d] = struct{}{}
+	return nil
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/xheal/xheal/internal/graph"
+)
+
+// admissionSentinels is the full verdict vocabulary shared by ValidateBatch
+// and BatchAdmission. Two errors are "the same verdict" when they agree on
+// membership for every sentinel — in particular on ErrBatchConflict, which
+// is the defer-vs-reject boundary the serving loop keys on.
+var admissionSentinels = []error{
+	ErrBatchConflict,
+	ErrNodeExists,
+	ErrReusedNodeID,
+	ErrSelfInsert,
+	ErrBadNeighbor,
+	ErrNodeMissing,
+}
+
+func sameVerdict(t *testing.T, ctx string, wholesale, incremental error) {
+	t.Helper()
+	if (wholesale == nil) != (incremental == nil) {
+		t.Fatalf("%s: wholesale=%v incremental=%v", ctx, wholesale, incremental)
+	}
+	if wholesale == nil {
+		return
+	}
+	for _, sent := range admissionSentinels {
+		if errors.Is(wholesale, sent) != errors.Is(incremental, sent) {
+			t.Fatalf("%s: verdicts disagree on %v:\n  wholesale:   %v\n  incremental: %v",
+				ctx, sent, wholesale, incremental)
+		}
+	}
+}
+
+// TestAdmissionMatchesValidateBatch drives randomized event schedules —
+// biased hard toward the conflict and rejection cases — through both
+// admission paths in lockstep: each event is judged incrementally by
+// BatchAdmission and wholesale by ValidateBatch on the prospective batch,
+// and the verdicts must agree exactly. Admitted batches are then applied,
+// so later rounds run against a churned state with a non-empty deleted set
+// and healed topology.
+func TestAdmissionMatchesValidateBatch(t *testing.T) {
+	for _, seed := range []int64{1, 7, 23} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			s := mustState(t, Config{Kappa: 4, Seed: seed + 100}, cycle(48))
+
+			// Pre-churn so s.deleted and the baseline gp are populated: the
+			// ErrReusedNodeID path needs dead IDs to trip over.
+			if err := s.ApplyBatch(Batch{Deletions: []graph.NodeID{3, 11, 29}}); err != nil {
+				t.Fatalf("pre-churn: %v", err)
+			}
+
+			fresh := graph.NodeID(10_000)
+			nextFresh := func() graph.NodeID { fresh++; return fresh }
+
+			for round := 0; round < 8; round++ {
+				alive := s.Graph().Nodes()
+				randAlive := func() graph.NodeID { return alive[rng.Intn(len(alive))] }
+				dead := []graph.NodeID{3, 11, 29}
+
+				adm := s.BeginAdmission()
+				var batch Batch
+				var batchInserted, batchDeleted []graph.NodeID
+				var attached []graph.NodeID
+
+				for ev := 0; ev < 60; ev++ {
+					if rng.Intn(3) > 0 { // insertion
+						ins := BatchInsertion{Node: nextFresh()}
+						switch rng.Intn(8) {
+						case 0: // duplicate of an already-admitted insert
+							if len(batchInserted) > 0 {
+								ins.Node = batchInserted[rng.Intn(len(batchInserted))]
+							}
+						case 1: // alive node → ErrNodeExists
+							ins.Node = randAlive()
+						case 2: // dead ID → ErrReusedNodeID
+							ins.Node = dead[rng.Intn(len(dead))]
+						}
+						for k := rng.Intn(3) + 1; k > 0; k-- {
+							w := randAlive()
+							switch rng.Intn(10) {
+							case 0:
+								w = ins.Node // self
+							case 1:
+								if len(ins.Neighbors) > 0 { // duplicate neighbor
+									w = ins.Neighbors[rng.Intn(len(ins.Neighbors))]
+								}
+							case 2: // batch-deleted → conflict
+								if len(batchDeleted) > 0 {
+									w = batchDeleted[rng.Intn(len(batchDeleted))]
+								}
+							case 3: // batch-inserted → valid
+								if len(batchInserted) > 0 {
+									w = batchInserted[rng.Intn(len(batchInserted))]
+								}
+							case 4: // unknown → ErrBadNeighbor
+								w = nextFresh()
+							}
+							ins.Neighbors = append(ins.Neighbors, w)
+						}
+
+						cand := batch
+						cand.Insertions = append(cand.Insertions, ins)
+						wholesale := s.ValidateBatch(cand)
+						incremental := adm.AdmitInsertion(ins)
+						sameVerdict(t, fmt.Sprintf("round %d ev %d insert %+v", round, ev, ins),
+							wholesale, incremental)
+						if incremental == nil {
+							batch = cand
+							batchInserted = append(batchInserted, ins.Node)
+							attached = append(attached, ins.Neighbors...)
+						}
+					} else { // deletion
+						d := randAlive()
+						switch rng.Intn(6) {
+						case 0: // duplicate delete
+							if len(batchDeleted) > 0 {
+								d = batchDeleted[rng.Intn(len(batchDeleted))]
+							}
+						case 1: // delete a batch insert → conflict
+							if len(batchInserted) > 0 {
+								d = batchInserted[rng.Intn(len(batchInserted))]
+							}
+						case 2: // missing → ErrNodeMissing
+							d = nextFresh()
+						case 3: // attachment target of an admitted insert → conflict
+							if len(attached) > 0 {
+								d = attached[rng.Intn(len(attached))]
+							}
+						}
+
+						cand := batch
+						cand.Deletions = append(cand.Deletions, d)
+						wholesale := s.ValidateBatch(cand)
+						incremental := adm.AdmitDeletion(d)
+						sameVerdict(t, fmt.Sprintf("round %d ev %d delete %d", round, ev, d),
+							wholesale, incremental)
+						if incremental == nil {
+							batch = cand
+							batchDeleted = append(batchDeleted, d)
+						}
+					}
+				}
+
+				// The admitted batch must be exactly applicable — the whole
+				// point of admission is that apply cannot fail afterwards.
+				if len(batch.Insertions)+len(batch.Deletions) == 0 {
+					continue
+				}
+				if err := s.ApplyBatch(batch); err != nil {
+					t.Fatalf("round %d: admitted batch failed to apply: %v", round, err)
+				}
+				if err := s.CheckInvariants(); err != nil {
+					t.Fatalf("round %d: invariants after apply: %v", round, err)
+				}
+			}
+		})
+	}
+}
+
+// TestAdmissionFailureLeavesStateUntouched pins the defer contract: a
+// rejected or conflicting event must not change the admission's view, so
+// the same event can be re-judged (deferred) in a later tick and unrelated
+// events keep admitting as if the failure never happened.
+func TestAdmissionFailureLeavesStateUntouched(t *testing.T) {
+	s := mustState(t, Config{Kappa: 4, Seed: 5}, cycle(16))
+	adm := s.BeginAdmission()
+
+	if err := adm.AdmitInsertion(BatchInsertion{Node: 100, Neighbors: []graph.NodeID{0, 1}}); err != nil {
+		t.Fatalf("admit 100: %v", err)
+	}
+	// Fails on the unknown neighbor *after* valid ones: nothing may stick.
+	err := adm.AdmitInsertion(BatchInsertion{Node: 101, Neighbors: []graph.NodeID{2, 999}})
+	if !errors.Is(err, ErrBadNeighbor) {
+		t.Fatalf("admit 101 = %v, want ErrBadNeighbor", err)
+	}
+	// 101 must not count as inserted; 2 must not count as attached.
+	if err := adm.AdmitDeletion(2); err != nil {
+		t.Fatalf("delete 2 after failed insert naming it: %v", err)
+	}
+	if err := adm.AdmitInsertion(BatchInsertion{Node: 101, Neighbors: []graph.NodeID{3}}); err != nil {
+		t.Fatalf("re-admit 101 with good neighbors: %v", err)
+	}
+	// 0 was attached by the admitted insert of 100: deleting it must defer.
+	if err := adm.AdmitDeletion(0); !errors.Is(err, ErrBatchConflict) {
+		t.Fatalf("delete attached 0 = %v, want ErrBatchConflict", err)
+	}
+}

@@ -1,0 +1,262 @@
+package core
+
+import "github.com/xheal/xheal/internal/graph"
+
+// Sampled invariant checking: CheckInvariants is O(n + m + clouds) per call,
+// which a serving daemon cannot afford inside its apply loop at 10⁵–10⁶
+// nodes. CheckInvariantsSampled checks a budgeted window of each category —
+// physical edges, alive nodes, clouds, baseline nodes — per call, advancing
+// a rotating cursor so consecutive calls amortize a full sweep. Every call
+// additionally runs the O(1) global checks (claim/edge count agreement), so
+// a gross divergence is caught immediately and any pointwise violation is
+// caught within ⌈category size / budget⌉ calls.
+
+// invCursors holds the rotating sample positions. The cursors index the
+// sorted cached views (g.Nodes(), g.Edges(), Clouds(), gp.Nodes()), so a
+// full rotation visits every item even as the sets churn; they are
+// bookkeeping only and take no part in Snapshot identity.
+type invCursors struct {
+	node, edge, cloud, base int
+}
+
+// CheckInvariantsSampled verifies a budgeted sample of the state's
+// invariants: up to budget items of each category (physical edges, alive
+// nodes, clouds, baseline nodes) starting at a rotating cursor, plus the
+// O(1) whole-state checks on every call. budget ≤ 0 falls back to the full
+// CheckInvariants sweep. The violation vocabulary is CheckInvariants's.
+func (s *State) CheckInvariantsSampled(budget int) error {
+	if budget <= 0 {
+		return s.CheckInvariants()
+	}
+	// O(1) global agreement: claims and physical edges correspond
+	// one-to-one iff every edge has a claim (sampled below, complete per
+	// rotation) and the counts match.
+	if nc, ne := len(s.claims), s.g.NumEdges(); nc != ne {
+		return violation("claim count %d != physical edge count %d", nc, ne)
+	}
+
+	edges := s.g.Edges()
+	s.inv.edge = sampleRing(edges, s.inv.edge, budget, s.checkEdgeInvariant)
+	if s.invErr != nil {
+		return s.invErr
+	}
+	nodes := s.g.Nodes()
+	s.inv.node = sampleRing(nodes, s.inv.node, budget, s.checkNodeInvariant)
+	if s.invErr != nil {
+		return s.invErr
+	}
+	clouds := s.Clouds()
+	s.inv.cloud = sampleRing(clouds, s.inv.cloud, budget, s.checkCloudInvariant)
+	if s.invErr != nil {
+		return s.invErr
+	}
+	base := s.gp.Nodes()
+	s.inv.base = sampleRing(base, s.inv.base, budget, s.checkBaselineInvariant)
+	return s.invErr
+}
+
+// sampleRing visits up to budget items of view starting at cursor, wrapping
+// around, and returns the advanced cursor. check signals failure through
+// s.invErr (set by the check helpers) — the caller inspects it.
+func sampleRing[T any](view []T, cursor, budget int, check func(T) bool) int {
+	n := len(view)
+	if n == 0 {
+		return 0
+	}
+	if budget > n {
+		budget = n
+	}
+	cursor %= n
+	for i := 0; i < budget; i++ {
+		if !check(view[(cursor+i)%n]) {
+			return (cursor + i) % n
+		}
+	}
+	return (cursor + budget) % n
+}
+
+// The per-item helpers mirror CheckInvariants's category sweeps one item at
+// a time, reporting through s.invErr so they fit sampleRing's signature.
+
+func (s *State) checkEdgeInvariant(e graph.Edge) bool {
+	s.invErr = nil
+	cl, ok := s.claims[e]
+	if !ok {
+		s.invErr = violation("physical edge %v has no claim", e)
+		return false
+	}
+	if cl.empty() {
+		s.invErr = violation("edge %v has an empty claim", e)
+		return false
+	}
+	if cl.black && len(cl.colors) > 0 {
+		s.invErr = violation("edge %v is both black and colored", e)
+		return false
+	}
+	for _, color := range cl.colors {
+		c, live := s.clouds[color]
+		if !live {
+			s.invErr = violation("edge %v claimed by dead cloud %d", e, color)
+			return false
+		}
+		if _, has := c.edges[e]; !has {
+			s.invErr = violation("edge %v claims cloud %d which does not list it", e, color)
+			return false
+		}
+	}
+	return true
+}
+
+func (s *State) checkNodeInvariant(n graph.NodeID) bool {
+	s.invErr = nil
+	if dG, bound := s.g.Degree(n), s.DegreeBound(n); dG > bound {
+		s.invErr = violation("degree bound: node %d has deg_G=%d > κ·deg_G'=%d·%d + 2κ = %d",
+			n, dG, s.kappa, s.gp.Degree(n), bound)
+		return false
+	}
+	for id := range s.nodePrimaries[n] {
+		c, ok := s.clouds[id]
+		if !ok {
+			s.invErr = violation("node %d lists dead cloud %d", n, id)
+			return false
+		}
+		if c.kind != Primary {
+			s.invErr = violation("node %d lists non-primary cloud %d as primary", n, id)
+			return false
+		}
+		if !c.contains(n) {
+			s.invErr = violation("node %d lists cloud %d which lacks it", n, id)
+			return false
+		}
+	}
+	if link, ok := s.bridgeLinks[n]; ok {
+		f, live := s.clouds[link.secondary]
+		if !live {
+			s.invErr = violation("node %d bridges dead secondary %d", n, link.secondary)
+			return false
+		}
+		if f.kind != Secondary {
+			s.invErr = violation("node %d bridge target %d is not secondary", n, link.secondary)
+			return false
+		}
+		if !f.contains(n) {
+			s.invErr = violation("node %d not a member of its secondary %d", n, link.secondary)
+			return false
+		}
+		p, live := s.clouds[link.primary]
+		if !live {
+			s.invErr = violation("node %d anchors dead primary %d", n, link.primary)
+			return false
+		}
+		if p.kind != Primary {
+			s.invErr = violation("node %d anchor %d is not primary", n, link.primary)
+			return false
+		}
+		if !p.contains(n) {
+			s.invErr = violation("node %d not a member of its anchored primary %d", n, link.primary)
+			return false
+		}
+	}
+	return true
+}
+
+func (s *State) checkCloudInvariant(id ColorID) bool {
+	s.invErr = nil
+	c, ok := s.clouds[id]
+	if !ok {
+		return true // raced with Clouds() view; next rotation re-reads
+	}
+	if c.id != id {
+		s.invErr = violation("cloud registry key %d != cloud id %d", id, c.id)
+		return false
+	}
+	if c.kind != Primary && c.kind != Secondary {
+		s.invErr = violation("cloud %d has invalid kind %d", id, int(c.kind))
+		return false
+	}
+	if c.size() == 0 {
+		s.invErr = violation("cloud %d is empty but registered", id)
+		return false
+	}
+	if err := c.m.Validate(); err != nil {
+		s.invErr = violation("cloud %d maintainer: %v", id, err)
+		return false
+	}
+	for _, n := range c.members() {
+		if !s.g.HasNode(n) {
+			s.invErr = violation("cloud %d member %d is not alive", id, n)
+			return false
+		}
+		if _, dead := s.deleted[n]; dead {
+			s.invErr = violation("cloud %d contains deleted node %d", id, n)
+			return false
+		}
+		switch c.kind {
+		case Primary:
+			set, ok := s.nodePrimaries[n]
+			if !ok {
+				s.invErr = violation("cloud %d member %d missing membership entry", id, n)
+				return false
+			}
+			if _, in := set[id]; !in {
+				s.invErr = violation("cloud %d member %d does not list the cloud", id, n)
+				return false
+			}
+		case Secondary:
+			link, ok := s.bridgeLinks[n]
+			if !ok || link.secondary != id {
+				s.invErr = violation("secondary %d member %d lacks a matching bridge link", id, n)
+				return false
+			}
+		}
+	}
+	want := c.m.EdgeSet()
+	if len(want) != len(c.edges) {
+		s.invErr = violation("cloud %d claims %d edges, maintainer wants %d", id, len(c.edges), len(want))
+		return false
+	}
+	for e := range want {
+		if _, ok := c.edges[e]; !ok {
+			s.invErr = violation("cloud %d missing claim on %v", id, e)
+			return false
+		}
+		cl, ok := s.claims[e]
+		if !ok {
+			s.invErr = violation("cloud %d edge %v has no physical claim", id, e)
+			return false
+		}
+		if !cl.hasColor(id) {
+			s.invErr = violation("cloud %d edge %v claim does not list the cloud", id, e)
+			return false
+		}
+	}
+	return true
+}
+
+// checkBaselineInvariant covers the deleted-node category: G′ holds every
+// node ever inserted, so a rotation over gp.Nodes() deterministically
+// visits all deleted nodes (unlike ranging the deleted map).
+func (s *State) checkBaselineInvariant(n graph.NodeID) bool {
+	s.invErr = nil
+	_, dead := s.deleted[n]
+	if !dead {
+		if !s.g.HasNode(n) {
+			s.invErr = violation("baseline node %d neither alive nor deleted", n)
+			return false
+		}
+		return true
+	}
+	if s.g.HasNode(n) {
+		s.invErr = violation("deleted node %d still alive", n)
+		return false
+	}
+	if _, ok := s.nodePrimaries[n]; ok {
+		s.invErr = violation("deleted node %d has primary memberships", n)
+		return false
+	}
+	if _, ok := s.bridgeLinks[n]; ok {
+		s.invErr = violation("deleted node %d has a bridge link", n)
+		return false
+	}
+	return true
+}

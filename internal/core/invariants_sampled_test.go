@@ -1,0 +1,152 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/workload"
+)
+
+// churntState builds a state that has seen enough healing to populate every
+// invariant category: clouds, colored claims, bridge links, deleted nodes.
+func churntState(t *testing.T) *State {
+	t.Helper()
+	g0, err := workload.RandomRegular(60, 2, rand.New(rand.NewSource(17)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewState(Config{Kappa: 4, Seed: 9}, g0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	next := graph.NodeID(500)
+	for i := 0; i < 40; i++ {
+		alive := s.Graph().Nodes()
+		if rng.Float64() < 0.6 {
+			if err := s.DeleteNode(alive[rng.Intn(len(alive))]); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			nbr := alive[rng.Intn(len(alive))]
+			if err := s.InsertNode(next, []graph.NodeID{nbr}); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+	}
+	if len(s.clouds) == 0 || len(s.deleted) == 0 {
+		t.Fatalf("scenario too tame: %d clouds, %d deleted", len(s.clouds), len(s.deleted))
+	}
+	return s
+}
+
+// rotationCalls returns how many sampled calls guarantee a full rotation over
+// every category at the given budget.
+func rotationCalls(s *State, budget int) int {
+	max := s.Graph().NumEdges()
+	if n := s.Graph().NumNodes(); n > max {
+		max = n
+	}
+	if n := len(s.clouds); n > max {
+		max = n
+	}
+	if n := s.Baseline().NumNodes(); n > max {
+		max = n
+	}
+	return (max+budget-1)/budget + 1
+}
+
+// TestSampledInvariantsCleanAgreement: on a valid state, the sampled checker
+// agrees with the full sweep (both nil) across an entire rotation, at several
+// budgets including one larger than every category.
+func TestSampledInvariantsCleanAgreement(t *testing.T) {
+	s := churntState(t)
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("full sweep on clean state: %v", err)
+	}
+	for _, budget := range []int{1, 7, 100000} {
+		s.inv = invCursors{}
+		for i := 0; i < rotationCalls(s, budget); i++ {
+			if err := s.CheckInvariantsSampled(budget); err != nil {
+				t.Fatalf("budget %d, call %d: sampled check on clean state: %v", budget, i, err)
+			}
+		}
+	}
+	// budget ≤ 0 must be exactly the full sweep.
+	if err := s.CheckInvariantsSampled(0); err != nil {
+		t.Fatalf("budget 0 fallback: %v", err)
+	}
+}
+
+// TestSampledInvariantsDetectCorruption corrupts one category at a time and
+// requires (a) the full sweep rejects the state and (b) the sampled checker
+// rejects it within one full rotation, for each category's corruption.
+func TestSampledInvariantsDetectCorruption(t *testing.T) {
+	corruptions := []struct {
+		name    string
+		corrupt func(t *testing.T, s *State)
+	}{
+		{"empty-claim", func(t *testing.T, s *State) {
+			// Edge category: an existing physical edge's claim is emptied
+			// (claim count stays equal to edge count, so the O(1) global
+			// check cannot catch it — only the edge rotation can).
+			e := s.Graph().Edges()[3]
+			s.claims[e] = edgeClaim{}
+		}},
+		{"cloud-missing-claim", func(t *testing.T, s *State) {
+			// Cloud category: a cloud drops one of its claimed edges.
+			for _, c := range s.clouds {
+				for e := range c.edges {
+					delete(c.edges, e)
+					return
+				}
+			}
+			t.Fatal("no cloud edge to corrupt")
+		}},
+		{"dead-bridge-target", func(t *testing.T, s *State) {
+			// Node category: an alive node gains a bridge link into a cloud
+			// that does not exist.
+			for _, n := range s.Graph().Nodes() {
+				if _, has := s.bridgeLinks[n]; !has {
+					s.bridgeLinks[n] = bridgeLink{secondary: 1 << 30, primary: 1 << 30}
+					return
+				}
+			}
+			t.Fatal("no unbridged node to corrupt")
+		}},
+		{"deleted-node-membership", func(t *testing.T, s *State) {
+			// Baseline category: a deleted node retains a membership entry.
+			for n := range s.deleted {
+				s.nodePrimaries[n] = map[ColorID]struct{}{}
+				return
+			}
+			t.Fatal("no deleted node to corrupt")
+		}},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			s := churntState(t)
+			tc.corrupt(t, s)
+			full := s.CheckInvariants()
+			if !errors.Is(full, ErrInvariant) {
+				t.Fatalf("full sweep missed the corruption: %v", full)
+			}
+			const budget = 5
+			s.inv = invCursors{}
+			var sampled error
+			calls := rotationCalls(s, budget)
+			for i := 0; i < calls; i++ {
+				if sampled = s.CheckInvariantsSampled(budget); sampled != nil {
+					break
+				}
+			}
+			if !errors.Is(sampled, ErrInvariant) {
+				t.Fatalf("sampled checker missed the corruption after %d calls at budget %d: %v",
+					calls, budget, sampled)
+			}
+		})
+	}
+}

@@ -372,9 +372,11 @@ func (s *State) mergeGroups(b Batch, groups []*repairGroup, results []*groupResu
 		// Victims leave the main graph exactly as deleteNode would have
 		// removed them; their incident claims die in the edge sync below.
 		for _, v := range g.deletions {
-			if _, err := s.g.RemoveNode(v); err != nil {
+			wound, err := s.g.RemoveNode(v)
+			if err != nil {
 				panic(fmt.Sprintf("core: merge: victim %d not in graph: %v", v, err))
 			}
+			s.noteNodeRemoved(v, wound)
 			s.deleted[v] = struct{}{}
 			delete(s.nodePrimaries, v)
 			delete(s.bridgeLinks, v)
@@ -392,6 +394,9 @@ func (s *State) mergeGroups(b Batch, groups []*repairGroup, results []*groupResu
 				if err := s.g.RemoveEdge(e.U, e.V); err != nil {
 					panic(fmt.Sprintf("core: merge: remove edge %v: %v", e, err))
 				}
+				if s.tick != nil {
+					netDelta(s.tick.edges, e, deltaRemoved)
+				}
 			}
 		}
 		for e, cl := range sub.claims {
@@ -399,7 +404,12 @@ func (s *State) mergeGroups(b Batch, groups []*repairGroup, results []*groupResu
 				cl.colors[i] = remap(id)
 			}
 			s.claims[e] = cl
-			s.g.EnsureEdge(e.U, e.V)
+			if !s.g.HasEdge(e.U, e.V) {
+				s.g.EnsureEdge(e.U, e.V)
+				if s.tick != nil {
+					netDelta(s.tick.edges, e, deltaAdded)
+				}
+			}
 		}
 
 		// Clouds: footprint clouds are replaced wholesale by the scope's

@@ -74,6 +74,14 @@ type State struct {
 	// the current repair (see DeleteNodeDelta).
 	deltaLog map[graph.Edge]int8
 
+	// tick, when non-nil, accumulates the net structural changes of the
+	// whole in-flight batch — wound edges and node set changes included
+	// (see BeginTickDelta / TakeTickDelta in tickdelta.go).
+	tick *tickAcc
+	// tickSpare keeps the previous capture's accumulator for reuse, so the
+	// steady-state tick path doesn't pay a fresh map per batch.
+	tickSpare *tickAcc
+
 	// rec, when non-nil, receives per-wound trace callbacks (repair
 	// admission, rewiring, cloud construction). All obs.Recorder methods
 	// no-op on nil, so the disabled hot path pays one nil check.
@@ -90,6 +98,11 @@ type State struct {
 	// per deletion in batch order and routes each group's share here, so the
 	// main stream advances identically to a serial run.
 	seedQueue []int64
+
+	// inv / invErr carry the rotating cursors and pending violation of
+	// CheckInvariantsSampled; bookkeeping only, outside Snapshot identity.
+	inv    invCursors
+	invErr error
 
 	// poisoned, once set, fail-stops the State: every mutating or exporting
 	// call returns ErrPoisoned wrapping this cause. See ApplyBatch's contract.
@@ -276,6 +289,7 @@ func (s *State) InsertNode(u graph.NodeID, nbrs []graph.NodeID) error {
 		}
 		s.claims[graph.NewEdge(u, w)] = edgeClaim{black: true}
 	}
+	s.noteNodeInserted(u, nbrs)
 	s.stats.Insertions++
 	s.rec.InsertApplied()
 	return nil
@@ -325,6 +339,7 @@ func (s *State) deleteNode(v graph.NodeID, settle bool) error {
 	for _, w := range nbrs {
 		delete(s.claims, graph.NewEdge(v, w))
 	}
+	s.noteNodeRemoved(v, nbrs)
 	s.deleted[v] = struct{}{}
 	delete(s.nodePrimaries, v)
 	delete(s.bridgeLinks, v)
@@ -374,18 +389,16 @@ const (
 	deltaRemoved int8 = -1
 )
 
-// logDelta nets one physical edge change into the active delta log: an add
+// logDelta nets one physical edge change into the active delta logs: an add
 // cancels a pending remove of the same edge and vice versa, so an edge the
 // repair drops and re-wires contributes nothing.
 func (s *State) logDelta(e graph.Edge, kind int8) {
-	if s.deltaLog == nil {
-		return
+	if s.deltaLog != nil {
+		netDelta(s.deltaLog, e, kind)
 	}
-	if s.deltaLog[e] == -kind {
-		delete(s.deltaLog, e)
-		return
+	if s.tick != nil {
+		netDelta(s.tick.edges, e, kind)
 	}
-	s.deltaLog[e] = kind
 }
 
 // DeleteNodeDelta is DeleteNode, additionally returning the net physical

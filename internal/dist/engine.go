@@ -81,6 +81,10 @@ type Engine struct {
 	// protocol phases (election, dissemination) and the ledger costs.
 	rec *obs.Recorder
 
+	// viewCursor rotates CheckInvariantsSampled's local-view window over
+	// the sorted alive nodes; bookkeeping only.
+	viewCursor int
+
 	closed bool
 }
 
@@ -272,6 +276,23 @@ func (e *Engine) ApplyBatch(b core.Batch) error {
 	return nil
 }
 
+// ApplyBatchDelta is ApplyBatch, additionally returning the net structural
+// change the batch made (facade parity with core.State.ApplyBatchDelta, for
+// the serving daemon's incremental metrics tracker). The distributed
+// protocol is inherently serial per deletion, so workers is ignored.
+func (e *Engine) ApplyBatchDelta(b core.Batch, _ int) (core.TickDelta, error) {
+	if e.closed {
+		return core.TickDelta{}, ErrClosed
+	}
+	e.st.BeginTickDelta()
+	err := e.ApplyBatch(b)
+	d := e.st.TakeTickDelta()
+	if err != nil {
+		return core.TickDelta{}, err
+	}
+	return d, nil
+}
+
 // ValidateBatch checks a batch against the current state without applying
 // anything — the same admission rule the sequential reference uses
 // (core.State.ValidateBatch), exposed so batch assemblers (internal/server)
@@ -281,6 +302,17 @@ func (e *Engine) ValidateBatch(b core.Batch) error {
 		return ErrClosed
 	}
 	return e.st.ValidateBatch(b)
+}
+
+// BeginAdmission starts an incremental batch admission with ValidateBatch's
+// semantics at O(event) per decision (see core.BatchAdmission). Returns nil
+// once the engine is closed — callers fall back to ValidateBatch, which
+// reports ErrClosed.
+func (e *Engine) BeginAdmission() *core.BatchAdmission {
+	if e.closed {
+		return nil
+	}
+	return e.st.BeginAdmission()
 }
 
 // Baseline returns G′: original nodes plus insertions, with deletions
@@ -299,6 +331,43 @@ func (e *Engine) CheckInvariants() error {
 		return err
 	}
 	return e.ValidateLocalViews()
+}
+
+// CheckInvariantsSampled is CheckInvariants with a rotating per-call budget
+// (see core.State.CheckInvariantsSampled): a budgeted window of the state
+// invariants plus a budgeted window of local-view validations, so the
+// serve-path invariant gate stays O(budget) per tick at any network size.
+func (e *Engine) CheckInvariantsSampled(budget int) error {
+	if e.closed {
+		return ErrClosed
+	}
+	if budget <= 0 {
+		return e.CheckInvariants()
+	}
+	if err := e.st.CheckInvariantsSampled(budget); err != nil {
+		return err
+	}
+	g := e.st.Graph()
+	alive := g.Nodes()
+	if len(e.nodes) != len(alive) {
+		return fmt.Errorf("dist: %d node goroutines for %d alive nodes", len(e.nodes), len(alive))
+	}
+	n := len(alive)
+	if n == 0 {
+		return nil
+	}
+	if budget > n {
+		budget = n
+	}
+	e.viewCursor %= n
+	for i := 0; i < budget; i++ {
+		id := alive[(e.viewCursor+i)%n]
+		if err := e.validateLocalView(g, id); err != nil {
+			return err
+		}
+	}
+	e.viewCursor = (e.viewCursor + budget) % n
+	return nil
 }
 
 // planFor hands the current wound's repair plan to the elected leader. It is
@@ -388,19 +457,28 @@ func (e *Engine) ValidateLocalViews() error {
 		return fmt.Errorf("dist: %d node goroutines for %d alive nodes", len(e.nodes), len(alive))
 	}
 	for _, id := range alive {
-		nd, ok := e.nodes[id]
-		if !ok {
-			return fmt.Errorf("dist: alive node %d has no goroutine", id)
+		if err := e.validateLocalView(g, id); err != nil {
+			return err
 		}
-		nbrs := g.Neighbors(id)
-		if len(nd.view) != len(nbrs) {
-			return fmt.Errorf("dist: node %d local view has %d neighbors, healed graph has %d",
-				id, len(nd.view), len(nbrs))
-		}
-		for _, w := range nbrs {
-			if _, seen := nd.view[w]; !seen {
-				return fmt.Errorf("dist: node %d is missing neighbor %d from its local view", id, w)
-			}
+	}
+	return nil
+}
+
+// validateLocalView checks one node's message-built local view against the
+// healed graph (the per-node body of ValidateLocalViews).
+func (e *Engine) validateLocalView(g *graph.Graph, id graph.NodeID) error {
+	nd, ok := e.nodes[id]
+	if !ok {
+		return fmt.Errorf("dist: alive node %d has no goroutine", id)
+	}
+	nbrs := g.Neighbors(id)
+	if len(nd.view) != len(nbrs) {
+		return fmt.Errorf("dist: node %d local view has %d neighbors, healed graph has %d",
+			id, len(nd.view), len(nbrs))
+	}
+	for _, w := range nbrs {
+		if _, seen := nd.view[w]; !seen {
+			return fmt.Errorf("dist: node %d is missing neighbor %d from its local view", id, w)
 		}
 	}
 	return nil

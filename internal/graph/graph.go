@@ -109,6 +109,12 @@ func (g *Graph) Clone() *Graph {
 	return c
 }
 
+// Generation returns the graph's mutation counter: it changes on every
+// structural mutation, so equal generations of the *same* Graph imply an
+// unchanged structure. Clones restart at 1 — the counter identifies
+// versions of one graph, not graphs.
+func (g *Graph) Generation() uint64 { return g.gen }
+
 // NumNodes returns the number of nodes.
 func (g *Graph) NumNodes() int { return len(g.adj) }
 

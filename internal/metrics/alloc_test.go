@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/xheal/xheal/internal/graph"
+)
+
+// TestSampleSourcesAllocs pins the O(k) cost of source sampling: the partial
+// Fisher–Yates must allocate only the output slice and its displacement map,
+// never an O(n) permutation. ~3 allocations per call (slice + map header +
+// one bucket block); 8 leaves headroom for map growth across Go versions
+// while still failing instantly if anyone reintroduces rng.Perm(n).
+func TestSampleSourcesAllocs(t *testing.T) {
+	alive := make([]graph.NodeID, 200_000)
+	for i := range alive {
+		alive[i] = graph.NodeID(i)
+	}
+	rng := rand.New(rand.NewSource(1))
+	const k = 8
+	allocs := testing.AllocsPerRun(20, func() {
+		out := sampleSources(alive, k, rng)
+		if len(out) != k {
+			t.Fatalf("sampled %d sources, want %d", len(out), k)
+		}
+	})
+	if allocs > 8 {
+		t.Fatalf("sampleSources allocates %v times per call over n=200k; "+
+			"an O(n) permutation has crept back in", allocs)
+	}
+}
+
+// TestSampleSourcesUniqueAndComplete: the sample holds k distinct alive
+// nodes, and k == n degenerates to a full permutation of the input.
+func TestSampleSourcesUniqueAndComplete(t *testing.T) {
+	alive := []graph.NodeID{10, 11, 12, 13, 14, 15, 16, 17}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		out := sampleSources(alive, 5, rng)
+		seen := make(map[graph.NodeID]bool, len(out))
+		for _, v := range out {
+			if seen[v] {
+				t.Fatalf("trial %d: duplicate source %d in %v", trial, v, out)
+			}
+			seen[v] = true
+			if v < 10 || v > 17 {
+				t.Fatalf("trial %d: source %d not in input", trial, v)
+			}
+		}
+	}
+	full := sampleSources(alive, len(alive), rng)
+	seen := make(map[graph.NodeID]bool, len(full))
+	for _, v := range full {
+		seen[v] = true
+	}
+	if len(seen) != len(alive) {
+		t.Fatalf("k=n sample is not a permutation: %v", full)
+	}
+}

@@ -1,0 +1,167 @@
+package live
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/spectral"
+)
+
+// Default Krylov step counts: cold matches spectral.AlgebraicConnectivity's
+// budget; warm restarts from the previous Ritz vector and needs far fewer
+// steps to re-converge on a graph that moved by a few edges.
+const (
+	coldLanczosSteps = 90
+	warmLanczosSteps = 32
+)
+
+// Lambda2Cache is a warm-started λ₂ estimator over CSR snapshots. It keeps
+// the previous refresh's Ritz vector keyed by node order; a refresh remaps
+// it onto the new snapshot's ordering (surviving nodes keep their values,
+// new nodes start at zero) and re-converges from there. Refreshes are
+// driven by the serving daemon's refresh cycle; Value is O(1) and never
+// blocks behind an in-flight iteration.
+type Lambda2Cache struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	prevNodes []graph.NodeID // node ordering of prevVec (sorted)
+	prevVec   []float64      // last Ritz vector, unit norm
+	haveVec   bool
+
+	lambda float64
+	valid  bool
+	gen    uint64 // graph generation the estimate reflects
+	tick   uint64 // tick the estimate reflects
+
+	refreshes   uint64
+	warmCount   uint64
+	lastSeconds float64
+	lastWarm    bool
+}
+
+// Lambda2Stats is refresh telemetry for health and benchmarks.
+type Lambda2Stats struct {
+	Refreshes     uint64
+	WarmRefreshes uint64
+	// LastSeconds is the wall time of the most recent Lanczos run;
+	// LastWarm reports whether it started from the cached Ritz vector.
+	LastSeconds float64
+	LastWarm    bool
+}
+
+// NewLambda2Cache builds an empty cache; seed fixes the cold-start vector
+// draws for reproducibility.
+func NewLambda2Cache(seed int64) *Lambda2Cache {
+	return &Lambda2Cache{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Generation returns the graph generation of the current estimate; a
+// refresher skips recomputation entirely while the live graph still
+// carries this generation.
+func (c *Lambda2Cache) Generation() (uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen, c.valid
+}
+
+// Value returns the cached λ₂ estimate and the tick it reflects.
+func (c *Lambda2Cache) Value() (lambda float64, asOf uint64, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lambda, c.tick, c.valid
+}
+
+// Stats returns refresh telemetry.
+func (c *Lambda2Cache) Stats() Lambda2Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Lambda2Stats{
+		Refreshes:     c.refreshes,
+		WarmRefreshes: c.warmCount,
+		LastSeconds:   c.lastSeconds,
+		LastWarm:      c.lastWarm,
+	}
+}
+
+// Refresh re-estimates λ₂ from a CSR snapshot taken at (gen, tick).
+// connected is the snapshot's connectivity verdict: λ₂ of a disconnected
+// graph is 0 and needs no iteration (and the cached Ritz vector is dropped
+// — it spans the wrong space once components merge back). Single-caller
+// (the refresh goroutine); Value readers are never blocked by the Lanczos
+// run itself.
+func (c *Lambda2Cache) Refresh(op *spectral.CSR, connected bool, gen, tick uint64) {
+	if !connected || len(op.Nodes) < 2 {
+		c.mu.Lock()
+		c.lambda = 0
+		c.valid = true
+		c.haveVec = false
+		c.prevNodes, c.prevVec = nil, nil
+		c.gen, c.tick = gen, tick
+		c.refreshes++
+		c.lastSeconds, c.lastWarm = 0, false
+		c.mu.Unlock()
+		return
+	}
+
+	c.mu.Lock()
+	var start []float64
+	warm := false
+	if c.haveVec {
+		start = remapVector(op.Nodes, c.prevNodes, c.prevVec)
+		warm = start != nil
+	}
+	rng := c.rng
+	c.mu.Unlock()
+
+	steps := coldLanczosSteps
+	if warm {
+		steps = warmLanczosSteps
+	}
+	began := time.Now()
+	lambda, ritz, err := spectral.Lambda2Warm(op, start, steps, rng)
+	elapsed := time.Since(began).Seconds()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.refreshes++
+	c.lastSeconds, c.lastWarm = elapsed, warm
+	if warm {
+		c.warmCount++
+	}
+	if err != nil {
+		// Krylov breakdown: keep the previous estimate, drop the vector.
+		c.haveVec = false
+		return
+	}
+	c.lambda = lambda
+	c.valid = true
+	c.gen, c.tick = gen, tick
+	c.prevNodes, c.prevVec = op.Nodes, ritz
+	c.haveVec = ritz != nil
+}
+
+// remapVector carries the previous Ritz vector onto a new sorted node
+// ordering: surviving nodes keep their component, new nodes start at 0.
+// Returns nil when fewer than half the nodes carry over — a start vector
+// that sparse converges no faster than a random one.
+func remapVector(nodes, prevNodes []graph.NodeID, prevVec []float64) []float64 {
+	out := make([]float64, len(nodes))
+	matched := 0
+	j := 0
+	for i, n := range nodes {
+		for j < len(prevNodes) && prevNodes[j] < n {
+			j++
+		}
+		if j < len(prevNodes) && prevNodes[j] == n {
+			out[i] = prevVec[j]
+			matched++
+		}
+	}
+	if matched*2 < len(nodes) {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package live
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/xheal/xheal/internal/core"
+	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/spectral"
+	"github.com/xheal/xheal/internal/workload"
+)
+
+// TestLambda2CacheStaleness pins the staleness contract: the cached value
+// carries the tick of the snapshot it was computed from, a matching
+// generation skips recomputation, and a refresh after churn re-converges
+// warm onto the right eigenvalue.
+func TestLambda2CacheStaleness(t *testing.T) {
+	g, err := workload.RandomRegular(300, 3, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewLambda2Cache(1)
+
+	if _, _, ok := c.Value(); ok {
+		t.Fatal("empty cache claims validity")
+	}
+
+	csr := spectral.NewCSR(g)
+	c.Refresh(csr, true, g.Generation(), 10)
+	lambda, asOf, ok := c.Value()
+	if !ok || asOf != 10 {
+		t.Fatalf("after refresh: lambda=%v asOf=%d ok=%v", lambda, asOf, ok)
+	}
+	want := spectral.AlgebraicConnectivity(g, rand.New(rand.NewSource(1)))
+	if math.Abs(lambda-want) > 1e-6*math.Max(1, want) {
+		t.Fatalf("cold cache lambda2 = %v, AlgebraicConnectivity = %v", lambda, want)
+	}
+	if gen, ok := c.Generation(); !ok || gen != g.Generation() {
+		t.Fatalf("generation = %d/%v, want %d/true", gen, ok, g.Generation())
+	}
+	if st := c.Stats(); st.Refreshes != 1 || st.LastWarm {
+		t.Fatalf("first refresh stats: %+v", st)
+	}
+
+	// Churn the graph a little; a warm refresh must still land on the true
+	// eigenvalue of the new graph and stamp the new tick.
+	rng := rand.New(rand.NewSource(4))
+	nodes := g.Nodes()
+	for i := 0; i < 10; i++ {
+		u := nodes[rng.Intn(len(nodes))]
+		v := nodes[rng.Intn(len(nodes))]
+		if u != v && !g.HasEdge(u, v) {
+			g.EnsureEdge(u, v)
+		}
+	}
+	csr2 := spectral.NewCSR(g)
+	c.Refresh(csr2, true, g.Generation(), 25)
+	lambda2, asOf2, _ := c.Value()
+	if asOf2 != 25 {
+		t.Fatalf("staleness watermark not advanced: asOf=%d, want 25", asOf2)
+	}
+	// The warm run uses a third of the cold step count; it converges to a
+	// few parts in 10⁶ of the full-budget reference, not bit-equality.
+	want2 := spectral.AlgebraicConnectivity(g, rand.New(rand.NewSource(1)))
+	if math.Abs(lambda2-want2) > 1e-4*math.Max(1, want2) {
+		t.Fatalf("warm refresh lambda2 = %v, AlgebraicConnectivity = %v", lambda2, want2)
+	}
+	if st := c.Stats(); !st.LastWarm || st.WarmRefreshes != 1 {
+		t.Fatalf("second refresh should have warm-started: %+v", st)
+	}
+}
+
+// TestLambda2CacheDisconnected pins λ₂ = 0 with no iteration for a
+// disconnected snapshot, and the cold restart after components merge back.
+func TestLambda2CacheDisconnected(t *testing.T) {
+	g := graph.New()
+	for i := graph.NodeID(0); i < 6; i++ {
+		g.EnsureNode(i)
+	}
+	g.EnsureEdge(0, 1)
+	g.EnsureEdge(2, 3)
+	c := NewLambda2Cache(1)
+	c.Refresh(spectral.NewCSR(g), false, g.Generation(), 3)
+	lambda, asOf, ok := c.Value()
+	if !ok || lambda != 0 || asOf != 3 {
+		t.Fatalf("disconnected: lambda=%v asOf=%d ok=%v, want 0/3/true", lambda, asOf, ok)
+	}
+	// Reconnect; the dropped Ritz vector forces a cold (but correct) run.
+	g.EnsureEdge(1, 2)
+	g.EnsureEdge(3, 4)
+	g.EnsureEdge(4, 5)
+	g.EnsureEdge(5, 0)
+	c.Refresh(spectral.NewCSR(g), true, g.Generation(), 5)
+	lambda, _, _ = c.Value()
+	if lambda <= 0 {
+		t.Fatalf("reconnected graph: lambda=%v, want > 0", lambda)
+	}
+	if st := c.Stats(); st.LastWarm {
+		t.Fatal("refresh after disconnection warm-started from a dropped vector")
+	}
+}
+
+// TestStretchSamplerTracksChurn drives churn through the engine and checks
+// the sampled estimate stays within the true stretch bounds whenever the
+// trees are fresh: each cached tree's stretch is a lower bound on the exact
+// max stretch, and ages are reported honestly.
+func TestStretchSamplerTracksChurn(t *testing.T) {
+	g0, err := workload.RandomRegular(40, 2, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := core.NewState(core.Config{Kappa: 4, Seed: 2}, g0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStretchSampler(3, 4, 1)
+	var tick uint64
+
+	refresh := func() {
+		s.Refresh(spectral.NewCSR(st.Graph()), spectral.NewCSR(st.Baseline()), tick)
+	}
+	refresh()
+	if _, _, ok := s.Value(tick); !ok {
+		t.Fatal("sampler not valid after first refresh")
+	}
+
+	adv := rand.New(rand.NewSource(8))
+	next := graph.NodeID(1000)
+	for i := 0; i < 60; i++ {
+		var b core.Batch
+		alive := st.Graph().Nodes()
+		if adv.Float64() < 0.45 && len(alive) > 4 {
+			b.Deletions = []graph.NodeID{alive[adv.Intn(len(alive))]}
+		} else {
+			b.Insertions = []core.BatchInsertion{{Node: next,
+				Neighbors: []graph.NodeID{alive[adv.Intn(len(alive))]}}}
+			next++
+		}
+		if st.ValidateBatch(b) != nil {
+			continue
+		}
+		d, err := st.ApplyBatchDelta(b, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tick++
+		s.Observe(d)
+		if s.NeedsRefresh(tick) {
+			refresh()
+		}
+		got, age, ok := s.Value(tick)
+		if !ok {
+			t.Fatalf("tick %d: sampler lost validity", tick)
+		}
+		if age > 4 {
+			t.Fatalf("tick %d: tree age %d exceeds maxAge 4 right after refresh check", tick, age)
+		}
+		if age == 0 {
+			// Fresh trees: every cached source's stretch is exact for that
+			// source, so the sampled max is a lower bound on the exact max
+			// and at least 1.
+			exact := exactStretch(st.Graph(), st.Baseline())
+			if got < 1 || got > exact+1e-12 {
+				t.Fatalf("tick %d: sampled stretch %v outside [1, exact %v]", tick, got, exact)
+			}
+		}
+	}
+}
+
+// exactStretch is the all-sources reference (metrics.Stretch with
+// maxSources=0 semantics, recomputed here over clones for isolation).
+func exactStretch(g, gp *graph.Graph) float64 {
+	worst := 1.0
+	for _, src := range g.Nodes() {
+		dg := g.BFSFrom(src)
+		dp := gp.BFSFrom(src)
+		for _, dst := range g.Nodes() {
+			if dst == src {
+				continue
+			}
+			base, okp := dp[dst]
+			if !okp || base == 0 {
+				continue
+			}
+			healed, okg := dg[dst]
+			if !okg {
+				return math.Inf(1)
+			}
+			if r := float64(healed) / float64(base); r > worst {
+				worst = r
+			}
+		}
+	}
+	return worst
+}

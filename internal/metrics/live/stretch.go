@@ -1,0 +1,313 @@
+package live
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"sync"
+
+	"github.com/xheal/xheal/internal/core"
+	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/spectral"
+)
+
+// stretchTree caches the two BFS distance arrays (healed graph G and
+// baseline G′) from one source, aligned to the CSR node orderings they were
+// built from. Distances are -1 for unreachable.
+type stretchTree struct {
+	src graph.NodeID
+
+	nodes []graph.NodeID // G ordering at build time (sorted)
+	dg    []int32
+
+	pnodes []graph.NodeID // G′ ordering at build time (sorted)
+	dp     []int32
+
+	stretch float64
+	built   bool
+	dirty   bool
+	builtAt uint64 // tracker tick of the snapshot the tree was built from
+}
+
+// StretchSampler estimates the paper's max-stretch metric from a reservoir
+// of BFS sources with cached trees. Observe screens each applied delta
+// against every cached tree and only marks a tree for rebuild when the
+// delta could have changed its distances; Refresh rebuilds marked (or
+// over-age) trees from CSR snapshots, BFS outside any lock the serving
+// path holds. Between refreshes the value is an estimate and carries its
+// age in ticks.
+type StretchSampler struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	maxAge uint64
+	trees  []*stretchTree
+}
+
+// NewStretchSampler builds a sampler with k source slots; each tree is also
+// rebuilt unconditionally once it is maxAge ticks old, bounding how long
+// the screened-delta estimate can drift. seed fixes source draws.
+func NewStretchSampler(k int, maxAge uint64, seed int64) *StretchSampler {
+	if k < 1 {
+		k = 1
+	}
+	if maxAge < 1 {
+		maxAge = 1
+	}
+	s := &StretchSampler{
+		rng:    rand.New(rand.NewSource(seed)),
+		maxAge: maxAge,
+		trees:  make([]*stretchTree, k),
+	}
+	for i := range s.trees {
+		s.trees[i] = &stretchTree{dirty: true}
+	}
+	return s
+}
+
+// Observe screens one applied delta against the cached trees, marking any
+// tree whose distances the delta could have changed. O(k·|delta|·log n);
+// called from the serving apply path, so it must stay cheap.
+func (s *StretchSampler) Observe(d core.TickDelta) {
+	if d.Empty() {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range s.trees {
+		if !t.built || t.dirty {
+			continue
+		}
+		if t.touchedBy(d) {
+			t.dirty = true
+		}
+	}
+}
+
+// touchedBy reports whether the delta could change t's distances (or its
+// validity — a dead source). Conservative: false positives only cost a
+// rebuild; false negatives are bounded by the sampler's age cap.
+func (t *stretchTree) touchedBy(d core.TickDelta) bool {
+	if _, dead := slices.BinarySearch(d.NodesRemoved, t.src); dead {
+		return true
+	}
+	for _, e := range d.EdgesRemoved {
+		du, okU := t.distG(e.U)
+		dw, okW := t.distG(e.V)
+		if !okU || !okW || du < 0 || dw < 0 {
+			// Endpoint unknown to the tree (inserted after build) or
+			// unreachable: the tree never counted paths through this edge.
+			continue
+		}
+		if du-dw == 1 || dw-du == 1 {
+			return true // possible shortest-path tree edge
+		}
+	}
+	for _, e := range d.EdgesAdded {
+		du, okU := t.distG(e.U)
+		dw, okW := t.distG(e.V)
+		if !okU || !okW {
+			continue // attachment of a new node; counted from next rebuild
+		}
+		if du < 0 || dw < 0 {
+			return true // reconnects an unreachable region
+		}
+		if du-dw >= 2 || dw-du >= 2 {
+			return true // shortcut across BFS levels
+		}
+	}
+	for _, e := range d.BaselineEdges {
+		du, okU := t.distGp(e.U)
+		dw, okW := t.distGp(e.V)
+		if !okU || !okW {
+			continue
+		}
+		if du < 0 || dw < 0 {
+			return true
+		}
+		if du-dw >= 2 || dw-du >= 2 {
+			return true // baseline shortcut shrinks denominators
+		}
+	}
+	return false
+}
+
+func (t *stretchTree) distG(n graph.NodeID) (int32, bool) {
+	i, ok := slices.BinarySearch(t.nodes, n)
+	if !ok {
+		return 0, false
+	}
+	return t.dg[i], true
+}
+
+func (t *stretchTree) distGp(n graph.NodeID) (int32, bool) {
+	i, ok := slices.BinarySearch(t.pnodes, n)
+	if !ok {
+		return 0, false
+	}
+	return t.dp[i], true
+}
+
+// NeedsRefresh reports whether any tree is marked dirty or past its age
+// bound at the given tick.
+func (s *StretchSampler) NeedsRefresh(tick uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range s.trees {
+		if !t.built || t.dirty || tick-t.builtAt >= s.maxAge {
+			return true
+		}
+	}
+	return false
+}
+
+// Refresh rebuilds every dirty or over-age tree from the CSR snapshots
+// taken at tick. The BFS work runs outside the sampler lock; deltas applied
+// between snapshot and publish are missed until the age bound forces the
+// next rebuild — acceptable for an estimator that advertises its age.
+func (s *StretchSampler) Refresh(csrG, csrGp *spectral.CSR, tick uint64) {
+	if len(csrG.Nodes) == 0 {
+		return
+	}
+	s.mu.Lock()
+	var rebuild []int
+	for i, t := range s.trees {
+		if !t.built || t.dirty || tick-t.builtAt >= s.maxAge {
+			rebuild = append(rebuild, i)
+		}
+	}
+	sources := make([]graph.NodeID, len(rebuild))
+	for j, i := range rebuild {
+		src := s.trees[i].src
+		if _, alive := slices.BinarySearch(csrG.Nodes, src); !alive || !s.trees[i].built {
+			src = csrG.Nodes[s.rng.Intn(len(csrG.Nodes))]
+		}
+		sources[j] = src
+	}
+	s.mu.Unlock()
+
+	fresh := make([]*stretchTree, len(rebuild))
+	for j, src := range sources {
+		fresh[j] = buildStretchTree(csrG, csrGp, src, tick)
+	}
+
+	s.mu.Lock()
+	for j, i := range rebuild {
+		s.trees[i] = fresh[j]
+	}
+	s.mu.Unlock()
+}
+
+// buildStretchTree BFSes src in both snapshots and computes the tree's max
+// stretch with the same pair semantics as metrics.Stretch: pairs with no
+// baseline path (or baseline distance 0) are skipped, and a pair reachable
+// in G′ but not in G yields +Inf.
+func buildStretchTree(csrG, csrGp *spectral.CSR, src graph.NodeID, tick uint64) *stretchTree {
+	t := &stretchTree{
+		src:     src,
+		nodes:   csrG.Nodes,
+		pnodes:  csrGp.Nodes,
+		built:   true,
+		builtAt: tick,
+		stretch: 1,
+	}
+	gi, ok := slices.BinarySearch(csrG.Nodes, src)
+	if !ok {
+		t.dirty = true // source vanished between snapshot and build
+		return t
+	}
+	t.dg = csrBFS(csrG, gi)
+	if pi, ok := slices.BinarySearch(csrGp.Nodes, src); ok {
+		t.dp = csrBFS(csrGp, pi)
+	} else {
+		t.dp = make([]int32, len(csrGp.Nodes))
+		for i := range t.dp {
+			t.dp[i] = -1
+		}
+	}
+
+	// Walk alive nodes (G ordering) and join against the baseline ordering:
+	// both are sorted, so one two-pointer merge covers every pair (src, dst).
+	j := 0
+	for i, dst := range t.nodes {
+		if dst == src {
+			continue
+		}
+		for j < len(t.pnodes) && t.pnodes[j] < dst {
+			j++
+		}
+		if j >= len(t.pnodes) || t.pnodes[j] != dst {
+			continue // not in baseline snapshot
+		}
+		base := t.dp[j]
+		if base <= 0 {
+			continue // unreachable in G′, or degenerate
+		}
+		healed := t.dg[i]
+		if healed < 0 {
+			t.stretch = math.Inf(1)
+			return t
+		}
+		if r := float64(healed) / float64(base); r > t.stretch {
+			t.stretch = r
+		}
+	}
+	return t
+}
+
+// csrBFS returns BFS distances from row src in index space, -1 for
+// unreachable rows.
+func csrBFS(a *spectral.CSR, src int) []int32 {
+	dist := make([]int32, len(a.Nodes))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int32, 0, len(a.Nodes))
+	queue = append(queue, int32(src))
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		du := dist[u]
+		for _, v := range a.Row(int(u)) {
+			if dist[v] < 0 {
+				dist[v] = du + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Value returns the max stretch over the cached trees and the age in ticks
+// of the oldest tree, given the current tick. ok is false until every slot
+// has been built at least once.
+func (s *StretchSampler) Value(tick uint64) (stretch float64, ageTicks uint64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	stretch = 1
+	for _, t := range s.trees {
+		if !t.built {
+			return 0, 0, false
+		}
+		if t.stretch > stretch {
+			stretch = t.stretch
+		}
+		if age := tick - t.builtAt; age > ageTicks {
+			ageTicks = age
+		}
+	}
+	return stretch, ageTicks, true
+}
+
+// Sources returns the current source reservoir (for tests and debugging).
+func (s *StretchSampler) Sources() []graph.NodeID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]graph.NodeID, 0, len(s.trees))
+	for _, t := range s.trees {
+		if t.built {
+			out = append(out, t.src)
+		}
+	}
+	return out
+}

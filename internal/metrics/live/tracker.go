@@ -1,0 +1,272 @@
+package live
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/xheal/xheal/internal/core"
+	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/metrics"
+)
+
+// Tracker maintains the cheap-but-global serving metrics incrementally from
+// applied batch deltas: node and edge counts, maximum degree, the paper's
+// maximum degree ratio deg_G/max(1, deg_G′), and a connectivity verdict
+// with staleness. All values except connectivity are exact after every
+// Apply; connectivity is exact whenever ConnectivityAgeTicks is 0 and
+// last-known otherwise.
+type Tracker struct {
+	mu    sync.RWMutex
+	nodes int
+	edges int
+
+	degG  map[graph.NodeID]int32 // degree in G, alive nodes only
+	degGp map[graph.NodeID]int32 // degree in G′, alive nodes only
+
+	degCount []int32 // degCount[d] = alive nodes with deg_G == d
+	maxDeg   int
+
+	ratioCount map[float64]int32 // ratio value → alive nodes at that ratio
+	maxRatio   float64
+
+	connected bool
+	connDirty bool
+	connTick  uint64 // tick the verdict was established for
+
+	ticks uint64 // applied ticks observed
+
+	audits        uint64
+	auditFails    uint64
+	lastAuditTick uint64
+}
+
+// Values is one consistent read of the tracked metrics.
+type Values struct {
+	Nodes          int
+	Edges          int
+	MaxDegree      int
+	MaxDegreeRatio float64
+	// Connected is the last established verdict; it is current when
+	// ConnectivityAgeTicks is 0 and ConnectivityAgeTicks ticks old
+	// otherwise.
+	Connected            bool
+	ConnectivityAgeTicks uint64
+	// Ticks is the number of deltas applied to the tracker.
+	Ticks uint64
+	// Audit telemetry (see Audit).
+	Audits        uint64
+	AuditFailures uint64
+	LastAuditTick uint64
+}
+
+// NewTracker seeds a tracker from the engine's graphs: one O(n+m) scan plus
+// one connectivity traversal, paid once at daemon start.
+func NewTracker(g, gp *graph.Graph) *Tracker {
+	t := &Tracker{
+		degG:       make(map[graph.NodeID]int32, g.NumNodes()),
+		degGp:      make(map[graph.NodeID]int32, g.NumNodes()),
+		ratioCount: make(map[float64]int32),
+		nodes:      g.NumNodes(),
+		edges:      g.NumEdges(),
+		connected:  g.IsConnected(),
+	}
+	g.ForEachNode(func(n graph.NodeID) {
+		d, dp := int32(g.Degree(n)), int32(gp.Degree(n))
+		t.degG[n] = d
+		t.degGp[n] = dp
+		t.bumpDeg(int(d), +1)
+		t.bumpRatio(degRatio(d, dp), +1)
+	})
+	return t
+}
+
+// degRatio mirrors metrics.DegreeRatio's per-node expression exactly, so
+// tracked ratios are bit-identical to the full recomputation.
+func degRatio(dg, dgp int32) float64 {
+	base := dgp
+	if base < 1 {
+		base = 1
+	}
+	return float64(dg) / float64(base)
+}
+
+// Apply folds one applied batch's net delta into the tracker. Call once per
+// applied tick, in application order, under the serving lock.
+func (t *Tracker) Apply(d core.TickDelta) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ticks++
+	for _, u := range d.NodesAdded {
+		t.degG[u] = 0
+		t.degGp[u] = 0
+		t.bumpDeg(0, +1)
+		t.bumpRatio(0, +1)
+	}
+	for _, e := range d.BaselineEdges {
+		t.addBaseDeg(e.U)
+		t.addBaseDeg(e.V)
+	}
+	for _, e := range d.EdgesAdded {
+		t.addDeg(e.U, +1)
+		t.addDeg(e.V, +1)
+	}
+	for _, e := range d.EdgesRemoved {
+		t.addDeg(e.U, -1)
+		t.addDeg(e.V, -1)
+	}
+	for _, v := range d.NodesRemoved {
+		dg, dgp := t.degG[v], t.degGp[v]
+		t.bumpDeg(int(dg), -1)
+		t.bumpRatio(degRatio(dg, dgp), -1)
+		delete(t.degG, v)
+		delete(t.degGp, v)
+	}
+	t.nodes += len(d.NodesAdded) - len(d.NodesRemoved)
+	t.edges += len(d.EdgesAdded) - len(d.EdgesRemoved)
+
+	// Connectivity: inserting a node attached to the connected component
+	// cannot disconnect a connected graph, so pure-growth ticks keep the
+	// verdict current. Removals — and any change at all while already
+	// disconnected (an insert can bridge components) — stale it.
+	if len(d.NodesRemoved) > 0 || len(d.EdgesRemoved) > 0 || !t.connected {
+		t.connDirty = true
+	} else if !t.connDirty {
+		t.connTick = t.ticks
+	}
+}
+
+// addDeg shifts n's healed-graph degree by delta, maintaining the degree
+// histogram and the ratio index.
+func (t *Tracker) addDeg(n graph.NodeID, delta int32) {
+	old, ok := t.degG[n]
+	if !ok {
+		return // endpoint died earlier in the same delta walk
+	}
+	dgp := t.degGp[n]
+	t.bumpDeg(int(old), -1)
+	t.bumpRatio(degRatio(old, dgp), -1)
+	t.degG[n] = old + delta
+	t.bumpDeg(int(old+delta), +1)
+	t.bumpRatio(degRatio(old+delta, dgp), +1)
+}
+
+// addBaseDeg shifts n's baseline degree up by one (G′ only grows).
+func (t *Tracker) addBaseDeg(n graph.NodeID) {
+	old, ok := t.degGp[n]
+	if !ok {
+		return
+	}
+	dg := t.degG[n]
+	t.bumpRatio(degRatio(dg, old), -1)
+	t.degGp[n] = old + 1
+	t.bumpRatio(degRatio(dg, old+1), +1)
+}
+
+// bumpDeg adjusts the degree histogram and tracked maximum.
+func (t *Tracker) bumpDeg(d int, delta int32) {
+	for d >= len(t.degCount) {
+		t.degCount = append(t.degCount, 0)
+	}
+	t.degCount[d] += delta
+	if delta > 0 && d > t.maxDeg {
+		t.maxDeg = d
+	}
+	if delta < 0 && d == t.maxDeg && t.degCount[d] == 0 {
+		for t.maxDeg > 0 && t.degCount[t.maxDeg] == 0 {
+			t.maxDeg--
+		}
+	}
+}
+
+// bumpRatio adjusts the ratio index and tracked maximum. Distinct ratio
+// values are few (degrees are bounded by the paper's Theorem 2.1), so the
+// occasional rescan when the maximum empties is cheap.
+func (t *Tracker) bumpRatio(r float64, delta int32) {
+	c := t.ratioCount[r] + delta
+	if c == 0 {
+		delete(t.ratioCount, r)
+	} else {
+		t.ratioCount[r] = c
+	}
+	if delta > 0 && r > t.maxRatio {
+		t.maxRatio = r
+	}
+	if delta < 0 && r == t.maxRatio && c == 0 {
+		t.maxRatio = 0
+		for k := range t.ratioCount {
+			if k > t.maxRatio {
+				t.maxRatio = k
+			}
+		}
+	}
+}
+
+// ResolveConnectivity installs a connectivity verdict established by a
+// traversal of the graph as of tick asOf (the refresh cycle's CSR BFS).
+// Ticks applied after the snapshot keep the verdict dirty.
+func (t *Tracker) ResolveConnectivity(connected bool, asOf uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.connected = connected
+	t.connTick = asOf
+	t.connDirty = t.ticks > asOf
+}
+
+// Values returns one consistent snapshot of the tracked metrics.
+func (t *Tracker) Values() Values {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	v := Values{
+		Nodes:          t.nodes,
+		Edges:          t.edges,
+		MaxDegree:      t.maxDeg,
+		MaxDegreeRatio: t.maxRatio,
+		Connected:      t.connected,
+		Ticks:          t.ticks,
+		Audits:         t.audits,
+		AuditFailures:  t.auditFails,
+		LastAuditTick:  t.lastAuditTick,
+	}
+	if t.connDirty {
+		age := t.ticks - t.connTick
+		if age == 0 {
+			age = 1 // dirtied this tick; never report stale as current
+		}
+		v.ConnectivityAgeTicks = age
+	}
+	return v
+}
+
+// Audit recomputes every tracked value from the graphs — the correctness
+// oracle — and fails loudly on any mismatch. The caller must guarantee g
+// and gp reflect exactly the deltas applied so far (the serving daemon
+// audits under its apply lock). A successful audit also re-establishes the
+// connectivity verdict.
+func (t *Tracker) Audit(g, gp *graph.Graph) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.audits++
+	t.lastAuditTick = t.ticks
+	conn := g.IsConnected()
+	var err error
+	switch {
+	case g.NumNodes() != t.nodes:
+		err = fmt.Errorf("nodes: tracked %d, measured %d", t.nodes, g.NumNodes())
+	case g.NumEdges() != t.edges:
+		err = fmt.Errorf("edges: tracked %d, measured %d", t.edges, g.NumEdges())
+	case g.MaxDegree() != t.maxDeg:
+		err = fmt.Errorf("max degree: tracked %d, measured %d", t.maxDeg, g.MaxDegree())
+	case metrics.DegreeRatio(g, gp) != t.maxRatio:
+		err = fmt.Errorf("max degree ratio: tracked %v, measured %v", t.maxRatio, metrics.DegreeRatio(g, gp))
+	case !t.connDirty && conn != t.connected:
+		err = fmt.Errorf("connectivity: tracked %v as current, measured %v", t.connected, conn)
+	}
+	if err != nil {
+		t.auditFails++
+		return fmt.Errorf("live tracker audit (tick %d): %w", t.ticks, err)
+	}
+	t.connected = conn
+	t.connDirty = false
+	t.connTick = t.ticks
+	return nil
+}

@@ -124,11 +124,7 @@ func Stretch(g, gp *graph.Graph, maxSources int, rng *rand.Rand) float64 {
 	}
 	sources := alive
 	if maxSources > 0 && maxSources < len(alive) {
-		perm := rng.Perm(len(alive))[:maxSources]
-		sources = make([]graph.NodeID, 0, maxSources)
-		for _, i := range perm {
-			sources = append(sources, alive[i])
-		}
+		sources = sampleSources(alive, maxSources, rng)
 	}
 	worst := 1.0
 	for _, src := range sources {
@@ -152,6 +148,30 @@ func Stretch(g, gp *graph.Graph, maxSources int, rng *rand.Rand) float64 {
 		}
 	}
 	return worst
+}
+
+// sampleSources draws k distinct nodes uniformly from alive via a partial
+// Fisher–Yates shuffle. alive is a cached read-only view, so the shuffle's
+// displacements live in a sparse map: O(k) space and allocations instead of
+// the O(n) permutation this used to build to pick a handful of sources.
+func sampleSources(alive []graph.NodeID, k int, rng *rand.Rand) []graph.NodeID {
+	out := make([]graph.NodeID, k)
+	moved := make(map[int]int, 2*k)
+	n := len(alive)
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
+		vj, ok := moved[j]
+		if !ok {
+			vj = j
+		}
+		vi, ok := moved[i]
+		if !ok {
+			vi = i
+		}
+		out[i] = alive[vj]
+		moved[j] = vi
+	}
+	return out
 }
 
 // StretchBound returns the reference envelope c·log2(n) the harness plots

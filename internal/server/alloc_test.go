@@ -13,10 +13,13 @@ import (
 
 // tickAllocBudget is the steady-state allocation cost of one applied
 // single-event tick (submission assembly, admission, engine apply, counter
-// updates) with observability disabled, pinned at the PR 5 baseline. The
-// always-on serving histograms must observe without allocating, so wiring
-// internal/obs into the tick path may not raise this.
-const tickAllocBudget = 86
+// updates) with observability disabled. The always-on serving histograms
+// must observe without allocating, so wiring internal/obs into the tick
+// path may not raise this. The PR 5 baseline was 86; the incremental
+// metrics layer adds the per-tick delta export — the accumulator is reused,
+// but the sorted node/edge slices handed to the tracker are fresh each tick
+// (~3 allocs over the delete+insert pair), measured at 89.
+const tickAllocBudget = 92
 
 // TestTickAllocsDisabledObservability measures the tick apply path directly
 // (single goroutine: the loop is stopped first, then apply is driven by

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"github.com/xheal/xheal/internal/adversary"
 	"github.com/xheal/xheal/internal/core"
@@ -68,18 +69,20 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, 0, err)
 		return
 	}
-	// Enqueue every event before awaiting any verdict: the FIFO queue
-	// preserves the array's order and the whole request can coalesce into
-	// one tick instead of paying one coalescing window per event.
-	subs := make([]*submission, 0, len(events))
-	var firstErr error
-	for _, ev := range events {
-		sub, err := s.submitAsync(ev)
-		if err != nil {
-			firstErr = err
-			break
-		}
-		subs = append(subs, sub)
+	// Enqueue the whole array as one admission-ring operation before
+	// awaiting any verdict: the group lands contiguously (preserving the
+	// array's order), coalesces into as few ticks as possible, and costs
+	// one atomic reservation plus one shard lock — not one synchronized
+	// operation per event.
+	all := make([]*submission, len(events))
+	now := time.Now()
+	for i, ev := range events {
+		all[i] = &submission{ev: ev, done: make(chan error, 1), at: now}
+	}
+	accepted, firstErr := s.submitMany(all)
+	subs := all[:accepted]
+	if firstErr == nil && accepted < len(all) {
+		firstErr = ErrBacklog
 	}
 	applied := 0
 	for _, sub := range subs {

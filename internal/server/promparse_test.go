@@ -337,31 +337,41 @@ func TestMetricsExpositionStrict(t *testing.T) {
 
 	// Every family the daemon promises, with its type.
 	wantTyp := map[string]string{
-		"xheal_serve_ticks_total":              "counter",
-		"xheal_serve_events_applied_total":     "counter",
-		"xheal_serve_inserts_applied_total":    "counter",
-		"xheal_serve_deletes_applied_total":    "counter",
-		"xheal_serve_events_rejected_total":    "counter",
-		"xheal_serve_events_backlogged_total":  "counter",
-		"xheal_serve_events_deferred_total":    "counter",
-		"xheal_serve_apply_seconds_total":      "counter",
-		"xheal_serve_event_wait_seconds_total": "counter",
-		"xheal_serve_batch_events_last":        "gauge",
-		"xheal_serve_batch_events_max":         "gauge",
-		"xheal_serve_queue_depth":              "gauge",
-		"xheal_serve_nodes":                    "gauge",
-		"xheal_serve_edges":                    "gauge",
-		"xheal_serve_connected":                "gauge",
-		"xheal_serve_uptime_seconds":           "gauge",
-		"xheal_serve_tick_seconds":             "histogram",
-		"xheal_serve_batch_events":             "histogram",
-		"xheal_serve_queue_depth_at_tick":      "histogram",
-		"xheal_repair_spans_total":             "counter",
-		"xheal_repair_spans_dropped_total":     "counter",
-		"xheal_repair_rounds_total":            "counter",
-		"xheal_repair_messages_total":          "counter",
-		"xheal_repair_phase_seconds_total":     "counter",
-		"xheal_repair_seconds":                 "histogram",
+		"xheal_serve_ticks_total":                  "counter",
+		"xheal_serve_events_applied_total":         "counter",
+		"xheal_serve_inserts_applied_total":        "counter",
+		"xheal_serve_deletes_applied_total":        "counter",
+		"xheal_serve_events_rejected_total":        "counter",
+		"xheal_serve_events_backlogged_total":      "counter",
+		"xheal_serve_events_deferred_total":        "counter",
+		"xheal_serve_apply_seconds_total":          "counter",
+		"xheal_serve_event_wait_seconds_total":     "counter",
+		"xheal_serve_batch_events_last":            "gauge",
+		"xheal_serve_batch_events_max":             "gauge",
+		"xheal_serve_queue_depth":                  "gauge",
+		"xheal_serve_nodes":                        "gauge",
+		"xheal_serve_edges":                        "gauge",
+		"xheal_serve_connected":                    "gauge",
+		"xheal_serve_connectivity_age_ticks":       "gauge",
+		"xheal_serve_max_degree":                   "gauge",
+		"xheal_serve_max_degree_ratio":             "gauge",
+		"xheal_serve_lambda2":                      "gauge",
+		"xheal_serve_lambda2_age_ticks":            "gauge",
+		"xheal_serve_lambda2_refreshes_total":      "counter",
+		"xheal_serve_lambda2_warm_refreshes_total": "counter",
+		"xheal_serve_stretch_sampled":              "gauge",
+		"xheal_serve_tracker_audits_total":         "counter",
+		"xheal_serve_tracker_audit_failures_total": "counter",
+		"xheal_serve_uptime_seconds":               "gauge",
+		"xheal_serve_tick_seconds":                 "histogram",
+		"xheal_serve_batch_events":                 "histogram",
+		"xheal_serve_queue_depth_at_tick":          "histogram",
+		"xheal_repair_spans_total":                 "counter",
+		"xheal_repair_spans_dropped_total":         "counter",
+		"xheal_repair_rounds_total":                "counter",
+		"xheal_repair_messages_total":              "counter",
+		"xheal_repair_phase_seconds_total":         "counter",
+		"xheal_repair_seconds":                     "histogram",
 	}
 	for name, typ := range wantTyp {
 		f := families[name]

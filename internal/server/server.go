@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -110,6 +111,29 @@ type Config struct {
 	// The final state is byte-identical either way; see core.State's
 	// ApplyBatchParallel.
 	Parallelism int
+	// SlowHealth disables the incremental metrics layer: Health clones and
+	// measures the graph directly, as before PR 10. The fallback for
+	// debugging the fast path against — the incremental layer is on by
+	// default whenever the engine supports batch deltas.
+	SlowHealth bool
+	// RefreshEvery is the cadence, in applied ticks, at which the refresher
+	// goroutine re-establishes the expensive cached metrics: connectivity
+	// (when stale), warm-started λ₂, and dirty sampled-stretch trees
+	// (default 32).
+	RefreshEvery int
+	// StretchSources sizes the sampled-stretch BFS source reservoir
+	// (default 4).
+	StretchSources int
+	// AuditEvery, when > 0, recomputes every tracker-maintained metric from
+	// the graph each AuditEvery applied ticks and cross-checks the tracker —
+	// the incremental layer's correctness oracle, priced for test and canary
+	// deployments. 0 disables auditing.
+	AuditEvery int
+	// InvariantBudget, when > 0 and the engine supports sampled checking,
+	// makes CheckInvariants examine a rotating sample of that many
+	// nodes/edges/clouds per call instead of sweeping everything; successive
+	// calls cover the full structure. 0 keeps the full sweep.
+	InvariantBudget int
 }
 
 // ParallelBatcher is the optional engine surface Config.Parallelism uses:
@@ -193,6 +217,24 @@ func (c Config) checkpointEvery() uint64 {
 	return 32
 }
 
+func (c Config) refreshEvery() uint64 {
+	if c.RefreshEvery > 0 {
+		return uint64(c.RefreshEvery)
+	}
+	return 32
+}
+
+func (c Config) stretchSources() int {
+	if c.StretchSources > 0 {
+		return c.StretchSources
+	}
+	return 4
+}
+
+// stretchMaxAge bounds how many ticks a cached stretch tree may serve
+// without a rebuild even when no delta touched it.
+func (c Config) stretchMaxAge() uint64 { return 8 * c.refreshEvery() }
+
 // Counters are the serving-work counters, readable via Counters or the
 // /metrics endpoint while the daemon runs.
 type Counters struct {
@@ -234,17 +276,42 @@ type Server struct {
 	cfg Config
 	eng Engine
 
-	queue chan *submission
+	ring  *admitRing
 	carry []*submission
 	stopc chan struct{}
 	done  chan struct{}
 
+	// held and nextSeq enforce arrival order over the sharded ring: the
+	// loop admits only the contiguous-seq prefix of what it drained and
+	// holds the rest until the missing enqueue becomes visible (its depth
+	// reservation keeps the loop from sleeping meanwhile). Both are owned
+	// by the loop goroutine.
+	held    []*submission
+	nextSeq uint64
+
 	closeMu sync.RWMutex
 	closed  bool
 
-	mu       sync.Mutex // guards eng, counters, cfg.Log
-	counters Counters
-	logErr   error
+	mu           sync.Mutex // guards eng, counters, cfg.Log
+	counters     Counters
+	logErr       error
+	liveAuditErr error
+
+	// live is the incremental metrics layer (tracker + λ₂ cache + stretch
+	// sampler); nil when Config.SlowHealth is set or the engine doesn't
+	// support batch deltas, in which case Health measures the graph.
+	live *liveState
+
+	// adm is the reusable incremental batch admission (reset each tick so
+	// its buckets amortize to zero allocations); nil until the first tick,
+	// or permanently when the engine doesn't expose admission.
+	adm *core.BatchAdmission
+
+	// healthRng backs the slow health path's sampled measurement; reseeded
+	// per call so repeated polls stay deterministic without allocating a
+	// fresh generator each time.
+	healthMu  sync.Mutex
+	healthRng *rand.Rand
 
 	// degraded mirrors logErr != nil for lock-free Submit fast-fail: once the
 	// event log has failed, writes are refused (ErrNotDurable) instead of
@@ -273,6 +340,7 @@ type submission struct {
 	ev     adversary.Event
 	done   chan error
 	at     time.Time
+	seq    uint64 // enqueue order stamp; drainInto sorts on it (see admitRing)
 	defers int
 }
 
@@ -280,12 +348,13 @@ type submission struct {
 // else until Close returns (the server owns it, including reads).
 func New(eng Engine, cfg Config) *Server {
 	s := &Server{
-		cfg:   cfg,
-		eng:   eng,
-		queue: make(chan *submission, cfg.queueDepth()),
-		stopc: make(chan struct{}),
-		done:  make(chan struct{}),
-		start: time.Now(),
+		cfg:       cfg,
+		eng:       eng,
+		ring:      newAdmitRing(cfg.queueDepth()),
+		stopc:     make(chan struct{}),
+		done:      make(chan struct{}),
+		start:     time.Now(),
+		healthRng: rand.New(rand.NewSource(1)),
 	}
 	// A recovered daemon continues the run's global numbering so checkpoint
 	// and log-segment anchors stay monotone across restarts.
@@ -296,8 +365,17 @@ func New(eng Engine, cfg Config) *Server {
 			re.SetRecorder(cfg.Recorder)
 		}
 	}
+	if _, ok := eng.(DeltaBatcher); ok && !cfg.SlowHealth {
+		s.live = s.newLiveState()
+	}
 	s.buildRegistry()
 	go s.loop()
+	if s.live != nil {
+		go s.refresher()
+		// Seed the caches (connectivity is already exact; λ₂ and stretch
+		// become valid once this first refresh lands).
+		s.live.requestRefresh()
+	}
 	return s
 }
 
@@ -318,33 +396,45 @@ func (s *Server) Submit(ctx context.Context, ev adversary.Event) error {
 	}
 }
 
-// submitAsync enqueues one event without waiting for its verdict, so a
-// caller holding several events (the HTTP array ingest) can land them all
-// in the same coalescing window and await the verdicts afterwards.
+// submitAsync enqueues one event without waiting for its verdict.
 func (s *Server) submitAsync(ev adversary.Event) (*submission, error) {
-	s.closeMu.RLock()
-	if s.closed {
-		s.closeMu.RUnlock()
-		return nil, ErrClosed
-	}
-	if s.degraded.Load() {
-		s.closeMu.RUnlock()
-		s.mu.Lock()
-		s.counters.EventsNotDurable++
-		err := s.logErr
-		s.mu.Unlock()
-		return nil, fmt.Errorf("%w: %v", ErrNotDurable, err)
-	}
 	sub := &submission{ev: ev, done: make(chan error, 1), at: time.Now()}
-	select {
-	case s.queue <- sub:
-		s.closeMu.RUnlock()
-		return sub, nil
-	default:
-		s.closeMu.RUnlock()
-		s.backlogged.Add(1)
+	one := [1]*submission{sub}
+	accepted, err := s.submitMany(one[:])
+	if err != nil {
+		return nil, err
+	}
+	if accepted == 0 {
 		return nil, ErrBacklog
 	}
+	return sub, nil
+}
+
+// submitMany enqueues a group of already-assembled submissions as one
+// admission-ring operation — one atomic reservation and one shard lock for
+// the whole group, which both keeps the group's relative order (the HTTP
+// array contract: inserts admit before the events that attach to them) and
+// makes ingest cost O(1) synchronization per request instead of per event.
+// Returns how many submissions were accepted (always a prefix); the caller
+// fails the rest with ErrBacklog.
+func (s *Server) submitMany(subs []*submission) (int, error) {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if s.degraded.Load() {
+		s.mu.Lock()
+		s.counters.EventsNotDurable += uint64(len(subs))
+		err := s.logErr
+		s.mu.Unlock()
+		return 0, fmt.Errorf("%w: %v", ErrNotDurable, err)
+	}
+	accepted := s.ring.enqueue(subs)
+	if rest := len(subs) - accepted; rest > 0 {
+		s.backlogged.Add(uint64(rest))
+	}
+	return accepted, nil
 }
 
 // loop is the single goroutine that owns batching: it waits for work,
@@ -352,13 +442,12 @@ func (s *Server) submitAsync(ev adversary.Event) (*submission, error) {
 func (s *Server) loop() {
 	defer close(s.done)
 	for {
-		var first *submission
-		if len(s.carry) == 0 {
+		if len(s.carry) == 0 && len(s.held) == 0 && s.ring.len() == 0 {
 			select {
 			case <-s.stopc:
 				s.drain()
 				return
-			case first = <-s.queue:
+			case <-s.ring.notify:
 			}
 		} else {
 			select {
@@ -368,7 +457,7 @@ func (s *Server) loop() {
 			default:
 			}
 		}
-		s.tick(first)
+		s.tick()
 	}
 }
 
@@ -382,12 +471,55 @@ func (s *Server) takeCarry() []*submission {
 	return pending
 }
 
-// tick gathers submissions for one coalescing window and applies them.
-func (s *Server) tick(first *submission) {
-	pending := s.takeCarry()
-	if first != nil {
-		pending = append(pending, first)
+// orderGathered restores arrival order over one gather's worth of ring
+// submissions (pending[carried:] — the carry prefix keeps its head-of-line
+// position untouched). Shards interleave enqueue calls and a drain pass is
+// not a consistent snapshot — it can pick up a later enqueue while an
+// earlier one is still mid-append in another shard — so after sorting by
+// the dense sequence stamp, only the contiguous prefix is released;
+// anything after a gap is held for the next tick, when the missing
+// enqueue's submissions have become visible.
+func (s *Server) orderGathered(pending []*submission, carried int) []*submission {
+	for tries := 0; ; tries++ {
+		sortBySeq(pending[carried:])
+		cut := carried
+		for cut < len(pending) {
+			// One enqueue call's submissions (an HTTP array) share a seq;
+			// a redrained pass re-walks already-released seqs.
+			sq := pending[cut].seq
+			if sq > s.nextSeq+1 {
+				break
+			}
+			if sq > s.nextSeq {
+				s.nextSeq = sq
+			}
+			cut++
+		}
+		if cut == len(pending) {
+			return pending
+		}
+		// Gap: an earlier enqueue is mid-append in its shard. It is at most
+		// microseconds away — yield and redrain rather than stalling the
+		// gapped tail a whole tick. Holding is the fallback for a straggler
+		// that still hasn't surfaced.
+		if tries < 3 {
+			carried = cut
+			runtime.Gosched()
+			pending = s.ring.drainInto(pending)
+			continue
+		}
+		s.held = append(s.held, pending[cut:]...)
+		return pending[:cut]
 	}
+}
+
+// tick gathers submissions for one coalescing window and applies them.
+func (s *Server) tick() {
+	pending := s.takeCarry()
+	carried := len(pending)
+	pending = append(pending, s.held...)
+	s.held = s.held[:0]
+	pending = s.ring.drainInto(pending)
 	max := s.cfg.maxBatch()
 	if s.cfg.Tick > 0 {
 		deadline := time.NewTimer(s.cfg.Tick)
@@ -395,24 +527,23 @@ func (s *Server) tick(first *submission) {
 	gather:
 		for len(pending) < max {
 			select {
-			case sub := <-s.queue:
-				pending = append(pending, sub)
+			case <-s.ring.notify:
+				pending = s.ring.drainInto(pending)
 			case <-deadline.C:
 				break gather
 			case <-s.stopc:
 				break gather
 			}
 		}
-	} else {
-	drainNow:
-		for len(pending) < max {
-			select {
-			case sub := <-s.queue:
-				pending = append(pending, sub)
-			default:
-				break drainNow
-			}
-		}
+	}
+	pending = s.orderGathered(pending, carried)
+	// Anything beyond the batch cap carries into the next tick; the ring's
+	// one-shot notify token may already be consumed, and the loop's
+	// carry/ring length check keeps it from blocking while work remains.
+	if len(pending) > max {
+		s.carry = append(s.carry, pending[max:]...)
+		s.carried.Store(int64(len(s.carry)))
+		pending = pending[:max]
 	}
 	s.apply(pending)
 }
@@ -423,16 +554,19 @@ func (s *Server) tick(first *submission) {
 func (s *Server) drain() {
 	for {
 		pending := s.takeCarry()
-	empty:
-		for {
-			select {
-			case sub := <-s.queue:
-				pending = append(pending, sub)
-			default:
-				break empty
-			}
-		}
+		carried := len(pending)
+		pending = append(pending, s.held...)
+		s.held = s.held[:0]
+		pending = s.ring.drainInto(pending)
+		pending = s.orderGathered(pending, carried)
 		if len(pending) == 0 {
+			// A held gap or a reserved-but-unappended enqueue means a
+			// submission is still becoming visible: yield and re-drain
+			// rather than dropping it on the floor.
+			if len(s.held) > 0 || s.ring.len() > 0 {
+				runtime.Gosched()
+				continue
+			}
 			s.mu.Lock()
 			// Final checkpoint: a clean shutdown restarts from here with an
 			// empty log tail.
@@ -464,9 +598,12 @@ func (s *Server) drain() {
 }
 
 // batchState tracks one tick's in-assembly batch for conflict admission.
+// adm, when the engine supports it, carries the incremental admission state
+// that makes each decision O(event) instead of O(batch).
 type batchState struct {
 	batch   core.Batch
 	members []*submission
+	adm     *core.BatchAdmission
 }
 
 // admit decides whether sub's event can join this tick's batch. The rule is
@@ -480,7 +617,6 @@ type batchState struct {
 // Returns (accepted, rejection): deferred events return (false, nil).
 func (s *Server) admit(bs *batchState, sub *submission) (bool, error) {
 	ev := sub.ev
-	cand := bs.batch
 	switch ev.Kind {
 	case adversary.Insert:
 		// Serving policy on top of the shared rule: an unattached insertion
@@ -488,26 +624,53 @@ func (s *Server) admit(bs *batchState, sub *submission) (bool, error) {
 		if len(ev.Neighbors) == 0 {
 			return false, fmt.Errorf("insert %d: no neighbors: %w", ev.Node, core.ErrBadNeighbor)
 		}
-		cand.Insertions = append(cand.Insertions, core.BatchInsertion{
-			Node: ev.Node, Neighbors: ev.Neighbors,
-		})
 	case adversary.Delete:
 		// Serving policy: keep a non-trivial graph alive.
 		alive := s.eng.Graph().NumNodes() + len(bs.batch.Insertions) - len(bs.batch.Deletions)
 		if alive-1 < s.cfg.minNodes() {
 			return false, fmt.Errorf("delete %d: %w", ev.Node, ErrTooFewNodes)
 		}
-		cand.Deletions = append(cand.Deletions, ev.Node)
 	default:
 		return false, fmt.Errorf("unknown event kind %d", int(ev.Kind))
 	}
-	if err := s.eng.ValidateBatch(cand); err != nil {
+
+	// The shared rule itself: incremental admission when the engine offers
+	// it (O(event) per decision, identical verdicts), otherwise wholesale
+	// validation of the prospective batch.
+	var err error
+	if bs.adm != nil {
+		if ev.Kind == adversary.Insert {
+			err = bs.adm.AdmitInsertion(core.BatchInsertion{Node: ev.Node, Neighbors: ev.Neighbors})
+		} else {
+			err = bs.adm.AdmitDeletion(ev.Node)
+		}
+	} else {
+		cand := bs.batch
+		if ev.Kind == adversary.Insert {
+			cand.Insertions = append(cand.Insertions, core.BatchInsertion{
+				Node: ev.Node, Neighbors: ev.Neighbors,
+			})
+		} else {
+			cand.Deletions = append(cand.Deletions, ev.Node)
+		}
+		if err = s.eng.ValidateBatch(cand); err == nil {
+			bs.batch = cand
+			return true, nil
+		}
+	}
+	if err != nil {
 		if errors.Is(err, core.ErrBatchConflict) {
 			return false, nil
 		}
 		return false, err
 	}
-	bs.batch = cand
+	if ev.Kind == adversary.Insert {
+		bs.batch.Insertions = append(bs.batch.Insertions, core.BatchInsertion{
+			Node: ev.Node, Neighbors: ev.Neighbors,
+		})
+	} else {
+		bs.batch.Deletions = append(bs.batch.Deletions, ev.Node)
+	}
 	return true, nil
 }
 
@@ -530,6 +693,14 @@ func (s *Server) apply(pending []*submission) {
 	}
 
 	bs := &batchState{}
+	if s.adm != nil {
+		s.adm.Reset()
+		bs.adm = s.adm
+	} else if eng, ok := s.eng.(Admitter); ok {
+		// nil (engine closed) falls back to wholesale ValidateBatch.
+		s.adm = eng.BeginAdmission()
+		bs.adm = s.adm
+	}
 	for _, sub := range pending {
 		ok, rejection := s.admit(bs, sub)
 		switch {
@@ -559,7 +730,7 @@ func (s *Server) apply(pending []*submission) {
 	// under once the batch lands.
 	s.cfg.Recorder.SetTick(s.counters.Ticks + 1)
 	applyStart := time.Now()
-	err := s.applyBatch(bs.batch)
+	delta, err := s.applyBatch(bs.batch)
 	applied := time.Since(applyStart)
 	if err != nil {
 		// Admission should have prevented this; fail the whole timestep
@@ -582,6 +753,18 @@ func (s *Server) apply(pending []*submission) {
 			s.degraded.Store(true)
 			s.failNotDurable(bs.members)
 			return
+		}
+	}
+
+	if s.live != nil {
+		s.live.tracker.Apply(delta)
+		s.live.stretch.Observe(delta)
+		ticks := s.counters.Ticks + 1
+		if s.cfg.AuditEvery > 0 && ticks%uint64(s.cfg.AuditEvery) == 0 {
+			s.auditLive()
+		}
+		if ticks%s.cfg.refreshEvery() == 0 {
+			s.live.requestRefresh()
 		}
 	}
 
@@ -612,16 +795,28 @@ func (s *Server) apply(pending []*submission) {
 }
 
 // applyBatch routes one admitted batch into the engine: through the
-// parallel disjoint-wound path when Config.Parallelism asks for it and the
-// engine supports it, serially otherwise. Both paths produce byte-identical
-// engine state (see core.State.ApplyBatchParallel's contract).
-func (s *Server) applyBatch(b core.Batch) error {
+// delta-reporting path when the incremental metrics layer is live, through
+// the parallel disjoint-wound path when Config.Parallelism asks for it and
+// the engine supports it, serially otherwise. Every path produces
+// byte-identical engine state (see core.State.ApplyBatchParallel's
+// contract); only the returned delta differs (empty off the live path —
+// nothing consumes it there).
+func (s *Server) applyBatch(b core.Batch) (core.TickDelta, error) {
+	workers := 1
 	if s.cfg.Parallelism > 1 {
-		if pb, ok := s.eng.(ParallelBatcher); ok {
-			return pb.ApplyBatchParallel(b, s.cfg.Parallelism)
+		workers = s.cfg.Parallelism
+	}
+	if s.live != nil {
+		if db, ok := s.eng.(DeltaBatcher); ok {
+			return db.ApplyBatchDelta(b, workers)
 		}
 	}
-	return s.eng.ApplyBatch(b)
+	if workers > 1 {
+		if pb, ok := s.eng.(ParallelBatcher); ok {
+			return core.TickDelta{}, pb.ApplyBatchParallel(b, workers)
+		}
+	}
+	return core.TickDelta{}, s.eng.ApplyBatch(b)
 }
 
 // logBatch makes one applied batch durable: every event is appended to the
@@ -664,9 +859,10 @@ func (s *Server) Counters() Counters {
 	return c
 }
 
-// QueueDepth reports events accepted but not yet applied (queued plus
-// carried deferrals). Approximate while the loop is moving.
-func (s *Server) QueueDepth() int { return len(s.queue) + int(s.carried.Load()) }
+// QueueDepth reports events accepted but not yet applied (buffered in the
+// admission ring plus carried deferrals). Approximate while the loop is
+// moving.
+func (s *Server) QueueDepth() int { return s.ring.len() + int(s.carried.Load()) }
 
 // Health is one live health snapshot.
 type Health struct {
@@ -695,6 +891,10 @@ type Health struct {
 	// Durability reports checkpoint progress; absent when no checkpoint
 	// store is configured.
 	Durability *DurabilityHealth `json:"durability,omitempty"`
+	// Live reports the incremental metrics layer — cached λ₂ and stretch
+	// estimates with their staleness, connectivity age, and tracker audit
+	// telemetry. Absent on the slow (clone-and-measure) health path.
+	Live *LiveHealth `json:"live,omitempty"`
 }
 
 // DurabilityHealth is the durability slice of a health snapshot.
@@ -726,36 +926,44 @@ type ObsHealth struct {
 	SpansDropped uint64 `json:"spans_dropped"`
 }
 
-// Health measures the current healed graph (MeasureFast-equivalent: skips
-// spectral computation, samples stretch) and snapshots the counters. The
-// graphs are cloned under the lock and measured outside it, so a health
-// poll costs the apply loop one copy, not a full measurement pass.
+// Health snapshots the daemon's health. On the live (default) path the
+// engine facts come from the incremental tracker and the λ₂/stretch caches
+// — no graph clone, no traversal, no measurement under or behind the apply
+// lock; the lock is held only to copy the counters. With Config.SlowHealth
+// (or an engine without batch deltas) it falls back to the original
+// clone-under-lock, measure-outside-it path.
 func (s *Server) Health() Health {
 	s.mu.Lock()
-	g, gp := s.eng.Graph().Clone(), s.eng.Baseline().Clone()
-	kappa := s.eng.Kappa()
 	c := s.counters
 	logErr := s.logErr
+	var g, gp *graph.Graph
+	var kappa int
+	if s.live == nil {
+		g, gp = s.eng.Graph().Clone(), s.eng.Baseline().Clone()
+		kappa = s.eng.Kappa()
+	}
 	s.mu.Unlock()
-	snap := metrics.Measure(g, gp, metrics.Config{
-		SkipSpectral:   true,
-		StretchSources: 4,
-		Rng:            rand.New(rand.NewSource(1)),
-	})
 	c.EventsBacklogged = s.backlogged.Load()
 
-	ob := ObsHealth{TickLatency: s.tickHist.Snapshot().Summary()}
+	var h Health
+	if s.live != nil {
+		h = s.liveHealth(c, logErr)
+	} else {
+		h = s.slowHealth(g, gp, kappa, c, logErr)
+	}
+	h.UptimeSeconds = time.Since(s.start).Seconds()
+
+	h.Obs = ObsHealth{TickLatency: s.tickHist.Snapshot().Summary()}
 	if rec := s.cfg.Recorder; rec != nil {
-		ob.Spans, ob.SpansDropped = rec.Spans(), rec.Dropped()
-		if h := rec.RepairHist(); h != nil {
-			sum := h.Snapshot().Summary()
-			ob.RepairLatency = &sum
+		h.Obs.Spans, h.Obs.SpansDropped = rec.Spans(), rec.Dropped()
+		if rh := rec.RepairHist(); rh != nil {
+			sum := rh.Snapshot().Summary()
+			h.Obs.RepairLatency = &sum
 		}
 	}
 
-	var dur *DurabilityHealth
 	if s.cfg.Checkpoints != nil {
-		dur = &DurabilityHealth{
+		h.Durability = &DurabilityHealth{
 			Checkpoints:          c.Checkpoints,
 			CheckpointErrors:     c.CheckpointErrors,
 			LastCheckpointTick:   c.LastCheckpointTick,
@@ -765,6 +973,22 @@ func (s *Server) Health() Health {
 			ResumeEvents:         s.cfg.Resume.Events,
 		}
 	}
+	return h
+}
+
+// slowHealth is the clone-and-measure fallback: a MeasureFast-equivalent
+// pass (no spectral work, sampled stretch) over cloned graphs. The
+// measurement rng is persistent and reseeded per call, so polls stay
+// deterministic without a per-call generator allocation.
+func (s *Server) slowHealth(g, gp *graph.Graph, kappa int, c Counters, logErr error) Health {
+	s.healthMu.Lock()
+	s.healthRng.Seed(1)
+	snap := metrics.Measure(g, gp, metrics.Config{
+		SkipSpectral:   true,
+		StretchSources: 4,
+		Rng:            s.healthRng,
+	})
+	s.healthMu.Unlock()
 
 	status, logMsg := "ok", ""
 	if !snap.Connected {
@@ -774,26 +998,31 @@ func (s *Server) Health() Health {
 		status, logMsg = "degraded", logErr.Error()
 	}
 	return Health{
-		Status:        status,
-		LogError:      logMsg,
-		Nodes:         snap.Nodes,
-		Edges:         snap.Edges,
-		Connected:     snap.Connected,
-		Kappa:         kappa,
-		Snapshot:      snap,
-		Counters:      c,
-		QueueDepth:    s.QueueDepth(),
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Obs:           ob,
-		Durability:    dur,
+		Status:     status,
+		LogError:   logMsg,
+		Nodes:      snap.Nodes,
+		Edges:      snap.Edges,
+		Connected:  snap.Connected,
+		Kappa:      kappa,
+		Snapshot:   snap,
+		Counters:   c,
+		QueueDepth: s.QueueDepth(),
 	}
 }
 
 // CheckInvariants runs the engine's structural invariant check under the
-// server's lock (safe while serving).
+// server's lock (safe while serving). With Config.InvariantBudget set and
+// an engine that supports it, each call checks a rotating budgeted sample
+// instead of sweeping the whole structure; successive calls cover
+// everything (see core.State.CheckInvariantsSampled).
 func (s *Server) CheckInvariants() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if b := s.cfg.InvariantBudget; b > 0 {
+		if sc, ok := s.eng.(SampledChecker); ok {
+			return sc.CheckInvariantsSampled(b)
+		}
+	}
 	return s.eng.CheckInvariants()
 }
 
@@ -820,6 +1049,9 @@ func (s *Server) Close() error {
 		close(s.stopc)
 	}
 	<-s.done
+	if s.live != nil {
+		<-s.live.refreshDone
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.logErr

@@ -343,11 +343,13 @@ func TestBackpressure(t *testing.T) {
 			done: make(chan error, 1),
 			at:   time.Now(),
 		}
-		s.queue <- sub
+		if s.ring.enqueue([]*submission{sub}) != 1 {
+			t.Fatalf("ring refused enqueue of %d", node)
+		}
 		return sub
 	}
 	subA := enqueue(100)
-	for len(s.queue) != 0 { // loop has picked event 100 up
+	for s.ring.len() != 0 { // loop has picked event 100 up
 		time.Sleep(time.Millisecond)
 	}
 	time.Sleep(10 * time.Millisecond) // let the loop reach apply() and block

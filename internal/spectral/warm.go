@@ -1,0 +1,217 @@
+package spectral
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Warm-started λ₂ estimation: the serving daemon re-estimates λ₂ every few
+// ticks on a graph that changed by a handful of edges, so the previous
+// Fiedler-direction Ritz vector is an excellent start vector. A warm Krylov
+// iteration re-converges in a fraction of the cold step count; the caller
+// (internal/metrics/live.Lambda2Cache) keeps the returned Ritz vector for
+// the next round.
+
+// LanczosWarm is Lanczos with an optional start vector, additionally
+// returning the Ritz vector of the smallest Ritz value — the approximate
+// eigenvector the next call can warm-start from. start is used when it has
+// dimension n and a numerically-significant component orthogonal to the
+// deflation space; otherwise the start vector is drawn from rng as usual.
+func LanczosWarm(n, k int, op MatVec, deflate [][]float64, start []float64, rng *rand.Rand) (vals, ritz []float64, err error) {
+	if n == 0 {
+		return nil, nil, nil
+	}
+	if k > n-len(deflate) {
+		k = n - len(deflate)
+	}
+	if k <= 0 {
+		return nil, nil, nil
+	}
+
+	var v []float64
+	if len(start) == n {
+		v = make([]float64, n)
+		copy(v, start)
+		orthogonalize(v, deflate)
+		if !Normalize(v) || Norm2(v) < 0.5 {
+			v = nil
+		}
+	}
+	if v == nil {
+		v = randUnit(n, rng, deflate)
+	}
+	if v == nil {
+		return nil, nil, ErrBreakdown
+	}
+
+	alphas := make([]float64, 0, k)
+	betas := make([]float64, 0, k)
+	basis := make([][]float64, 0, k)
+	basis = append(basis, v)
+	w := make([]float64, n)
+	prevBeta := 0.0
+	var prev []float64
+
+	for j := 0; j < k; j++ {
+		cur := basis[len(basis)-1]
+		op(w, cur)
+		if prev != nil {
+			AXPY(w, -prevBeta, prev)
+		}
+		alpha := Dot(w, cur)
+		AXPY(w, -alpha, cur)
+		orthogonalize(w, deflate)
+		orthogonalize(w, basis)
+		orthogonalize(w, basis) // second pass for numerical safety
+		alphas = append(alphas, alpha)
+
+		beta := Norm2(w)
+		if j == k-1 {
+			break
+		}
+		if beta < 1e-13 {
+			nv := randUnit(n, rng, append(append([][]float64{}, deflate...), basis...))
+			if nv == nil {
+				break
+			}
+			prev = nil
+			prevBeta = 0
+			basis = append(basis, nv)
+			betas = append(betas, 0)
+			continue
+		}
+		next := make([]float64, n)
+		copy(next, w)
+		Scale(next, 1/beta)
+		betas = append(betas, beta)
+		prev = cur
+		prevBeta = beta
+		basis = append(basis, next)
+	}
+
+	vals = TridiagEigenvalues(alphas, betas)
+	if len(vals) == 0 {
+		return nil, nil, nil
+	}
+	y := tridiagSmallestVector(alphas, betas, vals[0])
+	ritz = make([]float64, n)
+	for j := range basis {
+		AXPY(ritz, y[j], basis[j])
+	}
+	if !Normalize(ritz) {
+		ritz = nil
+	}
+	return vals, ritz, nil
+}
+
+// tridiagSmallestVector returns a unit eigenvector of the symmetric
+// tridiagonal matrix (alphas, betas) for its smallest eigenvalue lambda, by
+// inverse iteration with a slightly off-eigenvalue shift.
+func tridiagSmallestVector(alphas, betas []float64, lambda float64) []float64 {
+	m := len(alphas)
+	y := make([]float64, m)
+	c := 1 / math.Sqrt(float64(m))
+	for i := range y {
+		y[i] = c
+	}
+	// Shift a hair off the eigenvalue so the solve stays well-posed; the
+	// iteration still collapses onto the eigenvector direction.
+	scale := math.Abs(lambda)
+	if scale < 1 {
+		scale = 1
+	}
+	shift := lambda - 1e-10*scale
+	for iter := 0; iter < 4; iter++ {
+		y = solveShiftedTridiag(alphas, betas, shift, y)
+		if !Normalize(y) {
+			for i := range y {
+				y[i] = c
+			}
+			return y
+		}
+	}
+	return y
+}
+
+// solveShiftedTridiag solves (T − shift·I)·x = b for the symmetric
+// tridiagonal T via the Thomas algorithm, clamping near-zero pivots (the
+// system is intentionally near-singular during inverse iteration).
+func solveShiftedTridiag(alphas, betas []float64, shift float64, b []float64) []float64 {
+	m := len(alphas)
+	diag := make([]float64, m)
+	rhs := make([]float64, m)
+	for i := range diag {
+		diag[i] = alphas[i] - shift
+		rhs[i] = b[i]
+	}
+	const tiny = 1e-300
+	for i := 1; i < m; i++ {
+		piv := diag[i-1]
+		if math.Abs(piv) < tiny {
+			piv = tiny
+		}
+		f := betas[i-1] / piv
+		diag[i] -= f * betas[i-1]
+		rhs[i] -= f * rhs[i-1]
+	}
+	x := make([]float64, m)
+	piv := diag[m-1]
+	if math.Abs(piv) < tiny {
+		piv = tiny
+	}
+	x[m-1] = rhs[m-1] / piv
+	for i := m - 2; i >= 0; i-- {
+		piv := diag[i]
+		if math.Abs(piv) < tiny {
+			piv = tiny
+		}
+		x[i] = (rhs[i] - betas[i]*x[i+1]) / piv
+	}
+	return x
+}
+
+// Lambda2Warm estimates λ₂(L) from a CSR snapshot of a connected graph,
+// warm-starting from a previous Ritz vector when one is supplied. It
+// returns the estimate and the Ritz vector to warm-start the next call.
+// The caller must have established connectivity (see CSR.Connected) — λ₂
+// of a disconnected graph is 0 and needs no iteration.
+func Lambda2Warm(op *CSR, start []float64, steps int, rng *rand.Rand) (float64, []float64, error) {
+	n := len(op.Nodes)
+	if n < 2 {
+		return 0, nil, nil
+	}
+	ones := constUnit(n)
+	vals, ritz, err := LanczosWarm(n, steps, op.MulLaplacian, [][]float64{ones}, start, rng)
+	if err != nil || len(vals) == 0 {
+		return 0, nil, err
+	}
+	return clampTiny(vals[0]), ritz, nil
+}
+
+// Connected reports whether the CSR snapshot is one connected component,
+// via an index-space BFS — no maps, no graph access, safe on a snapshot
+// taken from a graph that has since moved on.
+func (a *CSR) Connected() bool {
+	n := len(a.Nodes)
+	if n <= 1 {
+		return true
+	}
+	seen := make([]bool, n)
+	queue := make([]int32, 0, n)
+	queue = append(queue, 0)
+	seen[0] = true
+	reached := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for i := a.RowPtr[u]; i < a.RowPtr[u+1]; i++ {
+			v := a.Cols[i]
+			if !seen[v] {
+				seen[v] = true
+				reached++
+				queue = append(queue, v)
+			}
+		}
+	}
+	return reached == n
+}

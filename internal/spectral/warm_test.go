@@ -1,0 +1,75 @@
+package spectral
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/xheal/xheal/internal/graph"
+	"github.com/xheal/xheal/internal/workload"
+)
+
+func TestCSRConnected(t *testing.T) {
+	g, err := workload.RandomRegular(200, 2, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !NewCSR(g).Connected() {
+		t.Fatal("connected graph reported disconnected")
+	}
+	// Split off an isolated pair.
+	g.EnsureEdge(10_000, 10_001)
+	if NewCSR(g).Connected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	single := graph.New()
+	single.EnsureNode(1)
+	if !NewCSR(single).Connected() {
+		t.Fatal("single node is trivially connected")
+	}
+}
+
+// TestLambda2WarmMatchesReference: a cold Lambda2Warm run with the full
+// step budget must agree with AlgebraicConnectivity, and a warm run started
+// from the returned Ritz vector must re-converge on the same value with a
+// third of the steps.
+func TestLambda2WarmMatchesReference(t *testing.T) {
+	g, err := workload.RandomRegular(400, 3, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := NewCSR(g)
+	want := AlgebraicConnectivity(g, rand.New(rand.NewSource(1)))
+
+	cold, ritz, err := Lambda2Warm(op, nil, 90, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cold-want) > 1e-8*math.Max(1, want) {
+		t.Fatalf("cold Lambda2Warm = %v, AlgebraicConnectivity = %v", cold, want)
+	}
+	if len(ritz) != len(op.Nodes) {
+		t.Fatalf("ritz vector dim %d, want %d", len(ritz), len(op.Nodes))
+	}
+
+	warm, _, err := Lambda2Warm(op, ritz, 30, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(warm-want) > 1e-6*math.Max(1, want) {
+		t.Fatalf("warm Lambda2Warm (30 steps) = %v, want %v", warm, want)
+	}
+
+	// The Ritz vector must actually approximate the Fiedler direction:
+	// ‖L·v − λ·v‖ small relative to λ.
+	lv := make([]float64, len(ritz))
+	op.MulLaplacian(lv, ritz)
+	res := 0.0
+	for i := range lv {
+		d := lv[i] - cold*ritz[i]
+		res += d * d
+	}
+	if math.Sqrt(res) > 1e-4*math.Max(1, cold) {
+		t.Fatalf("Ritz residual %v too large for lambda %v", math.Sqrt(res), cold)
+	}
+}

@@ -3,6 +3,7 @@ package xheal
 import (
 	"io"
 	"math/rand"
+	"sync"
 
 	"github.com/xheal/xheal/internal/baseline"
 	"github.com/xheal/xheal/internal/core"
@@ -42,6 +43,12 @@ func NewGraph() *Graph { return graph.New() }
 // sequential reference implementation of Xheal (paper Algorithm 3.1).
 type Network struct {
 	state *core.State
+
+	// measureRng backs Measure/MeasureFast; reseeded per call so repeated
+	// measurements stay deterministic without allocating a generator each
+	// time (MeasureFast sits in tight loops).
+	measureMu  sync.Mutex
+	measureRng *rand.Rand
 }
 
 // NewNetwork builds a self-healing network over a copy of the initial
@@ -52,7 +59,7 @@ func NewNetwork(initial *Graph, opts ...Option) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Network{state: state}, nil
+	return &Network{state: state, measureRng: rand.New(rand.NewSource(1))}, nil
 }
 
 // Insert applies an adversarial insertion: node u joins with black edges to
@@ -95,19 +102,25 @@ func (n *Network) CheckInvariants() error { return n.state.CheckInvariants() }
 // G′: degree ratio, stretch, expansion/conductance (exact on small graphs),
 // spectral gaps, and sweep-cut witness bounds.
 func (n *Network) Measure() Snapshot {
+	n.measureMu.Lock()
+	defer n.measureMu.Unlock()
+	n.measureRng.Seed(1)
 	return metrics.Measure(n.state.Graph(), n.state.Baseline(), metrics.Config{
 		SweepCuts: true,
-		Rng:       rand.New(rand.NewSource(1)),
+		Rng:       n.measureRng,
 	})
 }
 
 // MeasureFast is Measure without the spectral computations and with sampled
 // stretch, for use in tight loops.
 func (n *Network) MeasureFast() Snapshot {
+	n.measureMu.Lock()
+	defer n.measureMu.Unlock()
+	n.measureRng.Seed(1)
 	return metrics.Measure(n.state.Graph(), n.state.Baseline(), metrics.Config{
 		SkipSpectral:   true,
 		StretchSources: 4,
-		Rng:            rand.New(rand.NewSource(1)),
+		Rng:            n.measureRng,
 	})
 }
 
